@@ -1,0 +1,289 @@
+package hop_test
+
+// One benchmark per paper table/figure — each regenerates the
+// experiment end to end on the deterministic simulator (run with
+// -benchtime=1x; a single iteration is a complete reproduction) —
+// plus microbenchmarks of the protocol hot paths.
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+	"time"
+
+	"hop"
+	"hop/internal/core"
+	"hop/internal/graph"
+	"hop/internal/hetero"
+	"hop/internal/model"
+	"hop/internal/nn"
+	"hop/internal/sim"
+	"hop/internal/tensor"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := hop.RunExperiment(id, hop.ScaleQuick, io.Discard); err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+}
+
+// BenchmarkFig12 regenerates Figure 12 (effect of heterogeneity across
+// ring / ring-based / double-ring, CNN + SVM).
+func BenchmarkFig12(b *testing.B) { benchExperiment(b, "fig12") }
+
+// BenchmarkFig13 regenerates Figure 13 (decentralized vs BSP parameter
+// server).
+func BenchmarkFig13(b *testing.B) { benchExperiment(b, "fig13") }
+
+// BenchmarkFig14 regenerates Figure 14 (backup workers, loss vs time).
+func BenchmarkFig14(b *testing.B) { benchExperiment(b, "fig14") }
+
+// BenchmarkFig15 regenerates Figure 15 (backup workers, loss vs steps).
+func BenchmarkFig15(b *testing.B) { benchExperiment(b, "fig15") }
+
+// BenchmarkFig16 regenerates Figure 16 (iteration speedup of backup
+// workers under 6x random slowdown).
+func BenchmarkFig16(b *testing.B) { benchExperiment(b, "fig16") }
+
+// BenchmarkFig17 regenerates Figure 17 (bounded staleness vs backup
+// workers vs standard).
+func BenchmarkFig17(b *testing.B) { benchExperiment(b, "fig17") }
+
+// BenchmarkFig18 regenerates Figure 18 (skipping iterations: iteration
+// time with a 4x-deterministic straggler).
+func BenchmarkFig18(b *testing.B) { benchExperiment(b, "fig18") }
+
+// BenchmarkFig19 regenerates Figure 19 (skipping iterations: loss vs
+// time, jump<=2 and jump<=10).
+func BenchmarkFig19(b *testing.B) { benchExperiment(b, "fig19") }
+
+// BenchmarkFig20 regenerates Figure 20 (topology settings 1-3 under a
+// heterogeneous placement).
+func BenchmarkFig20(b *testing.B) { benchExperiment(b, "fig20") }
+
+// BenchmarkFig21 regenerates Figure 21 (spectral gaps of the three
+// settings).
+func BenchmarkFig21(b *testing.B) { benchExperiment(b, "fig21") }
+
+// BenchmarkTable1 regenerates Table 1 (iteration-gap bounds, observed
+// vs theoretical, across all synchronization settings).
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "table1") }
+
+// BenchmarkDeadlockDemo regenerates the §5 AD-PSGD deadlock
+// demonstration.
+func BenchmarkDeadlockDemo(b *testing.B) { benchExperiment(b, "deadlock") }
+
+// --- Protocol hot-path microbenchmarks --------------------------------
+
+func BenchmarkUpdateQueueEnqueueDequeue(b *testing.B) {
+	q := core.NewUpdateQueue(core.NewSyncMonitor(), 5)
+	params := make([]float64, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		iter := i % 4
+		for s := 0; s < 4; s++ {
+			q.Enqueue(core.Update{Params: params, Iter: iter, From: s})
+		}
+		q.DequeueIterAtLeast(4, iter)
+	}
+}
+
+func BenchmarkTokenQueuePutTake(b *testing.B) {
+	tq := core.NewTokenQueue(core.NewSyncMonitor(), 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tq.Put(1)
+		tq.Take(1)
+	}
+}
+
+func BenchmarkSimContextSwitch(b *testing.B) {
+	// Two procs ping-pong through a cond for b.N rounds.
+	k := sim.NewKernel()
+	c := sim.NewCond(k)
+	turn := 0
+	rounds := b.N
+	for p := 0; p < 2; p++ {
+		p := p
+		k.Spawn("pp", func(proc *sim.Proc) {
+			for i := 0; i < rounds; i++ {
+				for turn != p {
+					c.Wait()
+				}
+				turn = 1 - p
+				c.Broadcast()
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := k.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkCNNLossGrad(b *testing.B) {
+	cfg := model.DefaultCNNConfig()
+	c := model.NewCNN(cfg)
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.ComputeGrad(rng)
+	}
+}
+
+func BenchmarkSVMLossGrad(b *testing.B) {
+	s := model.NewSVM(model.DefaultSVMConfig())
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ComputeGrad(rng)
+	}
+}
+
+func BenchmarkConvForward(b *testing.B) {
+	in := nn.Shape{C: 3, H: 16, W: 16}
+	net := nn.NewNetwork(in, nn.NewConv2D(8, 3), nn.NewReLU(), nn.NewMaxPool2(), nn.NewDense(10))
+	net.Init(rand.New(rand.NewSource(1)))
+	x := make([]float64, 8*in.Size())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Forward(x, 8)
+	}
+}
+
+func BenchmarkSpectralGap16(b *testing.B) {
+	w := graph.RingBased(16).UniformWeights()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		graph.SpectralGap(w)
+	}
+}
+
+func BenchmarkTensorMean(b *testing.B) {
+	vecs := make([][]float64, 5)
+	for i := range vecs {
+		vecs[i] = make([]float64, 1<<16)
+	}
+	dst := make([]float64, 1<<16)
+	b.SetBytes(5 << 19)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.Mean(dst, vecs)
+	}
+}
+
+// --- Ablation benchmarks (design choices called out in DESIGN.md) ----
+
+// ablationRun executes one 16-worker CNN-profile run under 6x random
+// slowdown and reports mean virtual iteration milliseconds and final
+// loss as benchmark metrics.
+func ablationRun(b *testing.B, mutate func(*hop.Config)) {
+	b.Helper()
+	var meanMS, loss float64
+	for i := 0; i < b.N; i++ {
+		g := graph.RingBased(16)
+		graph.EvenPlacement(g, 4)
+		cfg := hop.Config{Graph: g, Staleness: -1, Seed: 31}
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		res, err := hop.Run(hop.Options{
+			Core:         cfg,
+			Trainer:      hop.NewSVM(hop.DefaultSVMConfig()),
+			Compute:      hetero.Compute{Base: 100 * time.Millisecond, Slow: hop.RandomSlowdown(6, 1.0/16)},
+			PayloadBytes: 1400 << 10,
+			Deadline:     30 * time.Second,
+			Seed:         32,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Deadlock != nil {
+			b.Fatal(res.Deadlock)
+		}
+		meanMS = float64(res.Metrics.MeanIterDurationAll(2)) / 1e6
+		loss = res.Metrics.Eval.Last(-1)
+	}
+	b.ReportMetric(meanMS, "virtms/iter")
+	b.ReportMetric(loss, "final-loss")
+}
+
+// BenchmarkAblationSerial vs BenchmarkAblationParallel: the §3.2
+// computation-graph trade-off.
+func BenchmarkAblationSerial(b *testing.B) {
+	ablationRun(b, func(c *hop.Config) { c.Serial = true })
+}
+
+func BenchmarkAblationParallel(b *testing.B) { ablationRun(b, nil) }
+
+// BenchmarkAblationNotifyAck: the §3.3 baseline's cost under random
+// slowdown.
+func BenchmarkAblationNotifyAck(b *testing.B) {
+	ablationRun(b, func(c *hop.Config) { c.Mode = hop.ModeNotifyAck })
+}
+
+// BenchmarkAblationTokens / Backup / SendCheckOff: the §4.2-§4.3 and
+// §6.2(b) mechanisms in isolation.
+func BenchmarkAblationTokens(b *testing.B) {
+	ablationRun(b, func(c *hop.Config) { c.MaxIG = 4 })
+}
+
+func BenchmarkAblationBackup(b *testing.B) {
+	ablationRun(b, func(c *hop.Config) { c.MaxIG = 4; c.Backup = 1; c.SendCheck = true })
+}
+
+func BenchmarkAblationBackupNoSendCheck(b *testing.B) {
+	ablationRun(b, func(c *hop.Config) { c.MaxIG = 4; c.Backup = 1 })
+}
+
+// BenchmarkAblationStaleWeighting{Linear,Uniform,Exponential}: the
+// §4.4 Eq. 2 aggregation against the future-work alternatives.
+func BenchmarkAblationStaleWeightingLinear(b *testing.B) {
+	ablationRun(b, func(c *hop.Config) { c.MaxIG = 8; c.Staleness = 5 })
+}
+
+func BenchmarkAblationStaleWeightingUniform(b *testing.B) {
+	ablationRun(b, func(c *hop.Config) {
+		c.MaxIG = 8
+		c.Staleness = 5
+		c.StaleWeighting = core.WeightUniform
+	})
+}
+
+func BenchmarkAblationStaleWeightingExponential(b *testing.B) {
+	ablationRun(b, func(c *hop.Config) {
+		c.MaxIG = 8
+		c.Staleness = 5
+		c.StaleWeighting = core.WeightExponential
+	})
+}
+
+// BenchmarkClusterIteration measures simulator throughput: virtual
+// iterations executed per second of host time on a 16-worker cluster.
+func BenchmarkClusterIteration(b *testing.B) {
+	g := graph.RingBased(16)
+	graph.EvenPlacement(g, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := hop.Run(hop.Options{
+			Core:         hop.Config{Graph: g, Staleness: -1, MaxIter: 20, Seed: 1},
+			Trainer:      model.NewQuadratic(make([]float64, 64), make([]float64, 64), 0.1, 0),
+			Compute:      hetero.Compute{Base: 100 * time.Millisecond},
+			PayloadBytes: 1 << 20,
+			Seed:         2,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Metrics.Iterations() != 320 {
+			b.Fatalf("iterations %d", res.Metrics.Iterations())
+		}
+	}
+}

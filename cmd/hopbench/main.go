@@ -1,0 +1,79 @@
+// Command hopbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	hopbench -exp fig14            # one experiment, quick scale
+//	hopbench -exp all -scale full  # everything, EXPERIMENTS.md scale
+//	hopbench -exp fig12 -series    # also dump the raw loss series
+//	hopbench -list                 # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"hop/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id (figNN, table1, deadlock) or 'all'")
+		scale  = flag.String("scale", "quick", "quick or full")
+		series = flag.Bool("series", false, "dump raw recorded series after each report")
+		list   = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry {
+			fmt.Printf("%-10s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var sc experiments.Scale
+	switch *scale {
+	case "quick":
+		sc = experiments.Quick
+	case "full":
+		sc = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "hopbench: unknown scale %q (quick|full)\n", *scale)
+		os.Exit(2)
+	}
+
+	var entries []experiments.Entry
+	if *exp == "all" {
+		entries = experiments.Registry
+	} else {
+		e, err := experiments.Lookup(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hopbench:", err)
+			os.Exit(2)
+		}
+		entries = []experiments.Entry{e}
+	}
+
+	failed := 0
+	for _, e := range entries {
+		start := time.Now()
+		rep, err := e.Run(sc)
+		if rep != nil {
+			rep.WriteTo(os.Stdout)
+			if *series {
+				rep.RenderSeries(os.Stdout)
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hopbench: %s failed: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		fmt.Printf("[%s done in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,105 @@
+// Command hopgraph inspects communication topologies: spectral gaps,
+// diameters, shortest paths and the Table 1 iteration-gap bounds for a
+// given protocol configuration.
+//
+// Examples:
+//
+//	hopgraph -graph ring-based -workers 16
+//	hopgraph -graph setting2
+//	hopgraph -graph ring -workers 8 -maxig 3 -bounds
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hop"
+	"hop/internal/core"
+	"hop/internal/graph"
+)
+
+func main() {
+	var (
+		kind      = flag.String("graph", "ring-based", "ring | ring-based | double-ring | complete | chain | setting1 | setting2 | setting3")
+		workers   = flag.Int("workers", 16, "worker count")
+		maxIG     = flag.Int("maxig", 0, "token-queue bound for the Table 1 calculation")
+		backup    = flag.Int("backup", 0, "backup workers for the Table 1 calculation")
+		staleness = flag.Int("staleness", -1, "staleness bound for the Table 1 calculation")
+		notifyAck = flag.Bool("notify-ack", false, "NOTIFY-ACK bounds")
+		bounds    = flag.Bool("bounds", false, "print the full Table 1 bound matrix")
+	)
+	flag.Parse()
+
+	g, err := build(*kind, *workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hopgraph:", err)
+		os.Exit(2)
+	}
+
+	fmt.Printf("graph:          %s\n", g)
+	fmt.Printf("connected:      %v   bipartite: %v   diameter: %d\n",
+		g.StronglyConnected(), g.IsBipartite(), g.Diameter())
+	for i := 0; i < g.N() && i < 4; i++ {
+		fmt.Printf("worker %d:       in=%v out=%v\n", i, g.In(i), g.Out(i))
+	}
+	uw := g.UniformWeights()
+	mw := g.MetropolisWeights()
+	fmt.Printf("spectral gap:   uniform=%.4f (doubly stochastic: %v)   metropolis=%.4f\n",
+		hop.SpectralGap(uw), graph.IsDoublyStochastic(uw, 1e-9), hop.SpectralGap(mw))
+
+	cfg := core.Config{Graph: g, MaxIG: *maxIG, Backup: *backup, Staleness: *staleness}
+	if *notifyAck {
+		cfg.Mode = core.ModeNotifyAck
+	}
+	b := core.NewBounds(cfg)
+	fmt.Printf("\nTable 1 bounds (mode=%s maxig=%d backup=%d staleness=%d):\n",
+		cfg.Mode, *maxIG, *backup, *staleness)
+	maxAdj := 0
+	for i := 0; i < g.N(); i++ {
+		for _, j := range g.In(i) {
+			if v := b.Gap(i, j); v != core.Unbounded && v > maxAdj {
+				maxAdj = v
+			}
+		}
+	}
+	fmt.Printf("max adjacent-pair bound: %s\n", boundStr(maxAdj))
+	if *bounds {
+		fmt.Printf("full bound matrix (rows: i, cols: j, entry: max Iter(i)-Iter(j)):\n")
+		for i := 0; i < g.N(); i++ {
+			for j := 0; j < g.N(); j++ {
+				fmt.Printf("%6s", boundStr(b.Gap(i, j)))
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func boundStr(v int) string {
+	if v >= core.Unbounded {
+		return "inf"
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+func build(kind string, workers int) (*hop.Graph, error) {
+	switch kind {
+	case "ring":
+		return hop.Ring(workers), nil
+	case "ring-based":
+		return hop.RingBased(workers), nil
+	case "double-ring":
+		return hop.DoubleRing(workers), nil
+	case "complete":
+		return hop.Complete(workers), nil
+	case "chain":
+		return graph.Chain(workers), nil
+	case "setting1":
+		return hop.Setting1(), nil
+	case "setting2":
+		return hop.Setting2(), nil
+	case "setting3":
+		return hop.Setting3(), nil
+	}
+	return nil, fmt.Errorf("unknown graph %q", kind)
+}

@@ -1,0 +1,141 @@
+// Command hopnode runs one live Hop worker over TCP. Start one process
+// per worker; each needs the full peer address list.
+//
+// Example (3-worker ring on one host):
+//
+//	hopnode -id 0 -listen :7000 -peers 0=localhost:7000,1=localhost:7001,2=localhost:7002 -graph ring -workers 3 -iters 50 &
+//	hopnode -id 1 -listen :7001 -peers 0=localhost:7000,1=localhost:7001,2=localhost:7002 -graph ring -workers 3 -iters 50 &
+//	hopnode -id 2 -listen :7002 -peers 0=localhost:7000,1=localhost:7001,2=localhost:7002 -graph ring -workers 3 -iters 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"hop"
+	"hop/internal/core"
+	"hop/internal/live"
+)
+
+func main() {
+	var (
+		id        = flag.Int("id", 0, "this worker's id")
+		listen    = flag.String("listen", ":0", "listen address")
+		peersFlag = flag.String("peers", "", "comma-separated id=host:port list for all workers")
+		graphKind = flag.String("graph", "ring", "ring | ring-based | double-ring | complete")
+		workers   = flag.Int("workers", 4, "worker count")
+		workload  = flag.String("workload", "svm", "cnn | svm | quadratic")
+		maxIG     = flag.Int("maxig", 0, "token-queue max iteration gap")
+		backup    = flag.Int("backup", 0, "backup workers")
+		staleness = flag.Int("staleness", -1, "staleness bound")
+		skip      = flag.Bool("skip", false, "enable skipping iterations")
+		maxJump   = flag.Int("max-jump", 10, "max iterations per jump")
+		iters     = flag.Int("iters", 100, "iterations to run")
+		seed      = flag.Int64("seed", 1, "seed")
+		delay     = flag.Duration("delay", 0, "artificial extra compute time per iteration")
+		dialWait  = flag.Duration("dial-wait", 30*time.Second, "how long to retry dialing peers")
+	)
+	flag.Parse()
+
+	var g *hop.Graph
+	switch *graphKind {
+	case "ring":
+		g = hop.Ring(*workers)
+	case "ring-based":
+		g = hop.RingBased(*workers)
+	case "double-ring":
+		g = hop.DoubleRing(*workers)
+	case "complete":
+		g = hop.Complete(*workers)
+	default:
+		fail(fmt.Errorf("unknown graph %q", *graphKind))
+	}
+
+	var trainer hop.Trainer
+	switch *workload {
+	case "cnn":
+		trainer = hop.NewCNN(hop.DefaultCNNConfig())
+	case "svm":
+		trainer = hop.NewSVM(hop.DefaultSVMConfig())
+	case "quadratic":
+		trainer = hop.NewQuadratic([]float64{5, 5, 5, 5}, []float64{1, 2, 0, -1}, 0.2, 0.05)
+	default:
+		fail(fmt.Errorf("unknown workload %q", *workload))
+	}
+
+	addrs, err := parsePeers(*peersFlag)
+	if err != nil {
+		fail(err)
+	}
+
+	cfg := live.WorkerConfig{
+		ID:         *id,
+		Graph:      g,
+		ListenAddr: *listen,
+		Trainer:    trainer,
+		MaxIG:      *maxIG,
+		Backup:     *backup,
+		Staleness:  *staleness,
+		SendCheck:  *backup > 0,
+		MaxIter:    *iters,
+		Seed:       *seed,
+	}
+	if *skip {
+		cfg.Skip = &core.SkipConfig{MaxJump: *maxJump, TriggerBehind: 2}
+	}
+	if *delay > 0 {
+		d := *delay
+		cfg.ComputeDelay = func(int) time.Duration { return d }
+	}
+	cfg.OnIteration = func(iter int, loss float64) {
+		if iter%10 == 0 {
+			fmt.Printf("worker %d: iteration %d, train loss %.4f\n", *id, iter, loss)
+		}
+	}
+
+	w, err := live.NewWorker(cfg)
+	if err != nil {
+		fail(err)
+	}
+	defer w.Close()
+	fmt.Printf("worker %d listening on %s\n", *id, w.Addr())
+
+	if err := w.Connect(addrs, *dialWait); err != nil {
+		fail(err)
+	}
+	start := time.Now()
+	loss, err := w.Run()
+	if err != nil {
+		fail(err)
+	}
+	fmt.Printf("worker %d finished %d iterations in %v, final train loss %.4f\n",
+		*id, *iters, time.Since(start).Round(time.Millisecond), loss)
+}
+
+func parsePeers(s string) (map[int]string, error) {
+	addrs := map[int]string{}
+	if s == "" {
+		return addrs, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad peer entry %q (want id=host:port)", part)
+		}
+		id, err := strconv.Atoi(kv[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad peer id %q: %v", kv[0], err)
+		}
+		addrs[id] = kv[1]
+	}
+	return addrs, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "hopnode:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,89 @@
+// Live-TCP example: runs a real decentralized training cluster — one
+// goroutine per worker, real gob-over-TCP messages on loopback — using
+// the live runtime (no simulator involved). The same protocol
+// (update queues, token queues, backup workers) that the simulated
+// experiments use drives real sockets here; cmd/hopnode runs the same
+// worker one-per-process across machines.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"hop"
+	"hop/internal/live"
+)
+
+func main() {
+	const (
+		n       = 6
+		maxIter = 60
+	)
+	g := hop.Ring(n)
+
+	fmt.Printf("starting %d live workers over loopback TCP (ring, backup-1, tokens)...\n", n)
+
+	workers := make([]*live.Worker, n)
+	addrs := make(map[int]string, n)
+	for i := 0; i < n; i++ {
+		i := i
+		cfg := live.WorkerConfig{
+			ID:         i,
+			Graph:      g,
+			ListenAddr: "127.0.0.1:0",
+			Trainer:    hop.NewQuadratic([]float64{float64(i), 0, 0}, []float64{1, 2, 3}, 0.2, 0.05),
+			MaxIG:      3,
+			Backup:     1,
+			SendCheck:  true,
+			Staleness:  -1,
+			MaxIter:    maxIter,
+			Seed:       int64(i) + 1,
+		}
+		if i == 0 {
+			// Worker 0 is artificially slow: backup workers keep the
+			// rest of the ring moving.
+			cfg.ComputeDelay = func(int) time.Duration { return 2 * time.Millisecond }
+		}
+		w, err := live.NewWorker(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer w.Close()
+		workers[i] = w
+		addrs[i] = w.Addr()
+		fmt.Printf("  worker %d listening on %s\n", i, w.Addr())
+	}
+
+	for i, w := range workers {
+		if err := w.Connect(addrs, 5*time.Second); err != nil {
+			log.Fatalf("worker %d connect: %v", i, err)
+		}
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	losses := make([]float64, n)
+	for i, w := range workers {
+		wg.Add(1)
+		go func(i int, w *live.Worker) {
+			defer wg.Done()
+			loss, err := w.Run()
+			if err != nil {
+				log.Fatalf("worker %d: %v", i, err)
+			}
+			losses[i] = loss
+		}(i, w)
+	}
+	wg.Wait()
+
+	fmt.Printf("\nall %d workers completed %d iterations in %v (real time)\n",
+		n, maxIter, time.Since(start).Round(time.Millisecond))
+	for i, w := range workers {
+		p := w.Params()
+		fmt.Printf("  worker %d: params=[%.3f %.3f %.3f] last-train-loss=%.4f\n",
+			i, p[0], p[1], p[2], losses[i])
+	}
+	fmt.Println("\nreplicas converged to the shared optimum over real TCP — no simulator.")
+}

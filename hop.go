@@ -1,0 +1,222 @@
+// Package hop is a from-scratch Go implementation of Hop, the
+// heterogeneity-aware decentralized training protocol of Luo, Lin,
+// Zhuo and Qian (ASPLOS 2019), together with every substrate and
+// baseline its evaluation depends on.
+//
+// The package is a façade over the implementation packages:
+//
+//   - Topologies and spectral analysis (Ring, RingBased, DoubleRing,
+//     Complete, the Figure 21 settings, SpectralGap).
+//   - The protocol configuration (Config, Mode, SkipConfig): update
+//     queues, token queues, backup workers, bounded staleness,
+//     skipping iterations, NOTIFY-ACK.
+//   - Workloads (NewCNN, NewSVM, NewQuadratic) exposing the Trainer
+//     interface.
+//   - Heterogeneity models (NoSlowdown, RandomSlowdown,
+//     DeterministicSlowdown) and the network fabric configuration.
+//   - The deterministic simulated cluster (Run / Options / Result) on
+//     which all paper figures regenerate, and the live TCP runtime
+//     (live worker nodes) for real deployments.
+//   - The experiment registry (Experiments, RunExperiment) that
+//     regenerates every table and figure of the paper's §7.
+//
+// Quickstart:
+//
+//	g := hop.RingBased(16)
+//	hop.PlaceEvenly(g, 4)
+//	res, err := hop.Run(hop.Options{
+//	    Core:    hop.Config{Graph: g, Staleness: -1, MaxIG: 4, Backup: 1, SendCheck: true},
+//	    Trainer: hop.NewCNN(hop.DefaultCNNConfig()),
+//	    Compute: hop.Compute{Base: 4 * time.Second, Slow: hop.RandomSlowdown(6, 1.0/16)},
+//	    Deadline: 500 * time.Second,
+//	})
+package hop
+
+import (
+	"io"
+
+	"hop/internal/cluster"
+	"hop/internal/core"
+	"hop/internal/experiments"
+	"hop/internal/graph"
+	"hop/internal/hetero"
+	"hop/internal/metrics"
+	"hop/internal/model"
+	"hop/internal/netsim"
+)
+
+// --- Topology ---------------------------------------------------------
+
+// Graph is a directed communication topology over workers (§3.1).
+type Graph = graph.Graph
+
+// NewGraph returns an empty topology over n workers (add edges with
+// AddEdge/AddBiEdge; self-loops are implicit).
+func NewGraph(name string, n int) *Graph { return graph.New(name, n) }
+
+// Ring returns the bidirectional ring of Figure 11(a).
+func Ring(n int) *Graph { return graph.Ring(n) }
+
+// RingBased returns the ring plus most-distant-node chords of
+// Figure 11(b).
+func RingBased(n int) *Graph { return graph.RingBased(n) }
+
+// DoubleRing returns the double-ring graph of Figure 11(c).
+func DoubleRing(n int) *Graph { return graph.DoubleRing(n) }
+
+// Complete returns the all-to-all topology.
+func Complete(n int) *Graph { return graph.Complete(n) }
+
+// Setting1 returns the Figure 21(a) baseline placement/topology.
+func Setting1() *Graph { return graph.Setting1() }
+
+// Setting2 returns the Figure 21(b) placement-aware topology.
+func Setting2() *Graph { return graph.Setting2() }
+
+// Setting3 returns the Figure 21(c) placement-aware topology.
+func Setting3() *Graph { return graph.Setting3() }
+
+// PlaceEvenly assigns the graph's workers to m machines in contiguous
+// blocks (the paper's 16-worker/4-machine setup).
+func PlaceEvenly(g *Graph, m int) { graph.EvenPlacement(g, m) }
+
+// SpectralGap returns ‖λ1‖−‖λ2‖ of a weight matrix (§7.3.6).
+func SpectralGap(w [][]float64) float64 { return graph.SpectralGap(w) }
+
+// --- Protocol ---------------------------------------------------------
+
+// Config is the protocol configuration (modes, token queues, backup
+// workers, bounded staleness, skipping iterations). Set Staleness to
+// -1 to disable bounded staleness.
+type Config = core.Config
+
+// Mode selects standard queue-based coordination or the NOTIFY-ACK
+// baseline.
+type Mode = core.Mode
+
+// Protocol modes.
+const (
+	ModeStandard  = core.ModeStandard
+	ModeNotifyAck = core.ModeNotifyAck
+)
+
+// SkipConfig enables skipping iterations (§5).
+type SkipConfig = core.SkipConfig
+
+// Update is one parameter message with its (iter, w_id) tags.
+type Update = core.Update
+
+// Bounds computes the Table 1 iteration-gap bounds for a Config.
+type Bounds = core.Bounds
+
+// NewBounds derives the Table 1 bound calculator.
+func NewBounds(cfg Config) *Bounds { return core.NewBounds(cfg) }
+
+// Unbounded marks an infinite Table 1 bound.
+const Unbounded = core.Unbounded
+
+// --- Workloads --------------------------------------------------------
+
+// Trainer is one worker's model replica: flat parameters, stochastic
+// gradients, an optimizer step and a held-out evaluation loss.
+type Trainer = model.Trainer
+
+// CNNConfig configures the image-classification workload.
+type CNNConfig = model.CNNConfig
+
+// DefaultCNNConfig mirrors the paper's CNN hyper-parameters at
+// synthetic scale.
+func DefaultCNNConfig() CNNConfig { return model.DefaultCNNConfig() }
+
+// NewCNN builds the CNN workload (the paper's VGG11/CIFAR stand-in).
+func NewCNN(cfg CNNConfig) *model.CNN { return model.NewCNN(cfg) }
+
+// SVMConfig configures the sparse linear workload.
+type SVMConfig = model.SVMConfig
+
+// DefaultSVMConfig mirrors the paper's SVM hyper-parameters at
+// synthetic scale.
+func DefaultSVMConfig() SVMConfig { return model.DefaultSVMConfig() }
+
+// NewSVM builds the SVM workload (the paper's webspam stand-in).
+func NewSVM(cfg SVMConfig) *model.SVM { return model.NewSVM(cfg) }
+
+// NewQuadratic builds the toy quadratic workload used by quickstarts
+// and tests.
+func NewQuadratic(start, target []float64, lr, noise float64) Trainer {
+	return model.NewQuadratic(start, target, lr, noise)
+}
+
+// --- Heterogeneity and network -----------------------------------------
+
+// Slowdown models per-iteration compute slowdowns.
+type Slowdown = hetero.Slowdown
+
+// Compute is the per-iteration compute-time model.
+type Compute = hetero.Compute
+
+// NoSlowdown is the homogeneous environment.
+func NoSlowdown() Slowdown { return hetero.None{} }
+
+// RandomSlowdown slows any worker by factor with probability prob per
+// iteration (§7.3.1).
+func RandomSlowdown(factor, prob float64) Slowdown {
+	return hetero.Random{Fact: factor, Prob: prob}
+}
+
+// DeterministicSlowdown slows fixed workers by fixed factors (§7.3.5).
+func DeterministicSlowdown(factors map[int]float64) Slowdown {
+	return hetero.Deterministic{Factors: factors}
+}
+
+// NetConfig describes the simulated network fabric.
+type NetConfig = netsim.Config
+
+// Default1GbE mirrors the paper's 1000 Mbit/s testbed network.
+func Default1GbE() NetConfig { return netsim.Default1GbE() }
+
+// --- Simulated cluster --------------------------------------------------
+
+// Options configure one simulated training run.
+type Options = cluster.Options
+
+// Result carries a run's metrics, engine state and trained replicas.
+type Result = cluster.Result
+
+// Run executes a decentralized training run on the deterministic
+// simulator.
+func Run(opts Options) (*Result, error) { return cluster.Run(opts) }
+
+// Series is a recorded (time, step, value) sequence.
+type Series = metrics.Series
+
+// --- Experiments --------------------------------------------------------
+
+// Experiment is a registered paper table/figure reproduction.
+type Experiment = experiments.Entry
+
+// ExperimentScale selects Quick (CI) or Full (EXPERIMENTS.md) runs.
+type ExperimentScale = experiments.Scale
+
+// Experiment scales.
+const (
+	ScaleQuick = experiments.Quick
+	ScaleFull  = experiments.Full
+)
+
+// Experiments lists every reproducible table and figure.
+func Experiments() []Experiment { return experiments.Registry }
+
+// RunExperiment regenerates one table/figure by id (e.g. "fig14",
+// "table1") and writes its report to w.
+func RunExperiment(id string, scale ExperimentScale, w io.Writer) error {
+	e, err := experiments.Lookup(id)
+	if err != nil {
+		return err
+	}
+	rep, err := e.Run(scale)
+	if rep != nil {
+		rep.WriteTo(w)
+	}
+	return err
+}

@@ -1,0 +1,236 @@
+// Package adpsgd implements AD-PSGD (§5's related work): asynchronous
+// decentralized SGD where each worker, at the end of every iteration,
+// atomically averages its parameters with one randomly selected
+// neighbor regardless of iteration counts.
+//
+// Two variants are provided:
+//
+//   - Safe: the deadlock-free formulation, which requires a bipartite
+//     communication graph — "active" workers initiate averaging,
+//     "passive" workers serve it. This is the constraint the paper
+//     criticizes: it "greatly constrains users' choice of communication
+//     topology" (§5).
+//   - Naive: every worker initiates with a random neighbor and blocks
+//     for the response while not serving incoming requests. On graphs
+//     with mutually-selecting pairs or cycles this deadlocks — the
+//     failure mode the paper cites. The simulation kernel detects the
+//     deadlock and reports it, which the tests and the fig-deadlock
+//     demo assert.
+package adpsgd
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"hop/internal/graph"
+	"hop/internal/hetero"
+	"hop/internal/metrics"
+	"hop/internal/model"
+	"hop/internal/netsim"
+	"hop/internal/sim"
+	"hop/internal/tensor"
+)
+
+// Options configure an AD-PSGD run.
+type Options struct {
+	Graph *graph.Graph
+	// Naive selects the deadlock-prone variant (for demonstration).
+	Naive bool
+
+	Trainer      model.Trainer
+	Compute      hetero.Compute
+	Net          netsim.Config
+	PayloadBytes int
+
+	MaxIter  int
+	Deadline time.Duration
+
+	EvalEvery int
+	Seed      int64
+}
+
+// Result carries the run's recordings. Deadlock is non-nil when the
+// naive variant deadlocked (detected by the simulation kernel).
+type Result struct {
+	Metrics  *metrics.Recorder
+	Duration time.Duration
+	Replicas []model.Trainer
+	Deadlock error
+}
+
+type avgRequest struct {
+	from   int
+	params []float64
+}
+
+// Run executes AD-PSGD in virtual time.
+func Run(opts Options) (*Result, error) {
+	if opts.Graph == nil {
+		return nil, fmt.Errorf("adpsgd: no graph")
+	}
+	if err := opts.Graph.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Trainer == nil {
+		return nil, fmt.Errorf("adpsgd: no trainer")
+	}
+	if opts.MaxIter == 0 && opts.Deadline == 0 {
+		return nil, fmt.Errorf("adpsgd: need MaxIter or Deadline")
+	}
+	if opts.Net == (netsim.Config{}) {
+		opts.Net = netsim.Default1GbE()
+	}
+	if opts.PayloadBytes <= 0 {
+		opts.PayloadBytes = 1 << 20
+	}
+	if opts.EvalEvery <= 0 {
+		opts.EvalEvery = 10
+	}
+	if opts.Compute.Base <= 0 {
+		opts.Compute.Base = 100 * time.Millisecond
+	}
+
+	var color []int
+	if !opts.Naive {
+		var err error
+		color, err = opts.Graph.Bipartition()
+		if err != nil {
+			return nil, fmt.Errorf("adpsgd: safe variant requires a bipartite graph (§5): %w", err)
+		}
+	}
+
+	n := opts.Graph.N()
+	k := sim.NewKernel()
+	fabric := netsim.New(k, opts.Net, n, opts.Graph.Machine)
+	rec := metrics.NewRecorder(n)
+
+	replicas := make([]model.Trainer, n)
+	for i := range replicas {
+		replicas[i] = opts.Trainer.Clone()
+	}
+
+	reqQ := make([][]avgRequest, n)
+	reqCond := make([]*sim.Cond, n)
+	replies := make([][]float64, n)
+	replyCond := make([]*sim.Cond, n)
+	for i := 0; i < n; i++ {
+		reqCond[i] = sim.NewCond(k)
+		replyCond[i] = sim.NewCond(k)
+	}
+
+	rngs := make([]*rand.Rand, n)
+	slowRngs := make([]*rand.Rand, n)
+	pickRngs := make([]*rand.Rand, n)
+	for w := 0; w < n; w++ {
+		rngs[w] = rand.New(rand.NewSource(opts.Seed + int64(w)*13007 + 7))
+		slowRngs[w] = rand.New(rand.NewSource(opts.Seed + int64(w)*104729 + 29))
+		pickRngs[w] = rand.New(rand.NewSource(opts.Seed + int64(w)*7919 + 31))
+	}
+
+	serveOne := func(w int, t model.Trainer) {
+		req := reqQ[w][0]
+		reqQ[w] = reqQ[w][1:]
+		x := t.Params()
+		avg := make([]float64, len(x))
+		tensor.Mean(avg, [][]float64{x, req.params})
+		tensor.Copy(x, avg)
+		snapshot := tensor.Clone(avg)
+		fabric.Deliver(w, req.from, opts.PayloadBytes, func() {
+			replies[req.from] = snapshot
+			replyCond[req.from].Broadcast()
+		})
+	}
+
+	initiate := func(w int, p *sim.Proc, t model.Trainer, neighbors []int) {
+		j := neighbors[pickRngs[w].Intn(len(neighbors))]
+		snapshot := tensor.Clone(t.Params())
+		fabric.Deliver(w, j, opts.PayloadBytes, func() {
+			reqQ[j] = append(reqQ[j], avgRequest{from: w, params: snapshot})
+			reqCond[j].Broadcast()
+		})
+		for replies[w] == nil {
+			replyCond[w].Wait()
+		}
+		tensor.Copy(t.Params(), replies[w])
+		replies[w] = nil
+	}
+
+	// Termination bookkeeping for the safe variant: passive workers
+	// keep serving until every active worker has finished, so the tail
+	// of a MaxIter run cannot strand a blocked active.
+	numActive := 0
+	activeDone := 0
+	isActive := make([]bool, n)
+	for w := 0; w < n; w++ {
+		isActive[w] = opts.Naive || color[w] == 0
+		if isActive[w] && len(opts.Graph.Out(w)) > 0 {
+			numActive++
+		}
+	}
+	announceDone := func() {
+		activeDone++
+		for i := 0; i < n; i++ {
+			reqCond[i].Broadcast()
+		}
+	}
+
+	for w := 0; w < n; w++ {
+		w := w
+		neighbors := opts.Graph.Out(w)
+		active := isActive[w] && len(neighbors) > 0
+		k.Spawn(fmt.Sprintf("adpsgd-%d", w), func(p *sim.Proc) {
+			t := replicas[w]
+			for iter := 0; opts.MaxIter == 0 || iter < opts.MaxIter; iter++ {
+				// Serve whatever arrived while computing or sleeping.
+				for len(reqQ[w]) > 0 {
+					serveOne(w, t)
+				}
+				grads, loss := t.ComputeGrad(rngs[w])
+				p.Sleep(opts.Compute.IterTime(w, iter, slowRngs[w]))
+				for len(reqQ[w]) > 0 {
+					serveOne(w, t)
+				}
+
+				if active {
+					// Average with a random neighbor, blocking for
+					// the reply without serving — the naive variant's
+					// deadlock window (§5).
+					initiate(w, p, t, neighbors)
+				}
+				t.Apply(grads)
+
+				rec.RecordIteration(w, iter, p.Now())
+				if w == 0 {
+					rec.RecordTrain(p.Now(), iter, loss)
+					if iter%opts.EvalEvery == 0 {
+						rec.RecordEval(p.Now(), iter, t.EvalLoss())
+					}
+				}
+			}
+			if active {
+				announceDone()
+				return
+			}
+			// Passive drain phase: serve until all actives finished.
+			for activeDone < numActive {
+				if len(reqQ[w]) > 0 {
+					serveOne(w, t)
+					continue
+				}
+				reqCond[w].Wait()
+			}
+		})
+	}
+
+	res := &Result{Metrics: rec, Replicas: replicas}
+	if err := k.RunUntil(opts.Deadline); err != nil {
+		if de, ok := err.(*sim.DeadlockError); ok {
+			res.Deadlock = de
+		} else {
+			return nil, err
+		}
+	}
+	res.Duration = k.Now()
+	return res, nil
+}

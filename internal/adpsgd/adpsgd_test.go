@@ -1,0 +1,98 @@
+package adpsgd
+
+import (
+	"testing"
+	"time"
+
+	"hop/internal/graph"
+	"hop/internal/hetero"
+	"hop/internal/model"
+)
+
+func quad(dim int) model.Trainer {
+	start := make([]float64, dim)
+	target := make([]float64, dim)
+	for i := range start {
+		start[i] = 4
+		target[i] = 1
+	}
+	return model.NewQuadratic(start, target, 0.25, 0.02)
+}
+
+func TestSafeVariantConvergesOnBipartiteRing(t *testing.T) {
+	res, err := Run(Options{
+		Graph: graph.Ring(8), Trainer: quad(5),
+		Compute: hetero.Compute{Base: 50 * time.Millisecond},
+		MaxIter: 60, Seed: 1, PayloadBytes: 1 << 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlock != nil {
+		t.Fatalf("safe variant deadlocked: %v", res.Deadlock)
+	}
+	for w := 0; w < 8; w++ {
+		if loss := res.Replicas[w].EvalLoss(); loss > 0.5 {
+			t.Errorf("worker %d loss %g", w, loss)
+		}
+	}
+}
+
+func TestSafeVariantRejectsNonBipartite(t *testing.T) {
+	_, err := Run(Options{
+		Graph: graph.Ring(7), Trainer: quad(3),
+		MaxIter: 5, Seed: 2,
+	})
+	if err == nil {
+		t.Fatal("odd ring should be rejected by the safe variant (§5)")
+	}
+}
+
+// TestNaiveVariantDeadlocks demonstrates §5's criticism: without the
+// bipartite active/passive split, workers that block for each other's
+// averaging responses deadlock. The simulation kernel detects it.
+func TestNaiveVariantDeadlocks(t *testing.T) {
+	res, err := Run(Options{
+		Graph: graph.Ring(6), Naive: true, Trainer: quad(3),
+		Compute:  hetero.Compute{Base: 50 * time.Millisecond},
+		Deadline: time.Hour, Seed: 3, PayloadBytes: 1 << 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlock == nil {
+		t.Fatal("naive AD-PSGD on a ring should deadlock (mutual averaging waits)")
+	}
+}
+
+func TestStragglerDoesNotBlockSafeVariant(t *testing.T) {
+	res, err := Run(Options{
+		Graph: graph.Ring(8), Trainer: quad(3),
+		Compute: hetero.Compute{Base: 50 * time.Millisecond,
+			Slow: hetero.Deterministic{Factors: map[int]float64{3: 20}}},
+		Deadline: 20 * time.Second, Seed: 4, PayloadBytes: 1 << 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlock != nil {
+		t.Fatalf("deadlock: %v", res.Deadlock)
+	}
+	fast := res.Metrics.WorkerIterations(0)
+	slow := res.Metrics.WorkerIterations(3)
+	if fast <= slow {
+		t.Errorf("AD-PSGD fast worker (%d iters) should outpace straggler (%d)", fast, slow)
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	if _, err := Run(Options{}); err == nil {
+		t.Error("empty options should fail")
+	}
+	if _, err := Run(Options{Graph: graph.Ring(4)}); err == nil {
+		t.Error("missing trainer should fail")
+	}
+	if _, err := Run(Options{Graph: graph.Ring(4), Trainer: quad(2)}); err == nil {
+		t.Error("missing termination should fail")
+	}
+}

@@ -1,0 +1,165 @@
+// Package allreduce implements the ring all-reduce baseline (§2.1):
+// fully synchronous data-parallel SGD where each iteration's gradients
+// are averaged with a bandwidth-optimal ring collective
+// (reduce-scatter + all-gather, 2·(n−1) steps of size payload/n).
+//
+// The collective's timing is simulated chunk by chunk over the network
+// fabric, so stragglers and slow links gate every step — the paper's
+// argument for why the fixed ring pattern "may suffer more from slow
+// communication links and/or stragglers" (§2.3).
+package allreduce
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"hop/internal/hetero"
+	"hop/internal/metrics"
+	"hop/internal/model"
+	"hop/internal/netsim"
+	"hop/internal/sim"
+	"hop/internal/tensor"
+)
+
+// Options configure a ring all-reduce run.
+type Options struct {
+	Workers      int
+	Trainer      model.Trainer
+	Compute      hetero.Compute
+	Net          netsim.Config
+	PayloadBytes int
+	Placement    []int
+
+	MaxIter  int
+	Deadline time.Duration
+
+	EvalEvery int
+	Seed      int64
+}
+
+// Result carries the run's recordings.
+type Result struct {
+	Metrics  *metrics.Recorder
+	Duration time.Duration
+	Replicas []model.Trainer
+}
+
+// Run executes synchronous ring all-reduce training in virtual time.
+func Run(opts Options) (*Result, error) {
+	n := opts.Workers
+	if n < 2 {
+		return nil, fmt.Errorf("allreduce: need at least two workers")
+	}
+	if opts.Trainer == nil {
+		return nil, fmt.Errorf("allreduce: no trainer")
+	}
+	if opts.MaxIter == 0 && opts.Deadline == 0 {
+		return nil, fmt.Errorf("allreduce: need MaxIter or Deadline")
+	}
+	if opts.Net == (netsim.Config{}) {
+		opts.Net = netsim.Default1GbE()
+	}
+	if opts.PayloadBytes <= 0 {
+		opts.PayloadBytes = 1 << 20
+	}
+	if opts.EvalEvery <= 0 {
+		opts.EvalEvery = 10
+	}
+	if opts.Compute.Base <= 0 {
+		opts.Compute.Base = 100 * time.Millisecond
+	}
+
+	k := sim.NewKernel()
+	fabric := netsim.New(k, opts.Net, n, opts.Placement)
+	rec := metrics.NewRecorder(n)
+
+	replicas := make([]model.Trainer, n)
+	for i := range replicas {
+		replicas[i] = opts.Trainer.Clone()
+	}
+
+	// Collective state shared per iteration: gradients by worker, the
+	// mean (computed when all arrive), and per-worker chunk-arrival
+	// counters driving the ring's 2(n−1) steps.
+	grads := make([][]float64, n)
+	var mean []float64
+	arrived := 0
+	barrier := sim.NewBarrier(k, n)
+	chunks := make([]int, n)
+	chunkCond := make([]*sim.Cond, n)
+	for i := range chunkCond {
+		chunkCond[i] = sim.NewCond(k)
+	}
+
+	rngs := make([]*rand.Rand, n)
+	slowRngs := make([]*rand.Rand, n)
+	for w := 0; w < n; w++ {
+		rngs[w] = rand.New(rand.NewSource(opts.Seed + int64(w)*13007 + 5))
+		slowRngs[w] = rand.New(rand.NewSource(opts.Seed + int64(w)*104729 + 23))
+	}
+
+	chunkBytes := opts.PayloadBytes / n
+	if chunkBytes < 1 {
+		chunkBytes = 1
+	}
+
+	for w := 0; w < n; w++ {
+		w := w
+		k.Spawn(fmt.Sprintf("ar-worker-%d", w), func(p *sim.Proc) {
+			t := replicas[w]
+			for iter := 0; opts.MaxIter == 0 || iter < opts.MaxIter; iter++ {
+				g, loss := t.ComputeGrad(rngs[w])
+				p.Sleep(opts.Compute.IterTime(w, iter, slowRngs[w]))
+
+				// Contribute gradients; the last arrival computes the
+				// mean all replicas will apply.
+				grads[w] = tensor.Clone(g)
+				arrived++
+				if arrived == n {
+					mean = make([]float64, len(g))
+					tensor.Mean(mean, grads)
+					arrived = 0
+				}
+				barrier.Wait()
+
+				// Ring collective: 2(n−1) chunk steps; step s can
+				// start only after the chunk of step s−1 arrived from
+				// the ring predecessor.
+				next := (w + 1) % n
+				for step := 0; step < 2*(n-1); step++ {
+					base := iter * 2 * (n - 1)
+					for chunks[w] < base+step {
+						chunkCond[w].Wait()
+					}
+					fabric.Deliver(w, next, chunkBytes, func() {
+						chunks[next]++
+						chunkCond[next].Broadcast()
+					})
+				}
+				// Wait for our own final chunk.
+				for chunks[w] < (iter+1)*2*(n-1) {
+					chunkCond[w].Wait()
+				}
+
+				t.Apply(mean)
+				barrier.Wait() // keep `mean` stable until all applied
+
+				rec.RecordIteration(w, iter, p.Now())
+				if w == 0 {
+					rec.RecordTrain(p.Now(), iter, loss)
+					if iter%opts.EvalEvery == 0 {
+						rec.RecordEval(p.Now(), iter, t.EvalLoss())
+					}
+				}
+			}
+		})
+	}
+
+	if err := k.RunUntil(opts.Deadline); err != nil {
+		if _, ok := err.(*sim.DeadlockError); !ok {
+			return nil, err
+		}
+	}
+	return &Result{Metrics: rec, Duration: k.Now(), Replicas: replicas}, nil
+}

@@ -1,0 +1,91 @@
+package allreduce
+
+import (
+	"testing"
+	"time"
+
+	"hop/internal/hetero"
+	"hop/internal/model"
+)
+
+func quad(dim int) model.Trainer {
+	start := make([]float64, dim)
+	target := make([]float64, dim)
+	for i := range start {
+		start[i] = 4
+		target[i] = 1
+	}
+	return model.NewQuadratic(start, target, 0.3, 0.02)
+}
+
+func TestConvergesAndReplicasIdentical(t *testing.T) {
+	res, err := Run(Options{
+		Workers: 4, Trainer: quad(5),
+		Compute: hetero.Compute{Base: 50 * time.Millisecond},
+		MaxIter: 40, Seed: 1, PayloadBytes: 1 << 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := res.Replicas[0].Params()
+	for w := 1; w < 4; w++ {
+		pw := res.Replicas[w].Params()
+		for i := range p0 {
+			if p0[i] != pw[i] {
+				t.Fatalf("replica %d diverged at param %d: %g vs %g", w, i, pw[i], p0[i])
+			}
+		}
+	}
+	if loss := res.Replicas[0].EvalLoss(); loss > 0.1 {
+		t.Errorf("loss %g after 40 rounds", loss)
+	}
+}
+
+func TestStragglerGatesEveryRound(t *testing.T) {
+	res, err := Run(Options{
+		Workers: 4, Trainer: quad(3),
+		Compute: hetero.Compute{Base: 50 * time.Millisecond,
+			Slow: hetero.Deterministic{Factors: map[int]float64{1: 6}}},
+		MaxIter: 10, Seed: 2, PayloadBytes: 1 << 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 4; w++ {
+		if got := res.Metrics.WorkerIterations(w); got != 10 {
+			t.Errorf("worker %d did %d rounds, want 10 (lockstep)", w, got)
+		}
+	}
+	if mean := res.Metrics.MeanIterDurationAll(1); mean < 250*time.Millisecond {
+		t.Errorf("mean round %v should be gated by the 300ms straggler", mean)
+	}
+}
+
+func TestDeadlineStopsRun(t *testing.T) {
+	res, err := Run(Options{
+		Workers: 3, Trainer: quad(3),
+		Compute:  hetero.Compute{Base: 100 * time.Millisecond},
+		Deadline: 2 * time.Second, Seed: 3, PayloadBytes: 1 << 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Iterations() == 0 {
+		t.Error("no progress before deadline")
+	}
+	if res.Duration != 2*time.Second {
+		t.Errorf("duration %v", res.Duration)
+	}
+}
+
+func TestOptionValidation(t *testing.T) {
+	if _, err := Run(Options{Workers: 1, Trainer: quad(2), MaxIter: 1}); err == nil {
+		t.Error("single worker should fail")
+	}
+	if _, err := Run(Options{Workers: 3, MaxIter: 1}); err == nil {
+		t.Error("missing trainer should fail")
+	}
+	if _, err := Run(Options{Workers: 3, Trainer: quad(2)}); err == nil {
+		t.Error("missing termination should fail")
+	}
+}

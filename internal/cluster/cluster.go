@@ -1,0 +1,217 @@
+// Package cluster assembles a complete simulated training cluster: the
+// deterministic kernel (internal/sim), the network fabric
+// (internal/netsim), the heterogeneity model (internal/hetero), the
+// protocol engine (internal/core), per-worker model replicas
+// (internal/model) and a metrics recorder (internal/metrics).
+//
+// One call to Run executes one experiment configuration end to end in
+// virtual time and returns the recorded series — the unit every paper
+// figure is built from.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"hop/internal/core"
+	"hop/internal/hetero"
+	"hop/internal/metrics"
+	"hop/internal/model"
+	"hop/internal/netsim"
+	"hop/internal/sim"
+)
+
+// Options configure one simulated run.
+type Options struct {
+	// Core is the protocol configuration; Trainers may be left nil, in
+	// which case Trainer below is cloned per worker.
+	Core core.Config
+
+	// Trainer is the prototype model replica (cloned per worker when
+	// Core.Trainers is nil).
+	Trainer model.Trainer
+
+	// Compute models gradient-computation time and slowdowns.
+	Compute hetero.Compute
+
+	// Net models the network; zero value means Default1GbE.
+	Net netsim.Config
+
+	// PayloadBytes is the modeled wire size of one parameter update
+	// (the paper-scale model size; see DESIGN.md §1). AckBytes
+	// defaults to 64.
+	PayloadBytes int
+	AckBytes     int
+
+	// Deadline stops the run at this virtual time (0 = run to
+	// MaxIter).
+	Deadline time.Duration
+
+	// EvalWorker's model is evaluated on the held-out batch every
+	// EvalEvery iterations (defaults: worker 0, every 10).
+	EvalWorker int
+	EvalEvery  int
+
+	// Seed drives the compute-slowdown RNGs (distinct from
+	// Core.Seed, which drives mini-batch sampling).
+	Seed int64
+}
+
+// Result is everything a run produced.
+type Result struct {
+	Metrics  *metrics.Recorder
+	Engine   *core.Engine
+	Fabric   *netsim.Fabric
+	Trainers []model.Trainer // the per-worker replicas actually trained
+	Duration time.Duration   // virtual time at completion
+	// Deadlock is non-nil when the run deadlocked (e.g. the naive
+	// AD-PSGD demo); the paper's protocols never deadlock.
+	Deadlock error
+}
+
+// monitor adapts the sim kernel to core.Monitor: the kernel runs one
+// process at a time, so Lock/Unlock are no-ops and condition variables
+// are kernel conds.
+type monitor struct{ k *sim.Kernel }
+
+func (monitor) Lock()   {}
+func (monitor) Unlock() {}
+
+func (m monitor) NewCond() core.Cond { return sim.NewCond(m.k) }
+
+// host implements core.Host on the simulator.
+type host struct {
+	k       *sim.Kernel
+	fabric  *netsim.Fabric
+	engine  *core.Engine
+	compute hetero.Compute
+	rngs    []*rand.Rand // per-worker slowdown RNG
+	procs   []*sim.Proc
+	payload int
+	ack     int
+}
+
+func (h *host) Now() time.Duration { return h.k.Now() }
+
+func (h *host) Compute(w, iter int, fn func()) time.Duration {
+	fn() // gradient math runs instantly in host time
+	return h.compute.IterTime(w, iter, h.rngs[w])
+}
+
+func (h *host) SleepUntil(w int, t time.Duration) {
+	if d := t - h.k.Now(); d > 0 {
+		h.procs[w].Sleep(d)
+	}
+}
+
+func (h *host) Send(src, dst int, u core.Update) {
+	h.fabric.Deliver(src, dst, h.payload, func() { h.engine.Deliver(dst, u) })
+}
+
+func (h *host) SendAck(src, dst, iter int) {
+	h.fabric.Deliver(src, dst, h.ack, func() { h.engine.DeliverAck(dst, iter) })
+}
+
+// Run executes the configured cluster and returns its results.
+func Run(opts Options) (*Result, error) {
+	cfg := opts.Core
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("cluster: no graph configured")
+	}
+	n := cfg.Graph.N()
+	if cfg.Trainers == nil {
+		if opts.Trainer == nil {
+			return nil, fmt.Errorf("cluster: no trainer configured")
+		}
+		cfg.Trainers = make([]model.Trainer, n)
+		for i := 0; i < n; i++ {
+			cfg.Trainers[i] = opts.Trainer.Clone()
+		}
+	}
+	if opts.Net == (netsim.Config{}) {
+		opts.Net = netsim.Default1GbE()
+	}
+	if opts.PayloadBytes <= 0 {
+		opts.PayloadBytes = 1 << 20
+	}
+	if opts.AckBytes <= 0 {
+		opts.AckBytes = 64
+	}
+	if opts.EvalEvery <= 0 {
+		opts.EvalEvery = 10
+	}
+	if opts.Compute.Base <= 0 {
+		opts.Compute.Base = 100 * time.Millisecond
+	}
+	if cfg.MaxIter == 0 && opts.Deadline == 0 {
+		return nil, fmt.Errorf("cluster: need MaxIter or Deadline to terminate")
+	}
+
+	k := sim.NewKernel()
+	fabric := netsim.New(k, opts.Net, n, cfg.Graph.Machine)
+	rec := metrics.NewRecorder(n)
+
+	h := &host{
+		k:       k,
+		fabric:  fabric,
+		compute: opts.Compute,
+		rngs:    make([]*rand.Rand, n),
+		procs:   make([]*sim.Proc, n),
+		payload: opts.PayloadBytes,
+		ack:     opts.AckBytes,
+	}
+	for i := 0; i < n; i++ {
+		h.rngs[i] = rand.New(rand.NewSource(opts.Seed + int64(i)*104729 + 11))
+	}
+
+	evalWorker := opts.EvalWorker
+	trainers := cfg.Trainers
+	userIter := cfg.OnIteration
+	evalCount := 0 // completed iterations of the eval worker; jumping
+	// workers skip iteration numbers, so cadence must not depend on
+	// iter % EvalEvery.
+	cfg.OnIteration = func(w, iter int, loss float64, now time.Duration) {
+		rec.RecordIteration(w, iter, now)
+		if w == evalWorker {
+			rec.RecordTrain(now, iter, loss)
+			if evalCount%opts.EvalEvery == 0 {
+				rec.RecordEval(now, iter, trainers[w].EvalLoss())
+			}
+			evalCount++
+		}
+		if userIter != nil {
+			userIter(w, iter, loss, now)
+		}
+	}
+
+	eng, err := core.NewEngine(cfg, h, monitor{k})
+	if err != nil {
+		return nil, err
+	}
+	h.engine = eng
+
+	for w := 0; w < n; w++ {
+		w := w
+		h.procs[w] = k.Spawn(fmt.Sprintf("worker-%d", w), func(p *sim.Proc) {
+			eng.RunWorker(w)
+		})
+	}
+
+	runErr := k.RunUntil(opts.Deadline)
+	res := &Result{
+		Metrics:  rec,
+		Engine:   eng,
+		Fabric:   fabric,
+		Trainers: trainers,
+		Duration: k.Now(),
+	}
+	if runErr != nil {
+		if _, ok := runErr.(*sim.DeadlockError); ok {
+			res.Deadlock = runErr
+			return res, nil
+		}
+		return nil, runErr
+	}
+	return res, nil
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"hop/internal/graph"
+	"hop/internal/model"
+)
+
+// Mode selects the coordination protocol.
+type Mode int
+
+const (
+	// ModeStandard is standard decentralized training over update
+	// queues (Fig. 4), optionally gap-bounded by token queues
+	// (Fig. 7), with backup workers (Fig. 8), bounded staleness
+	// (Fig. 9) and skipping iterations (§5) as configured.
+	ModeStandard Mode = iota
+	// ModeNotifyAck is the NOTIFY-ACK baseline of §3.3: the serial
+	// computation graph where every Send waits for the previous
+	// iteration's ACKs from all out-neighbors.
+	ModeNotifyAck
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeStandard:
+		return "standard"
+	case ModeNotifyAck:
+		return "notify-ack"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// StaleWeighting selects how bounded staleness weighs updates of
+// different ages in the Reduce (§4.4).
+type StaleWeighting int
+
+const (
+	// WeightLinear is Eq. 2: weight = iter − (k−s) + 1, linear in
+	// freshness. The paper's default.
+	WeightLinear StaleWeighting = iota
+	// WeightUniform gives every satisfactory update weight 1 (the
+	// "simple averaging" the paper compared against and found slightly
+	// worse).
+	WeightUniform
+	// WeightExponential doubles the weight per iteration of freshness,
+	// emphasizing the newest updates strongly (a §4.4 future-work
+	// variant).
+	WeightExponential
+)
+
+func (sw StaleWeighting) String() string {
+	switch sw {
+	case WeightLinear:
+		return "linear"
+	case WeightUniform:
+		return "uniform"
+	case WeightExponential:
+		return "exponential"
+	}
+	return fmt.Sprintf("weighting(%d)", int(sw))
+}
+
+// weight returns the aggregation weight for an update that is
+// `fresh` ≥ 1 steps inside the staleness window (fresh = iter −
+// (k−s) + 1, floored at 1).
+func (sw StaleWeighting) weight(fresh int) float64 {
+	if fresh < 1 {
+		fresh = 1
+	}
+	switch sw {
+	case WeightUniform:
+		return 1
+	case WeightExponential:
+		if fresh > 30 {
+			fresh = 30
+		}
+		return float64(int(1) << uint(fresh-1))
+	default:
+		return float64(fresh)
+	}
+}
+
+// SkipConfig enables skipping iterations (§5) for deterministic
+// stragglers.
+type SkipConfig struct {
+	// MaxJump caps how many iterations one jump may cover (the paper
+	// evaluates 2 and 10 in Fig. 19).
+	MaxJump int
+	// TriggerBehind is the user-specified trigger: a worker considers
+	// jumping only when it is at least this many iterations behind all
+	// of its out-going neighbors (measured through token counts).
+	TriggerBehind int
+}
+
+// Config describes one decentralized training run.
+type Config struct {
+	Graph *graph.Graph
+	Mode  Mode
+
+	// Serial selects the serial computation graph of Fig. 2(a)
+	// (compute→apply→send, gradients exact) instead of the default
+	// parallel graph of Fig. 2(b) (send+compute overlap Recv).
+	// NOTIFY-ACK always runs serial, as in the paper.
+	Serial bool
+
+	// MaxIG enables token queues with the given maximum adjacent
+	// iteration gap when > 0 (§4.2).
+	MaxIG int
+
+	// Backup is N_buw: how many in-coming updates each worker may miss
+	// per iteration (§4.3). Requires MaxIG > 0, because backup workers
+	// make the gap unbounded (§3.4).
+	Backup int
+
+	// Staleness is the bound s of §4.4; -1 disables bounded staleness.
+	Staleness int
+
+	// StaleWeighting selects the aggregation weights for bounded
+	// staleness. The default (WeightLinear) is the paper's Eq. 2; the
+	// paper leaves better weightings as future work (§4.4), so
+	// uniform and exponential alternatives are provided and compared
+	// in the ablation benchmarks.
+	StaleWeighting StaleWeighting
+
+	// SendCheck enables the §6.2(b) optimization: inquire the
+	// receiver's iteration before sending and skip the send if the
+	// receiver has already advanced past the sender.
+	SendCheck bool
+
+	// Skip enables skipping iterations (§5); requires MaxIG > 0.
+	Skip *SkipConfig
+
+	// MaxIter stops each worker after this many iterations; 0 means
+	// run until the host's deadline.
+	MaxIter int
+
+	// Trainers holds one model replica per worker. All replicas must
+	// start from identical parameters (x0,i = p0, Fig. 4).
+	Trainers []model.Trainer
+
+	// Seed derives each worker's mini-batch RNG (seed + worker id).
+	Seed int64
+
+	// OnIteration, when non-nil, is called after worker w finishes
+	// iteration iter (post-apply) with the training loss of the batch.
+	// In simulation it runs in deterministic order; live it may be
+	// called concurrently from worker goroutines.
+	OnIteration func(w, iter int, trainLoss float64, now time.Duration)
+
+	// OnJump, when non-nil, is called when worker w skips from
+	// iteration from to iteration to (§5).
+	OnJump func(w, from, to int, now time.Duration)
+}
+
+// Validate checks the configuration for the constraints the paper
+// establishes (e.g. backup workers strictly require token queues).
+func (c *Config) Validate() error {
+	if c.Graph == nil {
+		return fmt.Errorf("core: config has no graph")
+	}
+	if err := c.Graph.Validate(); err != nil {
+		return err
+	}
+	n := c.Graph.N()
+	if len(c.Trainers) != n {
+		return fmt.Errorf("core: %d trainers for %d workers", len(c.Trainers), n)
+	}
+	if c.Backup > 0 {
+		if c.MaxIG <= 0 {
+			return fmt.Errorf("core: backup workers make the iteration gap unbounded; token queues (MaxIG>0) are required (§3.4)")
+		}
+		for i := 0; i < n; i++ {
+			if c.Backup >= c.Graph.InDegreeWithSelf(i) {
+				return fmt.Errorf("core: worker %d has %d in-updates per iteration but Backup=%d would require zero", i, c.Graph.InDegreeWithSelf(i), c.Backup)
+			}
+		}
+	}
+	if c.Staleness >= 0 && c.Backup > 0 {
+		return fmt.Errorf("core: bounded staleness and backup workers are alternative Recv/Reduce semantics; enable one")
+	}
+	if c.Skip != nil {
+		if c.MaxIG <= 0 {
+			return fmt.Errorf("core: skipping iterations requires token queues (MaxIG>0)")
+		}
+		if c.Skip.MaxJump < 1 {
+			return fmt.Errorf("core: SkipConfig.MaxJump must be >=1, got %d", c.Skip.MaxJump)
+		}
+	}
+	if c.Mode == ModeNotifyAck && (c.MaxIG > 0 || c.Backup > 0 || c.Staleness >= 0 || c.Skip != nil) {
+		return fmt.Errorf("core: NOTIFY-ACK is the fixed-gap baseline; token queues, backup workers, staleness and skipping do not compose with it (§3.4-3.5)")
+	}
+	return nil
+}
+
+// numSlots picks the rotating-slot count for update queues per §6.1:
+// max_ig+1 when token queues bound the gap, otherwise a Theorem 1 /
+// staleness-derived bound from the topology.
+func (c *Config) numSlots() int {
+	if c.MaxIG > 0 {
+		return c.MaxIG + 1
+	}
+	d := c.Graph.Diameter()
+	if d < 1 {
+		d = 1
+	}
+	if c.Staleness >= 0 {
+		return (c.Staleness+1)*d + 1
+	}
+	return d + 1
+}

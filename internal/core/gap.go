@@ -1,0 +1,171 @@
+package core
+
+// This file tracks the iteration gap — the paper's central
+// characterization of decentralized training (§3.3) — and computes the
+// theoretical upper bounds of Table 1 so runs can assert against them.
+
+import (
+	"math"
+
+	"hop/internal/graph"
+)
+
+// GapTracker records every worker's iteration and the maximum observed
+// value of Iter(i) − Iter(j) for every ordered pair. It is the runtime
+// witness for Theorems 1 and 2 and Table 1.
+type GapTracker struct {
+	mon    Monitor
+	iters  []int
+	maxGap [][]int
+}
+
+// NewGapTracker creates a tracker for n workers, all at iteration 0.
+func NewGapTracker(mon Monitor, n int) *GapTracker {
+	t := &GapTracker{mon: mon, iters: make([]int, n), maxGap: make([][]int, n)}
+	for i := range t.maxGap {
+		t.maxGap[i] = make([]int, n)
+	}
+	return t
+}
+
+// Advance records that worker w is now executing iteration iter and
+// refreshes the max-gap matrix.
+func (t *GapTracker) Advance(w, iter int) {
+	t.mon.Lock()
+	defer t.mon.Unlock()
+	t.iters[w] = iter
+	for j := range t.iters {
+		if j == w {
+			continue
+		}
+		if g := iter - t.iters[j]; g > t.maxGap[w][j] {
+			t.maxGap[w][j] = g
+		}
+	}
+}
+
+// Iter returns worker w's current iteration.
+func (t *GapTracker) Iter(w int) int {
+	t.mon.Lock()
+	defer t.mon.Unlock()
+	return t.iters[w]
+}
+
+// MaxGap returns the maximum observed Iter(i) − Iter(j).
+func (t *GapTracker) MaxGap(i, j int) int {
+	t.mon.Lock()
+	defer t.mon.Unlock()
+	return t.maxGap[i][j]
+}
+
+// MaxGapOverall returns the largest observed gap over all ordered
+// pairs.
+func (t *GapTracker) MaxGapOverall() int {
+	t.mon.Lock()
+	defer t.mon.Unlock()
+	max := 0
+	for i := range t.maxGap {
+		for _, g := range t.maxGap[i] {
+			if g > max {
+				max = g
+			}
+		}
+	}
+	return max
+}
+
+// Snapshot returns a copy of the current iterations.
+func (t *GapTracker) Snapshot() []int {
+	t.mon.Lock()
+	defer t.mon.Unlock()
+	return append([]int(nil), t.iters...)
+}
+
+// Unbounded marks an infinite Table 1 bound.
+const Unbounded = math.MaxInt32
+
+// Bounds precomputes the Table 1 iteration-gap upper bounds for a
+// protocol configuration on a topology.
+type Bounds struct {
+	dist [][]int // dist[j][i] = length(Path j→i)
+	cfg  Config
+	n    int
+}
+
+// NewBounds derives the Table 1 bound calculator for cfg's graph and
+// synchronization settings.
+func NewBounds(cfg Config) *Bounds {
+	return &Bounds{dist: cfg.Graph.ShortestPaths(), cfg: cfg, n: cfg.Graph.N()}
+}
+
+// base returns b0 of Table 1: the bound on Iter(i)−Iter(j) for
+// adjacent j ∈ Nin(i) that the setting itself provides, before token
+// queues are considered. Unbounded for backup workers.
+func (b *Bounds) base() int {
+	switch {
+	case b.cfg.Backup > 0:
+		return Unbounded
+	case b.cfg.Staleness >= 0:
+		return b.cfg.Staleness + 1
+	default:
+		return 1
+	}
+}
+
+// Gap returns the Table 1 upper bound on Iter(i) − Iter(j), or
+// Unbounded.
+func (b *Bounds) Gap(i, j int) int {
+	if i == j {
+		return 0
+	}
+	dJI := b.dist[j][i] // length(Path j→i)
+	dIJ := b.dist[i][j]
+	if b.cfg.Mode == ModeNotifyAck {
+		return minBound(dJI, mulBound(2, dIJ))
+	}
+	b0 := b.base()
+	forward := mulBound(b0, dJI)
+	if b.cfg.MaxIG <= 0 {
+		return forward
+	}
+	return minBound(forward, mulBound(b.cfg.MaxIG, dIJ))
+}
+
+// TokenCapacity returns the Theorem 2 bound on the number of tokens in
+// TokenQ(i→j): max_ig·(length(Path i→j)+1). Only meaningful when token
+// queues are enabled.
+func (b *Bounds) TokenCapacity(i, j int) int {
+	if b.cfg.MaxIG <= 0 {
+		return Unbounded
+	}
+	return b.cfg.MaxIG * (b.dist[i][j] + 1)
+}
+
+// UpdateQueueCapacity returns the §4.2 bound on UpdateQ(i) occupancy,
+// (1+max_ig)·|Nin(i)| counting the self-loop, when token queues are
+// enabled: every in-neighbor can be at most max_ig iterations ahead of
+// the receiver, so at most 1+max_ig of its updates are unconsumed.
+func (b *Bounds) UpdateQueueCapacity(i int, g *graph.Graph) int {
+	if b.cfg.MaxIG <= 0 {
+		return Unbounded
+	}
+	return (1 + b.cfg.MaxIG) * g.InDegreeWithSelf(i)
+}
+
+func minBound(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func mulBound(k, d int) int {
+	if k >= Unbounded || d >= Unbounded {
+		return Unbounded
+	}
+	v := k * d
+	if v >= Unbounded {
+		return Unbounded
+	}
+	return v
+}

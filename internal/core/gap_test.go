@@ -1,0 +1,188 @@
+package core
+
+import (
+	"testing"
+
+	"hop/internal/graph"
+	"hop/internal/model"
+)
+
+func TestGapTracker(t *testing.T) {
+	g := NewGapTracker(NewSyncMonitor(), 3)
+	g.Advance(0, 1)
+	g.Advance(1, 4)
+	g.Advance(2, 2)
+	if g.MaxGap(1, 0) != 3 {
+		t.Errorf("gap(1,0) = %d, want 3", g.MaxGap(1, 0))
+	}
+	if g.MaxGap(0, 1) != 1 { // worker 0 advanced to 1 while 1 was at 0
+		t.Errorf("gap(0,1) = %d, want 1", g.MaxGap(0, 1))
+	}
+	g.Advance(0, 10)
+	if g.MaxGapOverall() != 8 {
+		t.Errorf("overall max = %d, want 8", g.MaxGapOverall())
+	}
+	if g.Iter(0) != 10 {
+		t.Errorf("Iter(0) = %d", g.Iter(0))
+	}
+	snap := g.Snapshot()
+	if len(snap) != 3 || snap[0] != 10 || snap[1] != 4 || snap[2] != 2 {
+		t.Errorf("snapshot %v", snap)
+	}
+}
+
+// directedRingBounds checks the Table 1 rows on a directed 5-ring,
+// where the forward and backward path lengths differ (1 vs 4),
+// exercising the asymmetric min() expressions.
+func TestBoundsTable1DirectedRing(t *testing.T) {
+	g := graph.DirectedRing(5)
+	// Edge 0→1: dist(0→1)=1, dist(1→0)=4.
+	cases := []struct {
+		name string
+		cfg  Config
+		// bound on Iter(1)−Iter(0) and Iter(0)−Iter(1)
+		fwd, back int
+	}{
+		{
+			name: "standard",
+			cfg:  Config{Graph: g, Staleness: -1},
+			// Iter(1)−Iter(0): 1 is downstream, receiver: ≤ dist(0→1)=1.
+			fwd:  1,
+			back: 4,
+		},
+		{
+			name: "staleness2",
+			cfg:  Config{Graph: g, Staleness: 2},
+			fwd:  3,  // (s+1)·1
+			back: 12, // (s+1)·4
+		},
+		{
+			name: "notifyack",
+			cfg:  Config{Graph: g, Mode: ModeNotifyAck, Staleness: -1},
+			fwd:  1, // min(dist(0→1), 2·dist(1→0)) = min(1, 8)
+			back: 2, // min(dist(1→0), 2·dist(0→1)) = min(4, 2)
+		},
+		{
+			name: "tokens3",
+			cfg:  Config{Graph: g, Staleness: -1, MaxIG: 3},
+			fwd:  1, // min(1·1, 3·4)
+			back: 3, // min(1·4, 3·1)
+		},
+		{
+			name: "backup-tokens",
+			cfg:  Config{Graph: g, Staleness: -1, MaxIG: 3, Backup: 1},
+			fwd:  12, // min(∞, 3·4)
+			back: 3,  // min(∞, 3·1)
+		},
+	}
+	for _, c := range cases {
+		b := NewBounds(c.cfg)
+		if got := b.Gap(1, 0); got != c.fwd {
+			t.Errorf("%s: Gap(1,0) = %d, want %d", c.name, got, c.fwd)
+		}
+		if got := b.Gap(0, 1); got != c.back {
+			t.Errorf("%s: Gap(0,1) = %d, want %d", c.name, got, c.back)
+		}
+		if got := b.Gap(2, 2); got != 0 {
+			t.Errorf("%s: Gap(i,i) = %d, want 0", c.name, got)
+		}
+	}
+}
+
+func TestBoundsBackupWithoutTokensUnbounded(t *testing.T) {
+	cfg := Config{Graph: graph.Ring(4), Staleness: -1, Backup: 1}
+	b := NewBounds(cfg)
+	if got := b.Gap(1, 0); got != Unbounded {
+		t.Errorf("backup without tokens should be unbounded, got %d", got)
+	}
+	if got := b.TokenCapacity(0, 1); got != Unbounded {
+		t.Errorf("token capacity without tokens should be unbounded, got %d", got)
+	}
+}
+
+func TestBoundsTokenAndQueueCapacity(t *testing.T) {
+	g := graph.Ring(6)
+	cfg := Config{Graph: g, Staleness: -1, MaxIG: 2}
+	b := NewBounds(cfg)
+	// Ring 6: dist(0→1)=1 → capacity 2·2 = 4.
+	if got := b.TokenCapacity(0, 1); got != 4 {
+		t.Errorf("TokenCapacity(0,1) = %d, want 4", got)
+	}
+	// dist(0→3)=3 → 2·4 = 8.
+	if got := b.TokenCapacity(0, 3); got != 8 {
+		t.Errorf("TokenCapacity(0,3) = %d, want 8", got)
+	}
+	// Update queue: (1+2)·3 = 9.
+	if got := b.UpdateQueueCapacity(0, g); got != 9 {
+		t.Errorf("UpdateQueueCapacity = %d, want 9", got)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	g := graph.Ring(4)
+	valid := func() Config {
+		trainers := make([]model.Trainer, g.N())
+		for i := range trainers {
+			trainers[i] = model.NewFrozen([]float64{0})
+		}
+		return Config{Graph: g, Staleness: -1, Trainers: trainers}
+	}
+	base := valid()
+	if err := base.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	mk := func(mut func(*Config)) error {
+		c := valid()
+		mut(&c)
+		return c.Validate()
+	}
+	if err := mk(func(c *Config) { c.Trainers = c.Trainers[:1] }); err == nil {
+		t.Error("wrong trainer count should fail validation")
+	}
+	if err := mk(func(c *Config) { c.Graph = nil }); err == nil {
+		t.Error("nil graph should fail")
+	}
+	if err := mk(func(c *Config) { c.Backup = 1 }); err == nil {
+		t.Error("backup without tokens should fail")
+	}
+	if err := mk(func(c *Config) { c.Backup = 3; c.MaxIG = 2 }); err == nil {
+		t.Error("backup >= in-degree should fail")
+	}
+	if err := mk(func(c *Config) { c.Backup = 1; c.MaxIG = 3; c.Staleness = 2 }); err == nil {
+		t.Error("backup plus staleness should fail")
+	}
+	if err := mk(func(c *Config) { c.Skip = &SkipConfig{MaxJump: 2} }); err == nil {
+		t.Error("skip without tokens should fail")
+	}
+	if err := mk(func(c *Config) { c.Skip = &SkipConfig{MaxJump: 0}; c.MaxIG = 2 }); err == nil {
+		t.Error("skip with MaxJump<1 should fail")
+	}
+	if err := mk(func(c *Config) { c.Mode = ModeNotifyAck; c.MaxIG = 1 }); err == nil {
+		t.Error("notify-ack with tokens should fail")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeStandard.String() != "standard" || ModeNotifyAck.String() != "notify-ack" {
+		t.Error("mode strings")
+	}
+	if Mode(9).String() == "" {
+		t.Error("unknown mode string empty")
+	}
+}
+
+func TestNumSlots(t *testing.T) {
+	g := graph.Ring(8) // diameter 4
+	c := Config{Graph: g, Staleness: -1, MaxIG: 3}
+	if got := c.numSlots(); got != 4 {
+		t.Errorf("with tokens numSlots = %d, want 4", got)
+	}
+	c = Config{Graph: g, Staleness: -1}
+	if got := c.numSlots(); got != 5 {
+		t.Errorf("standard numSlots = %d, want diameter+1 = 5", got)
+	}
+	c = Config{Graph: g, Staleness: 2}
+	if got := c.numSlots(); got != 13 {
+		t.Errorf("staleness numSlots = %d, want 13", got)
+	}
+}

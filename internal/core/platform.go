@@ -1,0 +1,102 @@
+// Package core implements the Hop protocol: queue-based
+// synchronization for decentralized training (§4 of the paper), with
+// backup workers (§4.3), bounded staleness (§4.4), skipping iterations
+// (§5), and the NOTIFY-ACK baseline (§3.3).
+//
+// The protocol code is written against two small abstractions so that
+// the exact same engine runs on the deterministic simulator
+// (internal/sim + internal/netsim) and on the live goroutine/TCP
+// runtime (internal/live):
+//
+//   - Monitor: a lock plus condition variables bound to it. The
+//     simulator's implementation is a no-op lock (the sim kernel runs
+//     one process at a time); the live implementation wraps sync.Mutex
+//     and sync.Cond.
+//   - Host: the execution environment of a worker — the clock, the
+//     modeling of gradient-computation time, message delivery, and
+//     peer-iteration inquiry (§6.2's send-side check).
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// Cond is a condition variable bound to its Monitor's lock. Wait
+// atomically releases the lock and blocks until Broadcast; the caller
+// must hold the lock and must re-check its predicate in a loop.
+type Cond interface {
+	Wait()
+	Broadcast()
+}
+
+// Monitor is the lock under which all queue state of one cluster is
+// mutated, plus a factory for condition variables bound to it.
+type Monitor interface {
+	Lock()
+	Unlock()
+	NewCond() Cond
+}
+
+// SyncMonitor is the live-runtime Monitor: a real mutex with
+// sync.Cond condition variables.
+type SyncMonitor struct{ mu sync.Mutex }
+
+// NewSyncMonitor returns a Monitor backed by sync primitives.
+func NewSyncMonitor() *SyncMonitor { return &SyncMonitor{} }
+
+// Lock implements Monitor.
+func (m *SyncMonitor) Lock() { m.mu.Lock() }
+
+// Unlock implements Monitor.
+func (m *SyncMonitor) Unlock() { m.mu.Unlock() }
+
+// NewCond implements Monitor.
+func (m *SyncMonitor) NewCond() Cond { return sync.NewCond(&m.mu) }
+
+// Update is one parameter message: the sender's parameters tagged with
+// the iteration that produced them and the sender id (the (iter, w_id)
+// tags of §4.1). Params must be treated as immutable by receivers.
+type Update struct {
+	Params []float64
+	Iter   int
+	From   int
+}
+
+// Host is the execution environment the worker engine runs against.
+type Host interface {
+	// Now returns the current time (virtual in simulation, wall-clock
+	// live).
+	Now() time.Duration
+
+	// Compute models the gradient computation of worker w at iteration
+	// iter: it runs fn and accounts for the modeled duration. In
+	// simulation fn executes instantly in host time and the process
+	// sleeps the modeled duration; live, fn's real execution time is
+	// the cost. The returned duration is the modeled cost (used by the
+	// parallel computation graph to overlap compute with Recv).
+	Compute(w, iter int, fn func()) time.Duration
+
+	// SleepUntil blocks worker w until the given time (no-op if past).
+	// It is how the engine realizes the parallel computation graph:
+	// compute and Recv overlap, and the iteration ends at
+	// max(computeDone, recvDone).
+	SleepUntil(w int, t time.Duration)
+
+	// Send delivers u to dst's update queue asynchronously (the Send
+	// operation of §3.2 is non-blocking). src == dst never happens;
+	// the engine short-circuits self-delivery.
+	Send(src, dst int, u Update)
+
+	// SendAck delivers a NOTIFY-ACK acknowledgment for iter to dst.
+	SendAck(src, dst, iter int)
+}
+
+// Stats aggregates engine-level counters, separate from the network
+// fabric's byte counters.
+type Stats struct {
+	SendsSuppressed   int // sends skipped by the §6.2 receiver-iteration check
+	StaleDiscarded    int // stale updates dropped at dequeue (§6.1/§6.2)
+	Jumps             int // skip-iteration jumps executed (§5)
+	IterationsSkipped int // total iterations jumped over
+}

@@ -1,0 +1,304 @@
+package core
+
+// This file implements the three queue types of the Hop design:
+//
+//   - UpdateQueue (§4.1, §6.1): a tagged FIFO of parameter updates,
+//     physically laid out as rotating per-iteration slots indexed by
+//     iter mod numSlots, exactly the multi-queue implementation of
+//     §6.1. Entries carry their full (iter, w_id) tags, so correctness
+//     never depends on the slot count; the slot layout is what keeps
+//     dequeue scans O(slot) and lets stale entries be found and
+//     discarded cheaply.
+//   - TokenQueue (§4.2): a counting semaphore realizing the
+//     iteration-gap control of Theorem 2. Its Size doubles as the
+//     straggler self-identification signal of §5.
+//   - AckTracker (§3.3): per-iteration ACK counting for the NOTIFY-ACK
+//     baseline.
+//
+// All blocking follows the monitor pattern against the cluster's
+// Monitor, so the same code runs deterministically in simulation and
+// concurrently in the live runtime.
+
+import "fmt"
+
+// UpdateQueue is the update queue UpdateQ(i) of one worker.
+type UpdateQueue struct {
+	mon  Monitor
+	cond Cond
+
+	slots    [][]Update
+	numSlots int
+
+	size      int
+	highWater int // maximum total occupancy ever observed
+	slotHigh  int // maximum single-slot occupancy ever observed
+	stale     int // stale entries discarded at dequeue
+}
+
+// NewUpdateQueue creates an update queue with the given number of
+// rotating slots (≥1). §6.1 sizes it at max_ig+1 when token queues
+// bound the gap; callers without a bound may pass the graph diameter+1
+// per Theorem 1.
+func NewUpdateQueue(mon Monitor, numSlots int) *UpdateQueue {
+	if numSlots < 1 {
+		panic(fmt.Sprintf("core: update queue needs >=1 slot, got %d", numSlots))
+	}
+	return &UpdateQueue{
+		mon:      mon,
+		cond:     mon.NewCond(),
+		slots:    make([][]Update, numSlots),
+		numSlots: numSlots,
+	}
+}
+
+func (q *UpdateQueue) slotOf(iter int) int { return iter % q.numSlots }
+
+// Enqueue pushes an update (the q.enqueue(update, iter, w_id) of
+// §4.1). Callers may invoke it from any process/goroutine; it wakes
+// blocked dequeuers.
+func (q *UpdateQueue) Enqueue(u Update) {
+	q.mon.Lock()
+	defer q.mon.Unlock()
+	s := q.slotOf(u.Iter)
+	q.slots[s] = append(q.slots[s], u)
+	q.size++
+	if q.size > q.highWater {
+		q.highWater = q.size
+	}
+	if n := len(q.slots[s]); n > q.slotHigh {
+		q.slotHigh = n
+	}
+	q.cond.Broadcast()
+}
+
+// countIterLocked returns how many entries tagged exactly iter are
+// queued, discarding stale entries (iter'<iter) found in the slot on
+// the way — the "stale updates are found and discarded in the dequeue
+// operation" rule of §6.2(a).
+func (q *UpdateQueue) countIterLocked(iter int) int {
+	s := q.slotOf(iter)
+	slot := q.slots[s][:0]
+	n := 0
+	for _, u := range q.slots[s] {
+		switch {
+		case u.Iter == iter:
+			n++
+			slot = append(slot, u)
+		case u.Iter < iter:
+			q.stale++
+			q.size--
+		default: // future iteration that happens to share the slot
+			slot = append(slot, u)
+		}
+	}
+	q.slots[s] = slot
+	return n
+}
+
+// DequeueIterAtLeast blocks until at least need entries tagged iter are
+// present, then removes and returns all entries tagged iter — the
+// composition of the two dequeues in the backup-worker Recv (Fig. 8):
+// the needed updates plus any extras already available.
+func (q *UpdateQueue) DequeueIterAtLeast(need, iter int) []Update {
+	q.mon.Lock()
+	defer q.mon.Unlock()
+	for q.countIterLocked(iter) < need {
+		q.cond.Wait()
+	}
+	s := q.slotOf(iter)
+	var out []Update
+	keep := q.slots[s][:0]
+	for _, u := range q.slots[s] {
+		if u.Iter == iter {
+			out = append(out, u)
+		} else {
+			keep = append(keep, u)
+		}
+	}
+	q.slots[s] = keep
+	q.size -= len(out)
+	return out
+}
+
+// DrainFrom removes and returns all queued entries from sender w_id,
+// in arrival order, without blocking (used by the bounded-staleness
+// Recv, which keeps only the newest).
+func (q *UpdateQueue) DrainFrom(wid int) []Update {
+	q.mon.Lock()
+	defer q.mon.Unlock()
+	return q.drainFromLocked(wid)
+}
+
+func (q *UpdateQueue) drainFromLocked(wid int) []Update {
+	var out []Update
+	for s := range q.slots {
+		keep := q.slots[s][:0]
+		for _, u := range q.slots[s] {
+			if u.From == wid {
+				out = append(out, u)
+			} else {
+				keep = append(keep, u)
+			}
+		}
+		q.slots[s] = keep
+	}
+	q.size -= len(out)
+	return out
+}
+
+// WaitFrom blocks until at least one entry from sender w_id is
+// present, then drains and returns all of them.
+func (q *UpdateQueue) WaitFrom(wid int) []Update {
+	q.mon.Lock()
+	defer q.mon.Unlock()
+	for {
+		if out := q.drainFromLocked(wid); len(out) > 0 {
+			return out
+		}
+		q.cond.Wait()
+	}
+}
+
+// Size returns the total number of queued entries (the q.size() of
+// §4.1 with no tags).
+func (q *UpdateQueue) Size() int {
+	q.mon.Lock()
+	defer q.mon.Unlock()
+	return q.size
+}
+
+// SizeIter returns the number of entries tagged iter.
+func (q *UpdateQueue) SizeIter(iter int) int {
+	q.mon.Lock()
+	defer q.mon.Unlock()
+	n := 0
+	for _, u := range q.slots[q.slotOf(iter)] {
+		if u.Iter == iter {
+			n++
+		}
+	}
+	return n
+}
+
+// HighWater returns the maximum total occupancy observed, the quantity
+// bounded by (1+max_ig)·|Nin(i)| when token queues are active (§4.2).
+func (q *UpdateQueue) HighWater() int {
+	q.mon.Lock()
+	defer q.mon.Unlock()
+	return q.highWater
+}
+
+// SlotHighWater returns the maximum single-slot occupancy observed.
+func (q *UpdateQueue) SlotHighWater() int {
+	q.mon.Lock()
+	defer q.mon.Unlock()
+	return q.slotHigh
+}
+
+// StaleDiscarded returns how many stale entries dequeues dropped.
+func (q *UpdateQueue) StaleDiscarded() int {
+	q.mon.Lock()
+	defer q.mon.Unlock()
+	return q.stale
+}
+
+// --- TokenQueue -------------------------------------------------------
+
+// TokenQueue is TokenQ(i→j): stored at worker i, holding tokens that
+// permit in-neighbor j to advance (§4.2). Tokens are a pure count; the
+// paper tags them with iterations but never uses the tags.
+type TokenQueue struct {
+	mon  Monitor
+	cond Cond
+
+	tokens    int
+	highWater int
+}
+
+// NewTokenQueue creates a token queue holding initial tokens.
+func NewTokenQueue(mon Monitor, initial int) *TokenQueue {
+	if initial < 0 {
+		panic(fmt.Sprintf("core: negative initial tokens %d", initial))
+	}
+	return &TokenQueue{mon: mon, cond: mon.NewCond(), tokens: initial, highWater: initial}
+}
+
+// Put inserts n tokens (the owner does this when entering a new
+// iteration).
+func (t *TokenQueue) Put(n int) {
+	t.mon.Lock()
+	defer t.mon.Unlock()
+	t.tokens += n
+	if t.tokens > t.highWater {
+		t.highWater = t.tokens
+	}
+	t.cond.Broadcast()
+}
+
+// Take removes n tokens, blocking until they are available (the
+// in-neighbor does this to advance).
+func (t *TokenQueue) Take(n int) {
+	t.mon.Lock()
+	defer t.mon.Unlock()
+	for t.tokens < n {
+		t.cond.Wait()
+	}
+	t.tokens -= n
+}
+
+// Size returns the current token count: Iter(owner) − Iter(consumer) +
+// max_ig by the Theorem 2 invariant, which is also the straggler
+// signal of §5.
+func (t *TokenQueue) Size() int {
+	t.mon.Lock()
+	defer t.mon.Unlock()
+	return t.tokens
+}
+
+// HighWater returns the maximum token count observed; Theorem 2 bounds
+// it by max_ig·(length(Path i→j)+1).
+func (t *TokenQueue) HighWater() int {
+	t.mon.Lock()
+	defer t.mon.Unlock()
+	return t.highWater
+}
+
+// --- AckTracker --------------------------------------------------------
+
+// AckTracker counts NOTIFY-ACK acknowledgments per iteration for one
+// worker (§3.3): a worker may not Send(k) until it holds ACK(k-1) from
+// all out-going neighbors.
+type AckTracker struct {
+	mon  Monitor
+	cond Cond
+
+	acks map[int]int
+}
+
+// NewAckTracker creates an empty tracker.
+func NewAckTracker(mon Monitor) *AckTracker {
+	return &AckTracker{mon: mon, cond: mon.NewCond(), acks: make(map[int]int)}
+}
+
+// Deliver records one ACK for iteration iter.
+func (a *AckTracker) Deliver(iter int) {
+	a.mon.Lock()
+	defer a.mon.Unlock()
+	a.acks[iter]++
+	a.cond.Broadcast()
+}
+
+// WaitFor blocks until want ACKs for iteration iter have arrived, then
+// forgets the iteration. Iterations below zero return immediately
+// (there is nothing to acknowledge before the first Send).
+func (a *AckTracker) WaitFor(iter, want int) {
+	if iter < 0 || want == 0 {
+		return
+	}
+	a.mon.Lock()
+	defer a.mon.Unlock()
+	for a.acks[iter] < want {
+		a.cond.Wait()
+	}
+	delete(a.acks, iter)
+}

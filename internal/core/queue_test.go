@@ -1,0 +1,203 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func upd(iter, from int, v float64) Update {
+	return Update{Params: []float64{v}, Iter: iter, From: from}
+}
+
+func TestUpdateQueueBasicDequeue(t *testing.T) {
+	q := NewUpdateQueue(NewSyncMonitor(), 4)
+	q.Enqueue(upd(0, 1, 1))
+	q.Enqueue(upd(0, 2, 2))
+	q.Enqueue(upd(1, 1, 3)) // future iteration, different slot
+	got := q.DequeueIterAtLeast(2, 0)
+	if len(got) != 2 {
+		t.Fatalf("got %d updates, want 2", len(got))
+	}
+	if q.Size() != 1 {
+		t.Errorf("size = %d, want 1 (the iter-1 entry)", q.Size())
+	}
+	got = q.DequeueIterAtLeast(1, 1)
+	if len(got) != 1 || got[0].From != 1 {
+		t.Errorf("iter-1 dequeue wrong: %+v", got)
+	}
+}
+
+func TestUpdateQueueTakesExtrasBeyondNeed(t *testing.T) {
+	q := NewUpdateQueue(NewSyncMonitor(), 4)
+	q.Enqueue(upd(3, 1, 1))
+	q.Enqueue(upd(3, 2, 2))
+	q.Enqueue(upd(3, 4, 3))
+	got := q.DequeueIterAtLeast(2, 3) // backup-worker Recv: need 2, take all
+	if len(got) != 3 {
+		t.Errorf("got %d updates, want all 3", len(got))
+	}
+}
+
+func TestUpdateQueueDiscardsStaleOnDequeue(t *testing.T) {
+	q := NewUpdateQueue(NewSyncMonitor(), 4)
+	q.Enqueue(upd(0, 1, 1)) // will become stale
+	q.Enqueue(upd(4, 2, 2)) // same slot (4 mod 4 == 0)
+	got := q.DequeueIterAtLeast(1, 4)
+	if len(got) != 1 || got[0].Iter != 4 {
+		t.Fatalf("dequeue(iter=4) = %+v", got)
+	}
+	if q.StaleDiscarded() != 1 {
+		t.Errorf("stale discarded = %d, want 1", q.StaleDiscarded())
+	}
+	if q.Size() != 0 {
+		t.Errorf("size = %d, want 0", q.Size())
+	}
+}
+
+func TestUpdateQueueKeepsFutureSlotSharers(t *testing.T) {
+	q := NewUpdateQueue(NewSyncMonitor(), 4)
+	q.Enqueue(upd(5, 1, 1)) // slot 1
+	q.Enqueue(upd(1, 2, 2)) // slot 1, the one we want
+	got := q.DequeueIterAtLeast(1, 1)
+	if len(got) != 1 || got[0].Iter != 1 {
+		t.Fatalf("dequeue(iter=1) = %+v", got)
+	}
+	// Future entry must survive for its own iteration.
+	if q.SizeIter(5) != 1 {
+		t.Errorf("iter-5 entry lost")
+	}
+}
+
+func TestUpdateQueueBlocksUntilEnough(t *testing.T) {
+	q := NewUpdateQueue(NewSyncMonitor(), 4)
+	q.Enqueue(upd(0, 1, 1))
+	done := make(chan []Update, 1)
+	go func() { done <- q.DequeueIterAtLeast(2, 0) }()
+	select {
+	case <-done:
+		t.Fatal("dequeue returned before enough updates")
+	case <-time.After(20 * time.Millisecond):
+	}
+	q.Enqueue(upd(0, 2, 2))
+	select {
+	case got := <-done:
+		if len(got) != 2 {
+			t.Errorf("got %d, want 2", len(got))
+		}
+	case <-time.After(time.Second):
+		t.Fatal("dequeue did not wake")
+	}
+}
+
+func TestDrainFromAndWaitFrom(t *testing.T) {
+	q := NewUpdateQueue(NewSyncMonitor(), 4)
+	q.Enqueue(upd(0, 7, 1))
+	q.Enqueue(upd(1, 7, 2))
+	q.Enqueue(upd(1, 8, 3))
+	got := q.DrainFrom(7)
+	if len(got) != 2 {
+		t.Fatalf("DrainFrom(7) = %d entries, want 2", len(got))
+	}
+	if got := q.DrainFrom(7); len(got) != 0 {
+		t.Fatalf("second DrainFrom(7) = %d entries, want 0", len(got))
+	}
+	done := make(chan []Update, 1)
+	go func() { done <- q.WaitFrom(9) }()
+	select {
+	case <-done:
+		t.Fatal("WaitFrom returned without data")
+	case <-time.After(20 * time.Millisecond):
+	}
+	q.Enqueue(upd(2, 9, 4))
+	select {
+	case got := <-done:
+		if len(got) != 1 || got[0].From != 9 {
+			t.Errorf("WaitFrom got %+v", got)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("WaitFrom did not wake")
+	}
+	// The sender-8 entry must be untouched.
+	if q.Size() != 1 {
+		t.Errorf("size = %d, want 1", q.Size())
+	}
+}
+
+func TestHighWaterTracking(t *testing.T) {
+	q := NewUpdateQueue(NewSyncMonitor(), 2)
+	for i := 0; i < 5; i++ {
+		q.Enqueue(upd(0, i, 0))
+	}
+	q.DequeueIterAtLeast(5, 0)
+	if q.HighWater() != 5 {
+		t.Errorf("high water %d, want 5", q.HighWater())
+	}
+	if q.SlotHighWater() != 5 {
+		t.Errorf("slot high water %d, want 5", q.SlotHighWater())
+	}
+	if q.Size() != 0 {
+		t.Errorf("size after drain = %d", q.Size())
+	}
+}
+
+func TestTokenQueueTakeBlocks(t *testing.T) {
+	tq := NewTokenQueue(NewSyncMonitor(), 2)
+	tq.Take(2)
+	if tq.Size() != 0 {
+		t.Fatalf("size = %d", tq.Size())
+	}
+	done := make(chan struct{})
+	go func() { tq.Take(1); close(done) }()
+	select {
+	case <-done:
+		t.Fatal("Take returned without tokens")
+	case <-time.After(20 * time.Millisecond):
+	}
+	tq.Put(1)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Take did not wake")
+	}
+	tq.Put(5)
+	if tq.HighWater() != 5 {
+		t.Errorf("high water %d, want 5", tq.HighWater())
+	}
+}
+
+func TestAckTracker(t *testing.T) {
+	a := NewAckTracker(NewSyncMonitor())
+	a.WaitFor(-1, 3) // nothing to wait for before iteration 0
+	a.Deliver(0)
+	done := make(chan struct{})
+	go func() { a.WaitFor(0, 2); close(done) }()
+	select {
+	case <-done:
+		t.Fatal("WaitFor returned with 1 of 2 acks")
+	case <-time.After(20 * time.Millisecond):
+	}
+	a.Deliver(0)
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("WaitFor did not wake")
+	}
+}
+
+func TestQueuePanicsOnBadSlots(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewUpdateQueue(NewSyncMonitor(), 0)
+}
+
+func TestTokenQueuePanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewTokenQueue(NewSyncMonitor(), -1)
+}

@@ -1,0 +1,163 @@
+// Package data generates the synthetic datasets that stand in for the
+// paper's CIFAR-10 and webspam workloads (neither is available offline;
+// see DESIGN.md §1).
+//
+// Images draws class prototypes and perturbs them with Gaussian noise,
+// giving a classification task with real learning dynamics for the CNN.
+// Webspam draws a sparse ground-truth weight vector and labels sparse
+// binary feature vectors by its sign with label noise, mirroring the
+// sparse high-dimensional linear task of the webspam dataset.
+//
+// All generation is deterministic per seed, and samplers take the
+// caller's RNG so distributed workers draw independent, reproducible
+// mini-batches.
+package data
+
+import (
+	"math"
+	"math/rand"
+)
+
+// ImageBatch is a batch of dense image samples with integer labels.
+type ImageBatch struct {
+	X      []float64 // [B, C*H*W]
+	Labels []int
+	B      int
+}
+
+// Images is a synthetic image-classification dataset.
+type Images struct {
+	C, H, W int
+	Classes int
+
+	prototypes [][]float64
+	noise      float64
+}
+
+// NewImages creates a dataset of classes Gaussian prototypes over
+// C×H×W images with the given per-pixel noise level.
+func NewImages(c, h, w, classes int, noise float64, seed int64) *Images {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Images{C: c, H: h, W: w, Classes: classes, noise: noise}
+	size := c * h * w
+	d.prototypes = make([][]float64, classes)
+	for k := range d.prototypes {
+		p := make([]float64, size)
+		for i := range p {
+			p[i] = rng.NormFloat64()
+		}
+		d.prototypes[k] = p
+	}
+	return d
+}
+
+// SampleSize returns the per-sample feature count.
+func (d *Images) SampleSize() int { return d.C * d.H * d.W }
+
+// Sample draws a batch of b labeled samples using rng.
+func (d *Images) Sample(rng *rand.Rand, b int) ImageBatch {
+	size := d.SampleSize()
+	batch := ImageBatch{X: make([]float64, b*size), Labels: make([]int, b), B: b}
+	for i := 0; i < b; i++ {
+		k := rng.Intn(d.Classes)
+		batch.Labels[i] = k
+		proto := d.prototypes[k]
+		row := batch.X[i*size : (i+1)*size]
+		for j := range row {
+			row[j] = proto[j] + rng.NormFloat64()*d.noise
+		}
+	}
+	return batch
+}
+
+// SparseVec is a sparse feature vector in coordinate form; indices are
+// strictly increasing.
+type SparseVec struct {
+	Idx []int
+	Val []float64
+}
+
+// Dot returns the inner product of the sparse vector with dense w.
+func (s SparseVec) Dot(w []float64) float64 {
+	sum := 0.0
+	for i, idx := range s.Idx {
+		sum += s.Val[i] * w[idx]
+	}
+	return sum
+}
+
+// SpamBatch is a batch of sparse samples with ±1 labels.
+type SpamBatch struct {
+	X      []SparseVec
+	Labels []float64 // ±1
+}
+
+// Webspam is a synthetic sparse binary-classification dataset.
+type Webspam struct {
+	Features int
+	truth    []float64
+	nnz      int
+	flip     float64 // label noise probability
+}
+
+// NewWebspam creates a dataset over the given feature dimension with
+// nnz active features per sample and label-flip noise.
+func NewWebspam(features, nnz int, flip float64, seed int64) *Webspam {
+	rng := rand.New(rand.NewSource(seed))
+	d := &Webspam{Features: features, nnz: nnz, flip: flip}
+	d.truth = make([]float64, features)
+	for i := range d.truth {
+		d.truth[i] = rng.NormFloat64() / math.Sqrt(float64(nnz))
+	}
+	return d
+}
+
+// Sample draws a batch of b labeled sparse samples using rng.
+func (d *Webspam) Sample(rng *rand.Rand, b int) SpamBatch {
+	batch := SpamBatch{X: make([]SparseVec, b), Labels: make([]float64, b)}
+	for i := 0; i < b; i++ {
+		v := sampleSparse(rng, d.Features, d.nnz)
+		margin := v.Dot(d.truth)
+		label := 1.0
+		if margin < 0 {
+			label = -1.0
+		}
+		if rng.Float64() < d.flip {
+			label = -label
+		}
+		batch.X[i] = v
+		batch.Labels[i] = label
+	}
+	return batch
+}
+
+// sampleSparse draws nnz distinct sorted indices with ±1 values.
+func sampleSparse(rng *rand.Rand, features, nnz int) SparseVec {
+	seen := make(map[int]bool, nnz)
+	idx := make([]int, 0, nnz)
+	for len(idx) < nnz {
+		i := rng.Intn(features)
+		if !seen[i] {
+			seen[i] = true
+			idx = append(idx, i)
+		}
+	}
+	sortInts(idx)
+	val := make([]float64, nnz)
+	for i := range val {
+		if rng.Intn(2) == 0 {
+			val[i] = 1
+		} else {
+			val[i] = -1
+		}
+	}
+	return SparseVec{Idx: idx, Val: val}
+}
+
+func sortInts(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}

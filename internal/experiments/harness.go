@@ -1,0 +1,153 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"hop/internal/cluster"
+	"hop/internal/core"
+	"hop/internal/graph"
+	"hop/internal/hetero"
+	"hop/internal/metrics"
+	"hop/internal/ps"
+)
+
+// Report is the outcome of one experiment: the rendered text the CLI
+// prints and the named summary metrics tests and benches assert on.
+type Report struct {
+	ID    string
+	Title string
+
+	text    strings.Builder
+	Metrics map[string]float64
+	Series  map[string]*metrics.Series
+}
+
+func newReport(id, title string) *Report {
+	return &Report{ID: id, Title: title, Metrics: map[string]float64{}, Series: map[string]*metrics.Series{}}
+}
+
+func (r *Report) printf(format string, args ...any) {
+	fmt.Fprintf(&r.text, format, args...)
+}
+
+func (r *Report) metric(name string, v float64) {
+	r.Metrics[name] = v
+}
+
+func (r *Report) series(name string, s metrics.Series) {
+	c := s
+	c.Name = name
+	r.Series[name] = &c
+}
+
+// WriteTo renders the report.
+func (r *Report) WriteTo(w io.Writer) (int64, error) {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "=== %s: %s ===\n", r.ID, r.Title)
+	sb.WriteString(r.text.String())
+	if len(r.Metrics) > 0 {
+		fmt.Fprintf(&sb, "-- summary metrics --\n")
+		keys := make([]string, 0, len(r.Metrics))
+		for k := range r.Metrics {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&sb, "%-48s %12.4f\n", k, r.Metrics[k])
+		}
+	}
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// RenderSeries writes all recorded series (for plotting externally).
+func (r *Report) RenderSeries(w io.Writer) {
+	keys := make([]string, 0, len(r.Series))
+	for k := range r.Series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		r.Series[k].Render(w)
+	}
+}
+
+// decRun describes one decentralized cluster run.
+type decRun struct {
+	profile  Profile
+	graph    *graph.Graph
+	slow     hetero.Slowdown
+	mutate   func(*cluster.Options)
+	deadline time.Duration
+	maxIter  int
+	seed     int64
+}
+
+// runDec executes a decentralized configuration and returns its
+// result.
+func runDec(r decRun) (*cluster.Result, error) {
+	opts := cluster.Options{
+		Core: core.Config{
+			Graph:     r.graph,
+			Staleness: -1,
+			MaxIter:   r.maxIter,
+			Seed:      100 + r.seed,
+		},
+		Trainer:      r.profile.NewTrainer(),
+		Compute:      hetero.Compute{Base: r.profile.ComputeBase, Slow: r.slow},
+		PayloadBytes: r.profile.PayloadBytes,
+		Deadline:     r.deadline,
+		EvalEvery:    r.profile.EvalEvery,
+		Seed:         200 + r.seed,
+	}
+	if r.mutate != nil {
+		r.mutate(&opts)
+	}
+	res, err := cluster.Run(opts)
+	if err != nil {
+		return nil, err
+	}
+	if res.Deadlock != nil {
+		return nil, fmt.Errorf("experiment run deadlocked: %w", res.Deadlock)
+	}
+	return res, nil
+}
+
+// runPSBSP executes the BSP parameter-server baseline with the same
+// workload (one extra machine for the server, §7.3.2).
+func runPSBSP(p Profile, workers int, machines int, deadline time.Duration, seed int64) (*ps.Result, error) {
+	placement := make([]int, workers)
+	for i := range placement {
+		placement[i] = i * machines / workers
+	}
+	return ps.Run(ps.Options{
+		Workers:      workers,
+		Mode:         ps.BSP,
+		Staleness:    -1,
+		Trainer:      p.NewTrainer(),
+		Compute:      hetero.Compute{Base: p.ComputeBase},
+		PayloadBytes: p.PayloadBytes,
+		Placement:    placement,
+		Deadline:     deadline,
+		EvalEvery:    p.EvalEvery,
+		Seed:         300 + seed,
+	})
+}
+
+// summarize prints the standard per-run row used across figures.
+func summarize(rep *Report, label string, rec *metrics.Recorder, dur time.Duration, target float64) {
+	ttt := "-"
+	if tt, ok := rec.Eval.TimeToValue(target); ok {
+		ttt = fmt.Sprintf("%.0fs", tt.Seconds())
+	}
+	rep.printf("%-42s iters=%-6d mean-iter=%-8s final-loss=%-8.4f min-loss=%-8.4f time-to-%.2f=%s\n",
+		label, rec.Iterations(), rec.MeanIterDurationAll(2).Round(time.Millisecond),
+		rec.Eval.Last(-1), rec.Eval.MinValue(-1), target, ttt)
+}
+
+// key builds a metric key from parts.
+func key(parts ...string) string { return strings.Join(parts, "/") }

@@ -1,0 +1,144 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§7). Each experiment has an ID (fig12 … fig21, table1), a
+// runner that executes the underlying simulated clusters, and a report
+// that prints the same rows/series the paper plots plus the summary
+// numbers the tests and EXPERIMENTS.md compare against the paper.
+//
+// Workload profiles substitute the paper's testbed workloads at two
+// levels (DESIGN.md §1): statistical behaviour comes from really
+// training the laptop-scale CNN/SVM on synthetic data; execution
+// behaviour (seconds per iteration, bytes per update) comes from
+// paper-scale constants — VGG11-on-CIFAR compute time and fp32 model
+// size for the CNN, webspam-scale for the SVM.
+package experiments
+
+import (
+	"time"
+
+	"hop/internal/graph"
+	"hop/internal/model"
+)
+
+// Scale selects how long experiments run. Quick keeps the full suite
+// under a couple of minutes of host time for tests and CI; Full runs
+// the deadlines used for the numbers in EXPERIMENTS.md.
+type Scale int
+
+const (
+	// Quick is the test/CI scale.
+	Quick Scale = iota
+	// Full is the EXPERIMENTS.md scale.
+	Full
+)
+
+func (s Scale) String() string {
+	if s == Full {
+		return "full"
+	}
+	return "quick"
+}
+
+// Workload identifies which of the paper's two tasks a run uses.
+type Workload int
+
+const (
+	// CNN is the image-classification task (paper: VGG11/CIFAR-10).
+	CNN Workload = iota
+	// SVM is the sparse linear task (paper: SVM/webspam, log loss).
+	SVM
+)
+
+func (w Workload) String() string {
+	if w == SVM {
+		return "svm"
+	}
+	return "cnn"
+}
+
+// Profile bundles a workload's trainer prototype with its paper-scale
+// cost model.
+type Profile struct {
+	Workload Workload
+	Name     string
+
+	// NewTrainer builds the prototype replica (cloned per worker).
+	NewTrainer func() model.Trainer
+
+	// ComputeBase is the homogeneous per-iteration gradient time at
+	// paper scale (VGG11 on a CPU ≈ seconds; SVM ≈ tens of ms).
+	ComputeBase time.Duration
+
+	// PayloadBytes is the wire size of one parameter update at paper
+	// scale (VGG11-CIFAR fp32 ≈ 37 MB; webspam-scale SVM ≈ 1.4 MB).
+	PayloadBytes int
+
+	// Deadline per scale for loss-vs-time experiments.
+	Deadline map[Scale]time.Duration
+
+	// EvalEvery controls evaluation cadence (iterations).
+	EvalEvery int
+
+	// TargetLoss is the eval-loss level used for time-to-target
+	// comparisons in reports.
+	TargetLoss float64
+}
+
+// CNNProfile returns the image-classification profile.
+func CNNProfile() Profile {
+	return Profile{
+		Workload:     CNN,
+		Name:         "cnn",
+		NewTrainer:   func() model.Trainer { return model.NewCNN(model.DefaultCNNConfig()) },
+		ComputeBase:  4 * time.Second,
+		PayloadBytes: 37 << 20,
+		Deadline: map[Scale]time.Duration{
+			Quick: 500 * time.Second,
+			Full:  1500 * time.Second,
+		},
+		EvalEvery:  5,
+		TargetLoss: 0.9,
+	}
+}
+
+// SVMProfile returns the sparse linear profile.
+func SVMProfile() Profile {
+	return Profile{
+		Workload:     SVM,
+		Name:         "svm",
+		NewTrainer:   func() model.Trainer { return model.NewSVM(model.DefaultSVMConfig()) },
+		ComputeBase:  100 * time.Millisecond,
+		PayloadBytes: 1400 << 10,
+		Deadline: map[Scale]time.Duration{
+			Quick: 30 * time.Second,
+			Full:  100 * time.Second,
+		},
+		EvalEvery:  10,
+		TargetLoss: 0.6,
+	}
+}
+
+// profiles returns the workload set an experiment sweeps (the paper
+// always evaluates both).
+func profiles() []Profile { return []Profile{CNNProfile(), SVMProfile()} }
+
+// paperGraph builds the 16-worker / 4-machine topologies of Figure 11
+// with the paper's placement (§7.2: 4 machines, 4 workers each).
+func paperGraph(kind string) *graph.Graph {
+	var g *graph.Graph
+	switch kind {
+	case "ring":
+		g = graph.Ring(16)
+	case "ring-based":
+		g = graph.RingBased(16)
+	case "double-ring":
+		g = graph.DoubleRing(16)
+	default:
+		panic("experiments: unknown graph kind " + kind)
+	}
+	graph.EvenPlacement(g, 4)
+	return g
+}
+
+// randomSlow is the §7.3.1 heterogeneity model: every worker slowed 6×
+// with probability 1/n per iteration.
+func randomSlowProb(n int) float64 { return 1.0 / float64(n) }

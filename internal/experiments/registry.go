@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner executes one experiment at a scale.
+type Runner func(Scale) (*Report, error)
+
+// Entry describes a registered experiment.
+type Entry struct {
+	ID    string
+	Title string
+	Run   Runner
+}
+
+// Registry lists every reproducible table and figure.
+var Registry = []Entry{
+	{"fig12", "effect of heterogeneity across graphs", Fig12},
+	{"fig13", "decentralized vs parameter server", Fig13},
+	{"fig14", "backup workers: loss vs time", Fig14},
+	{"fig15", "backup workers: loss vs steps", Fig15},
+	{"fig16", "backup workers: iteration speed", Fig16},
+	{"fig17", "bounded staleness vs backup vs standard", Fig17},
+	{"fig18", "skipping iterations: iteration time", Fig18},
+	{"fig19", "skipping iterations: loss vs time", Fig19},
+	{"fig20", "topology settings under heterogeneous placement", Fig20},
+	{"fig21", "spectral gaps of the topology settings", Fig21},
+	{"table1", "iteration-gap bounds, observed vs theoretical", Table1},
+	{"deadlock", "AD-PSGD deadlock demonstration", FigDeadlock},
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Entry, error) {
+	for _, e := range Registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Entry{}, fmt.Errorf("experiments: unknown id %q (known: %v)", id, IDs())
+}
+
+// IDs returns the sorted experiment ids.
+func IDs() []string {
+	ids := make([]string, len(Registry))
+	for i, e := range Registry {
+		ids[i] = e.ID
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,78 @@
+package hetero
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestNoneAlwaysOne(t *testing.T) {
+	c := Compute{Base: 100 * time.Millisecond}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10; i++ {
+		if got := c.IterTime(i, i, rng); got != 100*time.Millisecond {
+			t.Errorf("IterTime = %v", got)
+		}
+	}
+}
+
+func TestRandomSlowdownFrequency(t *testing.T) {
+	r := Random{Fact: 6, Prob: 0.25}
+	rng := rand.New(rand.NewSource(2))
+	slowed := 0
+	const trials = 10000
+	for i := 0; i < trials; i++ {
+		if r.Factor(0, i, rng) == 6 {
+			slowed++
+		}
+	}
+	frac := float64(slowed) / trials
+	if frac < 0.22 || frac > 0.28 {
+		t.Errorf("slowdown frequency %.3f, want ≈0.25", frac)
+	}
+}
+
+func TestDeterministicSlowdown(t *testing.T) {
+	d := Deterministic{Factors: map[int]float64{3: 4}}
+	rng := rand.New(rand.NewSource(3))
+	if d.Factor(3, 0, rng) != 4 {
+		t.Error("slow worker factor")
+	}
+	if d.Factor(0, 0, rng) != 1 {
+		t.Error("fast worker factor")
+	}
+	c := Compute{Base: time.Second, Slow: d}
+	if got := c.IterTime(3, 5, rng); got != 4*time.Second {
+		t.Errorf("IterTime = %v, want 4s", got)
+	}
+}
+
+func TestCombinedMultiplies(t *testing.T) {
+	c := Combined{
+		Deterministic{Factors: map[int]float64{0: 2}},
+		Deterministic{Factors: map[int]float64{0: 3}},
+	}
+	rng := rand.New(rand.NewSource(4))
+	if got := c.Factor(0, 0, rng); got != 6 {
+		t.Errorf("combined factor %g, want 6", got)
+	}
+	if got := c.Factor(1, 0, rng); got != 1 {
+		t.Errorf("combined factor %g, want 1", got)
+	}
+}
+
+func TestFactorBelowOneClamped(t *testing.T) {
+	c := Compute{Base: time.Second, Slow: Deterministic{Factors: map[int]float64{0: 0.5}}}
+	rng := rand.New(rand.NewSource(5))
+	if got := c.IterTime(0, 0, rng); got != time.Second {
+		t.Errorf("IterTime = %v, want clamp to 1x", got)
+	}
+}
+
+func TestStringsNonEmpty(t *testing.T) {
+	for _, s := range []Slowdown{None{}, Random{Fact: 6, Prob: 0.1}, Deterministic{Factors: map[int]float64{1: 2}}, Combined{None{}}} {
+		if s.String() == "" {
+			t.Errorf("%T has empty String()", s)
+		}
+	}
+}

@@ -1,0 +1,379 @@
+// Package live is the real-time, real-network runtime of the Hop
+// protocol: one Worker per process (or goroutine), communicating over
+// TCP through internal/transport. It demonstrates that the protocol is
+// not simulator-bound.
+//
+// Queue placement differs from the shared-memory engine in one
+// mechanical way, with identical semantics: token queues live at their
+// consumer. In the paper, TokenQ(i→j) is stored at worker i and
+// consumed by in-neighbor j; across machines, worker i instead sends
+// token-grant messages when it advances and worker j counts them
+// locally (initialized to max_ig). The Theorem 2 invariant — count =
+// Iter(i) − Iter(j) + max_ig — is preserved exactly; grants in flight
+// only delay j, never violate the bound.
+//
+// The send-side iteration check of §6.2(b) uses the last iteration
+// observed on any message from the receiver; it is a heuristic there
+// and remains one here.
+package live
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"hop/internal/core"
+	"hop/internal/graph"
+	"hop/internal/model"
+	"hop/internal/tensor"
+	"hop/internal/transport"
+)
+
+// WorkerConfig configures one live worker.
+type WorkerConfig struct {
+	ID    int
+	Graph *graph.Graph
+
+	// ListenAddr is this worker's bind address (":0" for ephemeral).
+	ListenAddr string
+
+	Trainer model.Trainer
+
+	// Protocol knobs, matching core.Config semantics.
+	MaxIG     int
+	Backup    int
+	Staleness int // -1 disables
+	SendCheck bool
+	Skip      *core.SkipConfig
+
+	MaxIter int
+	Seed    int64
+
+	// ComputeDelay, when non-nil, injects artificial per-iteration
+	// compute time (for demonstrating heterogeneity on real clusters).
+	ComputeDelay func(iter int) time.Duration
+
+	// OnIteration, when non-nil, runs after each completed iteration.
+	OnIteration func(iter int, loss float64)
+}
+
+// Worker is one live protocol participant.
+type Worker struct {
+	cfg  WorkerConfig
+	node *transport.Node
+	mon  core.Monitor
+
+	uq     *core.UpdateQueue
+	tokens map[int]*core.TokenQueue // out-neighbor → local grant count
+	acks   *core.AckTracker
+
+	// peerIter tracks the newest iteration observed per peer (for the
+	// §6.2(b) send check). Guarded by mon.
+	peerIter map[int]int
+
+	staleRecv map[int]int // staleness bookkeeping (worker-loop owned)
+
+	rng *rand.Rand
+}
+
+// NewWorker validates the configuration, binds the listener and
+// prepares the queues. Call Addr to learn the bound address, Connect
+// to dial the out-neighbors, then Run.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Graph == nil {
+		return nil, fmt.Errorf("live: no graph")
+	}
+	if err := cfg.Graph.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ID < 0 || cfg.ID >= cfg.Graph.N() {
+		return nil, fmt.Errorf("live: worker id %d out of range", cfg.ID)
+	}
+	if cfg.Trainer == nil {
+		return nil, fmt.Errorf("live: no trainer")
+	}
+	if cfg.MaxIter <= 0 {
+		return nil, fmt.Errorf("live: MaxIter must be positive")
+	}
+	if cfg.Backup > 0 && cfg.MaxIG <= 0 {
+		return nil, fmt.Errorf("live: backup workers require token queues (MaxIG>0)")
+	}
+	if cfg.Skip != nil && cfg.MaxIG <= 0 {
+		return nil, fmt.Errorf("live: skipping requires token queues (MaxIG>0)")
+	}
+	mon := core.NewSyncMonitor()
+	slots := cfg.MaxIG + 1
+	if cfg.MaxIG <= 0 {
+		d := cfg.Graph.Diameter()
+		if cfg.Staleness >= 0 {
+			slots = (cfg.Staleness+1)*d + 1
+		} else {
+			slots = d + 1
+		}
+	}
+	w := &Worker{
+		cfg:       cfg,
+		mon:       mon,
+		uq:        core.NewUpdateQueue(mon, slots),
+		tokens:    make(map[int]*core.TokenQueue),
+		acks:      core.NewAckTracker(mon),
+		peerIter:  make(map[int]int),
+		staleRecv: make(map[int]int),
+		rng:       rand.New(rand.NewSource(cfg.Seed + int64(cfg.ID)*7919 + 1)),
+	}
+	for _, j := range cfg.Graph.Out(cfg.ID) {
+		w.tokens[j] = core.NewTokenQueue(mon, cfg.MaxIG)
+		w.peerIter[j] = -1
+	}
+	for _, j := range cfg.Graph.In(cfg.ID) {
+		w.staleRecv[j] = -1
+		w.peerIter[j] = -1
+	}
+	w.staleRecv[cfg.ID] = -1
+	node, err := transport.Listen(cfg.ID, cfg.ListenAddr, w.handle)
+	if err != nil {
+		return nil, err
+	}
+	w.node = node
+	return w, nil
+}
+
+// Addr returns the bound listen address.
+func (w *Worker) Addr() string { return w.node.Addr() }
+
+// Connect dials every neighbor this worker sends to: its out-going
+// neighbors (updates, acks) and its in-coming neighbors (token
+// grants). addrs maps worker id → address.
+func (w *Worker) Connect(addrs map[int]string, timeout time.Duration) error {
+	need := map[int]bool{}
+	for _, j := range w.cfg.Graph.Out(w.cfg.ID) {
+		need[j] = true
+	}
+	for _, j := range w.cfg.Graph.In(w.cfg.ID) {
+		need[j] = true
+	}
+	for j := range need {
+		addr, ok := addrs[j]
+		if !ok {
+			return fmt.Errorf("live: no address for neighbor %d", j)
+		}
+		if err := w.node.Dial(j, addr, timeout); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close shuts down the transport.
+func (w *Worker) Close() { w.node.Close() }
+
+// handle is the transport inbound path.
+func (w *Worker) handle(m transport.Message) {
+	w.observeIter(m.From, m.Iter)
+	switch m.Kind {
+	case transport.KindUpdate:
+		w.uq.Enqueue(core.Update{Params: m.Params, Iter: m.Iter, From: m.From})
+	case transport.KindToken:
+		if tq, ok := w.tokens[m.From]; ok {
+			tq.Put(m.Count)
+		}
+	case transport.KindAck:
+		w.acks.Deliver(m.Iter)
+	}
+}
+
+func (w *Worker) observeIter(peer, iter int) {
+	w.mon.Lock()
+	if cur, ok := w.peerIter[peer]; ok && iter > cur {
+		w.peerIter[peer] = iter
+	}
+	w.mon.Unlock()
+}
+
+func (w *Worker) lastIter(peer int) int {
+	w.mon.Lock()
+	defer w.mon.Unlock()
+	return w.peerIter[peer]
+}
+
+// Params returns the trainer's parameter vector.
+func (w *Worker) Params() []float64 { return w.cfg.Trainer.Params() }
+
+// Run executes the training loop for MaxIter iterations (the parallel
+// computation graph of Fig. 2(b)). It returns the final training loss.
+func (w *Worker) Run() (float64, error) {
+	cfg := w.cfg
+	t := cfg.Trainer
+	id := cfg.ID
+	in := cfg.Graph.In(id)
+	out := cfg.Graph.Out(id)
+	lastLoss := 0.0
+
+	k := 0
+	for k < cfg.MaxIter {
+		// Send x_k (self delivered locally).
+		x := t.Params()
+		snap := tensor.Clone(x)
+		w.uq.Enqueue(core.Update{Params: snap, Iter: k, From: id})
+		for _, j := range out {
+			if cfg.SendCheck && w.lastIter(j) > k {
+				continue
+			}
+			if err := w.node.Send(j, transport.Message{Kind: transport.KindUpdate, Iter: k, Params: snap}); err != nil {
+				return lastLoss, err
+			}
+		}
+
+		// Compute (real time, plus optional injected delay).
+		grads, loss := t.ComputeGrad(w.rng)
+		lastLoss = loss
+		if cfg.ComputeDelay != nil {
+			if d := cfg.ComputeDelay(k); d > 0 {
+				time.Sleep(d)
+			}
+		}
+
+		// Recv + Reduce + Apply.
+		reduced := w.recvReduce(k, in)
+		tensor.Copy(x, reduced)
+		t.Apply(grads)
+
+		if cfg.OnIteration != nil {
+			cfg.OnIteration(k, loss)
+		}
+
+		// Advance (with optional jump), preserving the token
+		// invariant: take delta from each out-neighbor's local grant
+		// count, grant delta to each in-neighbor.
+		next := k + 1
+		if cfg.Skip != nil {
+			next = w.jumpTarget(k, out)
+			if next > k+1 {
+				w.renewParams(next-1, in)
+				t.ResetOptimizer()
+			}
+		}
+		if cfg.MaxIG > 0 {
+			delta := next - k
+			for _, j := range out {
+				w.tokens[j].Take(delta)
+			}
+			for _, j := range in {
+				if err := w.node.Send(j, transport.Message{Kind: transport.KindToken, Iter: next, Count: delta}); err != nil {
+					return lastLoss, err
+				}
+			}
+		}
+		k = next
+	}
+	return lastLoss, nil
+}
+
+// recvReduce mirrors the engine's mode dispatch.
+func (w *Worker) recvReduce(k int, in []int) []float64 {
+	if w.cfg.Staleness >= 0 {
+		return w.recvReduceStale(k, in)
+	}
+	need := len(in) + 1 - w.cfg.Backup
+	ups := w.uq.DequeueIterAtLeast(need, k)
+	vecs := make([][]float64, len(ups))
+	for i, u := range ups {
+		vecs[i] = u.Params
+	}
+	out := make([]float64, len(vecs[0]))
+	tensor.Mean(out, vecs)
+	return out
+}
+
+// recvReduceStale is §4.4 with Eq. 2 weights (see core/engine.go for
+// the shared-memory variant and the pseudocode note).
+func (w *Worker) recvReduceStale(k int, in []int) []float64 {
+	s := w.cfg.Staleness
+	minIter := k - s
+	var vecs [][]float64
+	var weights []float64
+	senders := append(append(make([]int, 0, len(in)+1), in...), w.cfg.ID)
+	for _, j := range senders {
+		newest := core.Update{Iter: -1}
+		consider := func(ups []core.Update) {
+			for _, u := range ups {
+				if u.Iter > newest.Iter {
+					newest = u
+				}
+			}
+			if newest.Iter > w.staleRecv[j] {
+				w.staleRecv[j] = newest.Iter
+			}
+		}
+		consider(w.uq.DrainFrom(j))
+		for w.staleRecv[j] < minIter {
+			consider(w.uq.WaitFrom(j))
+		}
+		if newest.Params != nil && newest.Iter >= minIter {
+			wt := newest.Iter - minIter + 1
+			if wt < 1 {
+				wt = 1
+			}
+			vecs = append(vecs, newest.Params)
+			weights = append(weights, float64(wt))
+		}
+	}
+	out := make([]float64, len(vecs[0]))
+	tensor.WeightedMean(out, vecs, weights)
+	return out
+}
+
+// jumpTarget mirrors the engine's §5 trigger using the local grant
+// counts (count = Iter(j) − Iter(me) + max_ig).
+func (w *Worker) jumpTarget(k int, out []int) int {
+	sc := w.cfg.Skip
+	if len(out) == 0 {
+		return k + 1
+	}
+	minTok := int(^uint(0) >> 1)
+	for _, j := range out {
+		if s := w.tokens[j].Size(); s < minTok {
+			minTok = s
+		}
+	}
+	behind := minTok - w.cfg.MaxIG
+	trigger := sc.TriggerBehind
+	if trigger < 2 {
+		trigger = 2
+	}
+	if behind < trigger {
+		return k + 1
+	}
+	delta := behind
+	if delta > sc.MaxJump {
+		delta = sc.MaxJump
+	}
+	next := k + delta
+	if next > w.cfg.MaxIter {
+		next = w.cfg.MaxIter
+	}
+	if next <= k {
+		return k + 1
+	}
+	return next
+}
+
+// renewParams is the pre-jump refresh (§5).
+func (w *Worker) renewParams(kr int, in []int) {
+	x := w.cfg.Trainer.Params()
+	need := len(in) - w.cfg.Backup
+	if need < 0 {
+		need = 0
+	}
+	ups := w.uq.DequeueIterAtLeast(need, kr)
+	vecs := [][]float64{x}
+	for _, u := range ups {
+		vecs = append(vecs, u.Params)
+	}
+	reduced := make([]float64, len(x))
+	tensor.Mean(reduced, vecs)
+	tensor.Copy(x, reduced)
+}
+
+// QueueSize reports the update-queue occupancy (diagnostics).
+func (w *Worker) QueueSize() int { return w.uq.Size() }

@@ -1,0 +1,100 @@
+package model
+
+import (
+	"math/rand"
+
+	"hop/internal/tensor"
+)
+
+// Quadratic is a toy Trainer minimizing ½‖x − target‖² with optional
+// gradient noise. It converges quickly and its EvalLoss is exact, which
+// makes it ideal for protocol tests and quickstart examples where the
+// full CNN/SVM workloads would be overkill.
+type Quadratic struct {
+	params []float64
+	target []float64
+	grads  []float64
+	lr     float64
+	noise  float64
+}
+
+// NewQuadratic creates a toy trainer with the given start point,
+// target, learning rate and gradient-noise level.
+func NewQuadratic(start, target []float64, lr, noise float64) *Quadratic {
+	return &Quadratic{
+		params: tensor.Clone(start),
+		target: tensor.Clone(target),
+		grads:  make([]float64, len(start)),
+		lr:     lr,
+		noise:  noise,
+	}
+}
+
+// Params implements Trainer.
+func (q *Quadratic) Params() []float64 { return q.params }
+
+// ComputeGrad implements Trainer.
+func (q *Quadratic) ComputeGrad(rng *rand.Rand) ([]float64, float64) {
+	for i := range q.grads {
+		q.grads[i] = q.params[i] - q.target[i]
+		if q.noise > 0 {
+			q.grads[i] += rng.NormFloat64() * q.noise
+		}
+	}
+	return q.grads, q.EvalLoss()
+}
+
+// Apply implements Trainer.
+func (q *Quadratic) Apply(grads []float64) { tensor.AXPY(q.params, -q.lr, grads) }
+
+// ResetOptimizer implements Trainer (no state).
+func (q *Quadratic) ResetOptimizer() {}
+
+// EvalLoss implements Trainer: ½‖x − target‖².
+func (q *Quadratic) EvalLoss() float64 {
+	s := 0.0
+	for i := range q.params {
+		d := q.params[i] - q.target[i]
+		s += d * d
+	}
+	return s / 2
+}
+
+// Clone implements Trainer.
+func (q *Quadratic) Clone() Trainer {
+	return NewQuadratic(q.params, q.target, q.lr, q.noise)
+}
+
+// Frozen is a Trainer whose gradients are zero: parameters change only
+// through the protocol's Reduce. Decentralized averaging with doubly
+// stochastic weights must then drive all replicas to the initial mean
+// while preserving it — the invariant the consensus tests assert.
+type Frozen struct {
+	params []float64
+	grads  []float64
+}
+
+// NewFrozen creates a frozen trainer starting at start.
+func NewFrozen(start []float64) *Frozen {
+	return &Frozen{params: tensor.Clone(start), grads: make([]float64, len(start))}
+}
+
+// Params implements Trainer.
+func (f *Frozen) Params() []float64 { return f.params }
+
+// ComputeGrad implements Trainer: zero gradient, loss ‖x‖.
+func (f *Frozen) ComputeGrad(*rand.Rand) ([]float64, float64) {
+	return f.grads, tensor.Norm2(f.params)
+}
+
+// Apply implements Trainer (no-op for zero gradients).
+func (f *Frozen) Apply(grads []float64) { tensor.AXPY(f.params, -1, grads) }
+
+// ResetOptimizer implements Trainer.
+func (f *Frozen) ResetOptimizer() {}
+
+// EvalLoss implements Trainer.
+func (f *Frozen) EvalLoss() float64 { return tensor.Norm2(f.params) }
+
+// Clone implements Trainer.
+func (f *Frozen) Clone() Trainer { return NewFrozen(f.params) }

@@ -1,0 +1,142 @@
+// Package netsim models the cluster network on top of the simulation
+// kernel: machines with serialized NIC resources connected by a shared
+// switch, and cheap intra-machine links.
+//
+// The model captures the three effects the paper's wall-clock results
+// depend on (§2.1, §7.3.2, §7.3.6):
+//
+//   - transfer time = latency + bytes/bandwidth per message;
+//   - inter-machine messages serialize on the sender machine's egress
+//     NIC and the receiver machine's ingress NIC, which produces the
+//     parameter-server ingress hotspot and the topology-dependent link
+//     contention of Figure 20;
+//   - intra-machine messages use a fast memory-backed path and do not
+//     occupy the NIC.
+//
+// The fabric keeps resource-availability timestamps per machine
+// instead of simulating queues with processes: when a message is sent
+// at time t, its delivery time is computed in O(1) from the NIC
+// timelines and a delivery callback is scheduled on the kernel.
+package netsim
+
+import (
+	"fmt"
+	"time"
+
+	"hop/internal/sim"
+)
+
+// LinkParams describe one class of link.
+type LinkParams struct {
+	Latency   time.Duration
+	Bandwidth float64 // bytes per second
+}
+
+// Config describes the fabric.
+type Config struct {
+	// Intra applies to messages between workers on the same machine.
+	Intra LinkParams
+	// Inter applies to messages crossing machines; these serialize on
+	// the per-machine NICs.
+	Inter LinkParams
+}
+
+// Default1GbE mirrors the paper's testbed: 1000 Mbit/s Ethernet
+// between machines (§7.2), with an in-memory path inside a machine.
+func Default1GbE() Config {
+	return Config{
+		Intra: LinkParams{Latency: 50 * time.Microsecond, Bandwidth: 8e9},
+		Inter: LinkParams{Latency: 500 * time.Microsecond, Bandwidth: 125e6},
+	}
+}
+
+// Stats aggregates fabric counters.
+type Stats struct {
+	Messages      int
+	Bytes         int64
+	InterMessages int
+	InterBytes    int64
+}
+
+// Fabric prices and schedules message deliveries.
+type Fabric struct {
+	k         *sim.Kernel
+	cfg       Config
+	placement []int // worker → machine
+
+	egressFree  []time.Duration // per machine
+	ingressFree []time.Duration
+
+	stats Stats
+}
+
+// New creates a fabric for workers placed on machines per placement
+// (worker i on machine placement[i]); a nil placement puts every
+// worker on machine 0.
+func New(k *sim.Kernel, cfg Config, workers int, placement []int) *Fabric {
+	if placement == nil {
+		placement = make([]int, workers)
+	}
+	if len(placement) != workers {
+		panic(fmt.Sprintf("netsim: placement has %d entries for %d workers", len(placement), workers))
+	}
+	machines := 0
+	for _, m := range placement {
+		if m+1 > machines {
+			machines = m + 1
+		}
+	}
+	return &Fabric{
+		k:           k,
+		cfg:         cfg,
+		placement:   append([]int(nil), placement...),
+		egressFree:  make([]time.Duration, machines),
+		ingressFree: make([]time.Duration, machines),
+	}
+}
+
+// Deliver schedules fn to run when a message of the given size sent
+// now from src to dst would arrive. It must be called from simulation
+// context (a running process or an After callback).
+func (f *Fabric) Deliver(src, dst, bytes int, fn func()) {
+	at := f.arrivalTime(src, dst, bytes)
+	f.k.After(at-f.k.Now(), fn)
+}
+
+// arrivalTime advances the NIC timelines and returns the delivery
+// time.
+func (f *Fabric) arrivalTime(src, dst, bytes int) time.Duration {
+	now := f.k.Now()
+	f.stats.Messages++
+	f.stats.Bytes += int64(bytes)
+	ms, md := f.placement[src], f.placement[dst]
+	if ms == md {
+		tx := time.Duration(float64(bytes) / f.cfg.Intra.Bandwidth * float64(time.Second))
+		return now + f.cfg.Intra.Latency + tx
+	}
+	f.stats.InterMessages++
+	f.stats.InterBytes += int64(bytes)
+	tx := time.Duration(float64(bytes) / f.cfg.Inter.Bandwidth * float64(time.Second))
+	// Serialize on source egress.
+	egStart := maxDur(now, f.egressFree[ms])
+	f.egressFree[ms] = egStart + tx
+	// Bits start arriving after the wire latency; reception serializes
+	// on destination ingress.
+	rxStart := maxDur(egStart+f.cfg.Inter.Latency, f.ingressFree[md])
+	rxEnd := rxStart + tx
+	f.ingressFree[md] = rxEnd
+	return rxEnd
+}
+
+// Stats returns a snapshot of the counters.
+func (f *Fabric) Stats() Stats { return f.stats }
+
+// MachineOf returns the machine hosting worker w.
+func (f *Fabric) MachineOf(w int) int { return f.placement[w] }
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

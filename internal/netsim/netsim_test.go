@@ -1,0 +1,147 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"hop/internal/sim"
+)
+
+func cfg() Config {
+	return Config{
+		Intra: LinkParams{Latency: time.Millisecond, Bandwidth: 1e9},
+		Inter: LinkParams{Latency: 10 * time.Millisecond, Bandwidth: 1e6}, // 1 MB/s
+	}
+}
+
+// run drives a kernel with one idle proc long enough for deliveries.
+func run(t *testing.T, k *sim.Kernel, d time.Duration) {
+	t.Helper()
+	k.Spawn("idle", func(p *sim.Proc) { p.Sleep(d) })
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntraMachineCheap(t *testing.T) {
+	k := sim.NewKernel()
+	f := New(k, cfg(), 2, []int{0, 0})
+	var at time.Duration
+	f.Deliver(0, 1, 1000, func() { at = k.Now() })
+	run(t, k, time.Second)
+	want := time.Millisecond + time.Duration(1000.0/1e9*1e9)
+	if at != want {
+		t.Errorf("intra delivery at %v, want %v", at, want)
+	}
+}
+
+func TestInterMachineLatencyPlusTransfer(t *testing.T) {
+	k := sim.NewKernel()
+	f := New(k, cfg(), 2, []int{0, 1})
+	var at time.Duration
+	f.Deliver(0, 1, 1_000_000, func() { at = k.Now() }) // 1 MB at 1 MB/s = 1s
+	run(t, k, 5*time.Second)
+	want := 10*time.Millisecond + time.Second
+	if at != want {
+		t.Errorf("inter delivery at %v, want %v", at, want)
+	}
+}
+
+// TestIngressSerialization is the PS-hotspot mechanism: two senders on
+// different machines target one machine; the second transfer must wait
+// for the receiver NIC.
+func TestIngressSerialization(t *testing.T) {
+	k := sim.NewKernel()
+	f := New(k, cfg(), 3, []int{0, 1, 2})
+	var t1, t2 time.Duration
+	f.Deliver(0, 2, 1_000_000, func() { t1 = k.Now() })
+	f.Deliver(1, 2, 1_000_000, func() { t2 = k.Now() })
+	run(t, k, 10*time.Second)
+	if t1 != 10*time.Millisecond+time.Second {
+		t.Errorf("first delivery at %v", t1)
+	}
+	if t2 != t1+time.Second {
+		t.Errorf("second delivery at %v, want %v (ingress serialized)", t2, t1+time.Second)
+	}
+}
+
+// TestEgressSerialization: one machine sending two messages to two
+// different machines serializes on its own NIC.
+func TestEgressSerialization(t *testing.T) {
+	k := sim.NewKernel()
+	f := New(k, cfg(), 3, []int{0, 1, 2})
+	var t1, t2 time.Duration
+	f.Deliver(0, 1, 1_000_000, func() { t1 = k.Now() })
+	f.Deliver(0, 2, 1_000_000, func() { t2 = k.Now() })
+	run(t, k, 10*time.Second)
+	if t1 != 10*time.Millisecond+time.Second {
+		t.Errorf("first delivery at %v", t1)
+	}
+	// Second transfer starts on egress at t=1s, arrives 10ms+1s later.
+	if t2 != 2*time.Second+10*time.Millisecond {
+		t.Errorf("second delivery at %v, want 2.01s (egress serialized)", t2)
+	}
+}
+
+func TestIntraDoesNotOccupyNIC(t *testing.T) {
+	k := sim.NewKernel()
+	f := New(k, cfg(), 3, []int{0, 0, 1})
+	var intra, inter time.Duration
+	f.Deliver(0, 1, 1_000_000, func() { intra = k.Now() }) // same machine
+	f.Deliver(0, 2, 1_000_000, func() { inter = k.Now() })
+	run(t, k, 10*time.Second)
+	if intra > 5*time.Millisecond {
+		t.Errorf("intra delivery slow: %v", intra)
+	}
+	if inter != 10*time.Millisecond+time.Second {
+		t.Errorf("inter delivery at %v — intra traffic should not occupy the NIC", inter)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	k := sim.NewKernel()
+	f := New(k, cfg(), 3, []int{0, 0, 1})
+	f.Deliver(0, 1, 100, func() {})
+	f.Deliver(0, 2, 200, func() {})
+	run(t, k, time.Minute)
+	s := f.Stats()
+	if s.Messages != 2 || s.Bytes != 300 {
+		t.Errorf("stats %+v", s)
+	}
+	if s.InterMessages != 1 || s.InterBytes != 200 {
+		t.Errorf("inter stats %+v", s)
+	}
+	if f.MachineOf(2) != 1 {
+		t.Error("MachineOf")
+	}
+}
+
+func TestNilPlacementSingleMachine(t *testing.T) {
+	k := sim.NewKernel()
+	f := New(k, cfg(), 4, nil)
+	var at time.Duration
+	f.Deliver(0, 3, 1000, func() { at = k.Now() })
+	run(t, k, time.Second)
+	if at > 2*time.Millisecond {
+		t.Errorf("nil placement should be intra-machine: %v", at)
+	}
+}
+
+func TestPlacementLengthChecked(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	New(sim.NewKernel(), cfg(), 3, []int{0})
+}
+
+func TestDefault1GbE(t *testing.T) {
+	c := Default1GbE()
+	if c.Inter.Bandwidth != 125e6 {
+		t.Errorf("1GbE bandwidth %g", c.Inter.Bandwidth)
+	}
+	if c.Intra.Bandwidth <= c.Inter.Bandwidth {
+		t.Error("intra should be faster than inter")
+	}
+}

@@ -1,0 +1,396 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hop/internal/tensor"
+)
+
+// --- Conv2D ----------------------------------------------------------
+
+// Conv2D is a 2-D convolution with square kernels, stride 1 and "same"
+// padding (pad = K/2), implemented with im2col + matmul.
+type Conv2D struct {
+	OutC, K int
+
+	in      Shape
+	weights []float64 // [OutC, inC*K*K]
+	bias    []float64 // [OutC]
+	dw, db  []float64
+
+	lastX   []float64 // retained input for backward
+	lastCol []float64 // retained im2col buffer (per batch sample loop reuse)
+	out     []float64
+}
+
+// NewConv2D returns a conv layer producing outC channels with a k×k
+// kernel (k must be odd for same padding).
+func NewConv2D(outC, k int) *Conv2D {
+	if k%2 == 0 {
+		panic(fmt.Sprintf("nn: Conv2D kernel %d must be odd", k))
+	}
+	return &Conv2D{OutC: outC, K: k}
+}
+
+func (c *Conv2D) Name() string { return fmt.Sprintf("conv%dx%d-%d", c.K, c.K, c.OutC) }
+
+func (c *Conv2D) OutShape(in Shape) Shape { return Shape{C: c.OutC, H: in.H, W: in.W} }
+
+func (c *Conv2D) ParamCount(in Shape) int { return c.OutC*in.C*c.K*c.K + c.OutC }
+
+func (c *Conv2D) Bind(in Shape, params, grads []float64) {
+	c.in = in
+	nw := c.OutC * in.C * c.K * c.K
+	c.weights, c.bias = params[:nw], params[nw:]
+	c.dw, c.db = grads[:nw], grads[nw:]
+}
+
+func (c *Conv2D) Init(rng *rand.Rand) {
+	fanIn := float64(c.in.C * c.K * c.K)
+	std := math.Sqrt(2 / fanIn) // He initialization for ReLU nets
+	for i := range c.weights {
+		c.weights[i] = rng.NormFloat64() * std
+	}
+	for i := range c.bias {
+		c.bias[i] = 0
+	}
+}
+
+func (c *Conv2D) clone() Layer { return NewConv2D(c.OutC, c.K) }
+
+// im2col extracts the K×K patch around every pixel of sample x
+// (in.C×H×W) into cols, a (inC*K*K) × (H*W) row-major matrix.
+func (c *Conv2D) im2col(x, cols []float64) {
+	in, k, pad := c.in, c.K, c.K/2
+	h, w := in.H, in.W
+	p := h * w
+	row := 0
+	for ch := 0; ch < in.C; ch++ {
+		chOff := ch * p
+		for ky := 0; ky < k; ky++ {
+			for kx := 0; kx < k; kx++ {
+				dst := cols[row*p : (row+1)*p]
+				row++
+				for y := 0; y < h; y++ {
+					sy := y + ky - pad
+					if sy < 0 || sy >= h {
+						for x0 := 0; x0 < w; x0++ {
+							dst[y*w+x0] = 0
+						}
+						continue
+					}
+					srcRow := chOff + sy*w
+					for x0 := 0; x0 < w; x0++ {
+						sx := x0 + kx - pad
+						if sx < 0 || sx >= w {
+							dst[y*w+x0] = 0
+						} else {
+							dst[y*w+x0] = x[srcRow+sx]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// col2im scatter-adds the column gradient back into dx.
+func (c *Conv2D) col2im(cols, dx []float64) {
+	in, k, pad := c.in, c.K, c.K/2
+	h, w := in.H, in.W
+	p := h * w
+	row := 0
+	for ch := 0; ch < in.C; ch++ {
+		chOff := ch * p
+		for ky := 0; ky < k; ky++ {
+			for kx := 0; kx < k; kx++ {
+				src := cols[row*p : (row+1)*p]
+				row++
+				for y := 0; y < h; y++ {
+					sy := y + ky - pad
+					if sy < 0 || sy >= h {
+						continue
+					}
+					dstRow := chOff + sy*w
+					for x0 := 0; x0 < w; x0++ {
+						sx := x0 + kx - pad
+						if sx >= 0 && sx < w {
+							dx[dstRow+sx] += src[y*w+x0]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func (c *Conv2D) Forward(x []float64, b int) []float64 {
+	in := c.in
+	p := in.H * in.W
+	kdim := in.C * c.K * c.K
+	if cap(c.lastCol) < b*kdim*p {
+		c.lastCol = make([]float64, b*kdim*p)
+	}
+	if cap(c.out) < b*c.OutC*p {
+		c.out = make([]float64, b*c.OutC*p)
+	}
+	c.lastX = x
+	out := c.out[:b*c.OutC*p]
+	for s := 0; s < b; s++ {
+		cols := c.lastCol[s*kdim*p : (s+1)*kdim*p]
+		c.im2col(x[s*in.Size():(s+1)*in.Size()], cols)
+		o := out[s*c.OutC*p : (s+1)*c.OutC*p]
+		tensor.MatMul(o, c.weights, cols, c.OutC, kdim, p)
+		for oc := 0; oc < c.OutC; oc++ {
+			bv := c.bias[oc]
+			orow := o[oc*p : (oc+1)*p]
+			for i := range orow {
+				orow[i] += bv
+			}
+		}
+	}
+	return out
+}
+
+func (c *Conv2D) Backward(dy []float64, b int) []float64 {
+	in := c.in
+	p := in.H * in.W
+	kdim := in.C * c.K * c.K
+	dx := make([]float64, b*in.Size())
+	dwTmp := make([]float64, len(c.dw))
+	dcol := make([]float64, kdim*p)
+	for s := 0; s < b; s++ {
+		dout := dy[s*c.OutC*p : (s+1)*c.OutC*p]
+		cols := c.lastCol[s*kdim*p : (s+1)*kdim*p]
+		// dW += dOut · colsᵀ
+		tensor.MatMulABT(dwTmp, dout, cols, c.OutC, p, kdim)
+		tensor.Add(c.dw, dwTmp)
+		// db += row sums of dOut
+		for oc := 0; oc < c.OutC; oc++ {
+			s2 := 0.0
+			for _, v := range dout[oc*p : (oc+1)*p] {
+				s2 += v
+			}
+			c.db[oc] += s2
+		}
+		// dcols = Wᵀ · dOut, then scatter back
+		tensor.MatMulATB(dcol, c.weights, dout, c.OutC, kdim, p)
+		c.col2im(dcol, dx[s*in.Size():(s+1)*in.Size()])
+	}
+	return dx
+}
+
+// --- ReLU ------------------------------------------------------------
+
+// ReLU applies max(0, x) element-wise.
+type ReLU struct {
+	lastX []float64
+	out   []float64
+}
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+func (r *ReLU) Name() string                     { return "relu" }
+func (r *ReLU) OutShape(in Shape) Shape          { return in }
+func (r *ReLU) ParamCount(in Shape) int          { return 0 }
+func (r *ReLU) Bind(Shape, []float64, []float64) {}
+func (r *ReLU) Init(*rand.Rand)                  {}
+func (r *ReLU) clone() Layer                     { return NewReLU() }
+
+func (r *ReLU) Forward(x []float64, b int) []float64 {
+	if cap(r.out) < len(x) {
+		r.out = make([]float64, len(x))
+	}
+	out := r.out[:len(x)]
+	for i, v := range x {
+		if v > 0 {
+			out[i] = v
+		} else {
+			out[i] = 0
+		}
+	}
+	r.lastX = x
+	return out
+}
+
+func (r *ReLU) Backward(dy []float64, b int) []float64 {
+	dx := make([]float64, len(dy))
+	for i, v := range r.lastX {
+		if v > 0 {
+			dx[i] = dy[i]
+		}
+	}
+	return dx
+}
+
+// --- MaxPool ---------------------------------------------------------
+
+// MaxPool2 is 2×2 max pooling with stride 2. Input H and W must be
+// even.
+type MaxPool2 struct {
+	in     Shape
+	argmax []int
+	out    []float64
+}
+
+// NewMaxPool2 returns a 2×2/stride-2 max-pooling layer.
+func NewMaxPool2() *MaxPool2 { return &MaxPool2{} }
+
+func (m *MaxPool2) Name() string { return "maxpool2" }
+
+func (m *MaxPool2) OutShape(in Shape) Shape {
+	if in.H%2 != 0 || in.W%2 != 0 {
+		panic(fmt.Sprintf("nn: MaxPool2 input %v must have even H and W", in))
+	}
+	return Shape{C: in.C, H: in.H / 2, W: in.W / 2}
+}
+
+func (m *MaxPool2) ParamCount(in Shape) int { return 0 }
+
+func (m *MaxPool2) Bind(in Shape, _, _ []float64) { m.in = in }
+
+func (m *MaxPool2) Init(*rand.Rand) {}
+
+func (m *MaxPool2) clone() Layer { return NewMaxPool2() }
+
+func (m *MaxPool2) Forward(x []float64, b int) []float64 {
+	in := m.in
+	oh, ow := in.H/2, in.W/2
+	outSize := in.C * oh * ow
+	if cap(m.out) < b*outSize {
+		m.out = make([]float64, b*outSize)
+		m.argmax = make([]int, b*outSize)
+	}
+	out := m.out[:b*outSize]
+	arg := m.argmax[:b*outSize]
+	for s := 0; s < b; s++ {
+		for ch := 0; ch < in.C; ch++ {
+			for y := 0; y < oh; y++ {
+				for x0 := 0; x0 < ow; x0++ {
+					base := s*in.Size() + ch*in.H*in.W + 2*y*in.W + 2*x0
+					bi, bv := base, x[base]
+					for _, off := range [3]int{1, in.W, in.W + 1} {
+						if v := x[base+off]; v > bv {
+							bv, bi = v, base+off
+						}
+					}
+					oi := s*outSize + ch*oh*ow + y*ow + x0
+					out[oi] = bv
+					arg[oi] = bi
+				}
+			}
+		}
+	}
+	return out
+}
+
+func (m *MaxPool2) Backward(dy []float64, b int) []float64 {
+	in := m.in
+	outSize := in.C * (in.H / 2) * (in.W / 2)
+	dx := make([]float64, b*in.Size())
+	arg := m.argmax[:b*outSize]
+	for i, g := range dy {
+		dx[arg[i]] += g
+	}
+	return dx
+}
+
+// --- Dense -----------------------------------------------------------
+
+// Dense is a fully connected layer; it flattens any input shape.
+type Dense struct {
+	Out int
+
+	in      Shape
+	weights []float64 // [Out, in.Size()]
+	bias    []float64
+	dw, db  []float64
+
+	lastX []float64
+	out   []float64
+}
+
+// NewDense returns a fully connected layer with out units.
+func NewDense(out int) *Dense { return &Dense{Out: out} }
+
+func (d *Dense) Name() string            { return fmt.Sprintf("dense-%d", d.Out) }
+func (d *Dense) OutShape(in Shape) Shape { return Shape{C: d.Out, H: 1, W: 1} }
+func (d *Dense) ParamCount(in Shape) int { return d.Out*in.Size() + d.Out }
+
+func (d *Dense) Bind(in Shape, params, grads []float64) {
+	d.in = in
+	nw := d.Out * in.Size()
+	d.weights, d.bias = params[:nw], params[nw:]
+	d.dw, d.db = grads[:nw], grads[nw:]
+}
+
+func (d *Dense) Init(rng *rand.Rand) {
+	std := math.Sqrt(2 / float64(d.in.Size()))
+	for i := range d.weights {
+		d.weights[i] = rng.NormFloat64() * std
+	}
+	for i := range d.bias {
+		d.bias[i] = 0
+	}
+}
+
+func (d *Dense) clone() Layer { return NewDense(d.Out) }
+
+func (d *Dense) Forward(x []float64, b int) []float64 {
+	in := d.in.Size()
+	if cap(d.out) < b*d.Out {
+		d.out = make([]float64, b*d.Out)
+	}
+	out := d.out[:b*d.Out]
+	tensor.MatMulABT(out, x, d.weights, b, in, d.Out)
+	for s := 0; s < b; s++ {
+		row := out[s*d.Out : (s+1)*d.Out]
+		for j := range row {
+			row[j] += d.bias[j]
+		}
+	}
+	d.lastX = x
+	return out
+}
+
+func (d *Dense) Backward(dy []float64, b int) []float64 {
+	in := d.in.Size()
+	dwTmp := make([]float64, len(d.dw))
+	tensor.MatMulATB(dwTmp, dy, d.lastX, b, d.Out, in)
+	tensor.Add(d.dw, dwTmp)
+	for s := 0; s < b; s++ {
+		row := dy[s*d.Out : (s+1)*d.Out]
+		for j, v := range row {
+			d.db[j] += v
+		}
+	}
+	dx := make([]float64, b*in)
+	tensor.MatMul(dx, dy, d.weights, b, d.Out, in)
+	return dx
+}
+
+// --- Architectures ---------------------------------------------------
+
+// MiniVGG returns a small VGG-style CNN (conv-relu-pool ×2, then two
+// dense layers) for the given input shape and class count. It is the
+// repository's CIFAR-scale workload stand-in: real convolutional
+// training dynamics at laptop cost (see DESIGN.md §1).
+func MiniVGG(in Shape, classes int) *Network {
+	return NewNetwork(in,
+		NewConv2D(8, 3), NewReLU(), NewMaxPool2(),
+		NewConv2D(16, 3), NewReLU(), NewMaxPool2(),
+		NewDense(64), NewReLU(),
+		NewDense(classes),
+	)
+}
+
+// MLP returns a small fully-connected network, used by fast tests.
+func MLP(in Shape, hidden, classes int) *Network {
+	return NewNetwork(in,
+		NewDense(hidden), NewReLU(),
+		NewDense(classes),
+	)
+}

@@ -1,0 +1,209 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hop/internal/tensor"
+)
+
+func randomBatch(rng *rand.Rand, in Shape, classes, b int) ([]float64, []int) {
+	x := make([]float64, b*in.Size())
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	labels := make([]int, b)
+	for i := range labels {
+		labels[i] = rng.Intn(classes)
+	}
+	return x, labels
+}
+
+// numericalGradCheck compares analytic gradients to central
+// differences on a handful of randomly chosen parameters.
+func numericalGradCheck(t *testing.T, net *Network, x []float64, labels []int, b int, checks int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	net.LossGrad(x, labels, b)
+	analytic := tensor.Clone(net.Grads())
+	params := net.Params()
+	const eps = 1e-5
+	for c := 0; c < checks; c++ {
+		i := rng.Intn(len(params))
+		orig := params[i]
+		params[i] = orig + eps
+		lp := net.Loss(x, labels, b)
+		params[i] = orig - eps
+		lm := net.Loss(x, labels, b)
+		params[i] = orig
+		numeric := (lp - lm) / (2 * eps)
+		diff := math.Abs(numeric - analytic[i])
+		scale := math.Max(1, math.Abs(numeric)+math.Abs(analytic[i]))
+		if diff/scale > 1e-5 {
+			t.Errorf("param %d: analytic %.8g vs numeric %.8g", i, analytic[i], numeric)
+		}
+	}
+}
+
+func TestDenseGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	in := Shape{C: 6, H: 1, W: 1}
+	net := NewNetwork(in, NewDense(5), NewReLU(), NewDense(3))
+	net.Init(rng)
+	x, labels := randomBatch(rng, in, 3, 4)
+	numericalGradCheck(t, net, x, labels, 4, 40)
+}
+
+func TestConvGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	in := Shape{C: 2, H: 6, W: 6}
+	net := NewNetwork(in, NewConv2D(3, 3), NewReLU(), NewMaxPool2(), NewDense(4))
+	net.Init(rng)
+	x, labels := randomBatch(rng, in, 4, 3)
+	numericalGradCheck(t, net, x, labels, 3, 60)
+}
+
+func TestMiniVGGGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in := Shape{C: 3, H: 8, W: 8}
+	net := MiniVGG(in, 4)
+	net.Init(rng)
+	x, labels := randomBatch(rng, in, 4, 2)
+	numericalGradCheck(t, net, x, labels, 2, 50)
+}
+
+func TestSoftmaxLossKnownValue(t *testing.T) {
+	// A single dense layer with zero weights and bias: uniform
+	// probabilities, loss = log(classes).
+	in := Shape{C: 4, H: 1, W: 1}
+	net := NewNetwork(in, NewDense(5))
+	x, labels := randomBatch(rand.New(rand.NewSource(4)), in, 5, 8)
+	loss := net.Loss(x, labels, 8)
+	want := math.Log(5)
+	if math.Abs(loss-want) > 1e-12 {
+		t.Errorf("uniform loss = %g, want %g", loss, want)
+	}
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	in := Shape{C: 3, H: 8, W: 8}
+	net := MiniVGG(in, 3)
+	net.Init(rng)
+	x, labels := randomBatch(rng, in, 3, 16)
+	first := net.LossGrad(x, labels, 16)
+	// Plain SGD on a fixed batch must overfit it.
+	for i := 0; i < 60; i++ {
+		net.LossGrad(x, labels, 16)
+		tensor.AXPY(net.Params(), -0.05, net.Grads())
+	}
+	last := net.Loss(x, labels, 16)
+	if last >= first*0.5 {
+		t.Errorf("loss did not drop: %g -> %g", first, last)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	in := Shape{C: 3, H: 8, W: 8}
+	net := MiniVGG(in, 3)
+	net.Init(rng)
+	clone := net.Clone()
+	if net.NumParams() != clone.NumParams() {
+		t.Fatalf("param count differs: %d vs %d", net.NumParams(), clone.NumParams())
+	}
+	for i, v := range net.Params() {
+		if clone.Params()[i] != v {
+			t.Fatal("clone params differ from original")
+		}
+	}
+	clone.Params()[0] += 1
+	if net.Params()[0] == clone.Params()[0] {
+		t.Error("clone shares parameter storage with original")
+	}
+	// Both must produce valid losses independently.
+	x, labels := randomBatch(rng, in, 3, 4)
+	_ = net.LossGrad(x, labels, 4)
+	_ = clone.LossGrad(x, labels, 4)
+}
+
+func TestAccuracy(t *testing.T) {
+	in := Shape{C: 2, H: 1, W: 1}
+	net := NewNetwork(in, NewDense(2))
+	// Identity-ish weights: class = argmax of input.
+	copy(net.Params(), []float64{1, 0, 0, 1, 0, 0}) // W=[[1,0],[0,1]], b=0
+	x := []float64{3, 1, 0, 2}
+	labels := []int{0, 1}
+	if acc := net.Accuracy(x, labels, 2); acc != 1 {
+		t.Errorf("accuracy = %g, want 1", acc)
+	}
+	labels = []int{1, 1}
+	if acc := net.Accuracy(x, labels, 2); acc != 0.5 {
+		t.Errorf("accuracy = %g, want 0.5", acc)
+	}
+}
+
+func TestShapePropagation(t *testing.T) {
+	in := Shape{C: 3, H: 16, W: 16}
+	conv := NewConv2D(8, 3)
+	if got := conv.OutShape(in); got != (Shape{8, 16, 16}) {
+		t.Errorf("conv out shape %v", got)
+	}
+	pool := NewMaxPool2()
+	if got := pool.OutShape(Shape{8, 16, 16}); got != (Shape{8, 8, 8}) {
+		t.Errorf("pool out shape %v", got)
+	}
+	if got := (Shape{8, 8, 8}).Size(); got != 512 {
+		t.Errorf("size %d", got)
+	}
+}
+
+func TestMaxPoolForwardValues(t *testing.T) {
+	in := Shape{C: 1, H: 2, W: 2}
+	p := NewMaxPool2()
+	p.Bind(in, nil, nil)
+	out := p.Forward([]float64{1, 5, 3, 2}, 1)
+	if len(out) != 1 || out[0] != 5 {
+		t.Errorf("pool output %v, want [5]", out)
+	}
+	dx := p.Backward([]float64{2}, 1)
+	want := []float64{0, 2, 0, 0}
+	for i := range want {
+		if dx[i] != want[i] {
+			t.Errorf("pool backward %v, want %v", dx, want)
+		}
+	}
+}
+
+func TestOddKernelRequired(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("even kernel should panic")
+		}
+	}()
+	NewConv2D(4, 2)
+}
+
+func TestBatchInputLengthChecked(t *testing.T) {
+	in := Shape{C: 2, H: 1, W: 1}
+	net := NewNetwork(in, NewDense(2))
+	defer func() {
+		if recover() == nil {
+			t.Error("bad input length should panic")
+		}
+	}()
+	net.Forward([]float64{1, 2, 3}, 2)
+}
+
+func TestLayerNames(t *testing.T) {
+	if NewConv2D(8, 3).Name() != "conv3x3-8" {
+		t.Error("conv name")
+	}
+	if NewDense(10).Name() != "dense-10" {
+		t.Error("dense name")
+	}
+	if NewReLU().Name() != "relu" || NewMaxPool2().Name() != "maxpool2" {
+		t.Error("activation names")
+	}
+}

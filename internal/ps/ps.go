@@ -1,0 +1,268 @@
+// Package ps implements the centralized baselines the paper compares
+// against (§2.1, §7.3.2): a parameter server in three coordination
+// modes — BSP (bulk synchronous parallel), ASP (fully asynchronous,
+// Hogwild-style at the server) and SSP (stale synchronous parallel).
+//
+// The server occupies its own machine; all worker↔server traffic
+// crosses the inter-machine network and serializes on the server
+// machine's NIC, reproducing the communication hotspot that motivates
+// decentralized training (§1, §2.4).
+package ps
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"hop/internal/hetero"
+	"hop/internal/metrics"
+	"hop/internal/model"
+	"hop/internal/netsim"
+	"hop/internal/sim"
+	"hop/internal/tensor"
+)
+
+// Mode selects the server's coordination protocol.
+type Mode int
+
+const (
+	// BSP: the server waits for every worker's gradient each round,
+	// applies them, then broadcasts fresh parameters.
+	BSP Mode = iota
+	// ASP: the server applies each gradient on arrival and replies
+	// immediately with current parameters.
+	ASP
+	// SSP: like ASP, but a worker may run at most Staleness rounds
+	// ahead of the slowest worker.
+	SSP
+)
+
+func (m Mode) String() string {
+	switch m {
+	case BSP:
+		return "ps-bsp"
+	case ASP:
+		return "ps-asp"
+	case SSP:
+		return "ps-ssp"
+	}
+	return fmt.Sprintf("ps-mode(%d)", int(m))
+}
+
+// Options configure a parameter-server run.
+type Options struct {
+	Workers   int
+	Mode      Mode
+	Staleness int // SSP bound
+
+	// Trainer is the model prototype; the server holds the master
+	// replica (and its optimizer state), workers hold compute
+	// replicas.
+	Trainer model.Trainer
+
+	Compute      hetero.Compute
+	Net          netsim.Config
+	PayloadBytes int
+
+	// Placement maps workers to machines; the server always gets a
+	// dedicated machine appended after the worker machines.
+	Placement []int
+
+	MaxIter  int
+	Deadline time.Duration
+
+	EvalEvery int
+	Seed      int64
+}
+
+// Result carries the run's recordings.
+type Result struct {
+	Metrics  *metrics.Recorder
+	Duration time.Duration
+	Server   model.Trainer
+}
+
+type gradMsg struct {
+	from  int
+	iter  int
+	grads []float64
+}
+
+// Run executes the parameter-server baseline in virtual time.
+func Run(opts Options) (*Result, error) {
+	if opts.Workers < 1 {
+		return nil, fmt.Errorf("ps: need at least one worker")
+	}
+	if opts.Trainer == nil {
+		return nil, fmt.Errorf("ps: no trainer")
+	}
+	if opts.MaxIter == 0 && opts.Deadline == 0 {
+		return nil, fmt.Errorf("ps: need MaxIter or Deadline")
+	}
+	if opts.Mode == SSP && opts.Staleness < 0 {
+		return nil, fmt.Errorf("ps: SSP needs Staleness >= 0")
+	}
+	if opts.Net == (netsim.Config{}) {
+		opts.Net = netsim.Default1GbE()
+	}
+	if opts.PayloadBytes <= 0 {
+		opts.PayloadBytes = 1 << 20
+	}
+	if opts.EvalEvery <= 0 {
+		opts.EvalEvery = 10
+	}
+	if opts.Compute.Base <= 0 {
+		opts.Compute.Base = 100 * time.Millisecond
+	}
+
+	n := opts.Workers
+	placement := opts.Placement
+	if placement == nil {
+		placement = make([]int, n)
+	}
+	serverMachine := 0
+	for _, m := range placement {
+		if m+1 > serverMachine {
+			serverMachine = m + 1
+		}
+	}
+	// Node ids: workers 0..n-1, server = n, on its own machine.
+	fullPlacement := append(append([]int(nil), placement...), serverMachine)
+
+	k := sim.NewKernel()
+	fabric := netsim.New(k, opts.Net, n+1, fullPlacement)
+	rec := metrics.NewRecorder(n)
+
+	server := opts.Trainer.Clone()
+	workers := make([]model.Trainer, n)
+	for i := range workers {
+		workers[i] = opts.Trainer.Clone()
+	}
+
+	// Server state.
+	var (
+		gradQ     []gradMsg
+		gradCond  = sim.NewCond(k)
+		paramVer  = make([]int, n) // rounds each worker has received
+		paramCond = make([]*sim.Cond, n)
+		clocks    = make([]int, n) // SSP worker clocks
+		clockCond = sim.NewCond(k)
+		round     int
+	)
+	for i := range paramCond {
+		paramCond[i] = sim.NewCond(k)
+	}
+	pending := make([][]float64, n) // params awaiting pickup per worker
+
+	sendParams := func(w int) {
+		snapshot := tensor.Clone(server.Params())
+		fabric.Deliver(n, w, opts.PayloadBytes, func() {
+			pending[w] = snapshot
+			paramVer[w]++
+			paramCond[w].Broadcast()
+		})
+	}
+
+	// Server process.
+	k.Spawn("server", func(p *sim.Proc) {
+		applied := 0
+		for opts.MaxIter == 0 || applied < opts.MaxIter*n {
+			for len(gradQ) == 0 {
+				gradCond.Wait()
+			}
+			if opts.Mode == BSP {
+				for len(gradQ) < n {
+					gradCond.Wait()
+				}
+				vecs := make([][]float64, n)
+				for i, g := range gradQ {
+					vecs[i] = g.grads
+				}
+				mean := make([]float64, len(vecs[0]))
+				tensor.Mean(mean, vecs)
+				server.Apply(mean)
+				applied += n
+				gradQ = gradQ[:0]
+				round++
+				for w := 0; w < n; w++ {
+					sendParams(w)
+				}
+				continue
+			}
+			// ASP / SSP: apply one gradient, reply to its sender.
+			g := gradQ[0]
+			gradQ = gradQ[1:]
+			server.Apply(g.grads)
+			applied++
+			clocks[g.from] = g.iter + 1
+			clockCond.Broadcast()
+			sendParams(g.from)
+		}
+	})
+
+	// Worker processes.
+	rngs := make([]*rand.Rand, n)
+	for w := 0; w < n; w++ {
+		rngs[w] = rand.New(rand.NewSource(opts.Seed + int64(w)*13007 + 3))
+	}
+	slowRngs := make([]*rand.Rand, n)
+	for w := 0; w < n; w++ {
+		slowRngs[w] = rand.New(rand.NewSource(opts.Seed + int64(w)*104729 + 17))
+	}
+
+	for w := 0; w < n; w++ {
+		w := w
+		k.Spawn(fmt.Sprintf("ps-worker-%d", w), func(p *sim.Proc) {
+			t := workers[w]
+			seen := 0
+			for iter := 0; opts.MaxIter == 0 || iter < opts.MaxIter; iter++ {
+				if opts.Mode == SSP {
+					// Block while more than Staleness rounds ahead of
+					// the slowest worker.
+					for {
+						min := clocks[0]
+						for _, c := range clocks[1:] {
+							if c < min {
+								min = c
+							}
+						}
+						if iter <= min+opts.Staleness {
+							break
+						}
+						clockCond.Wait()
+					}
+				}
+				grads, loss := t.ComputeGrad(rngs[w])
+				p.Sleep(opts.Compute.IterTime(w, iter, slowRngs[w]))
+				snapshot := tensor.Clone(grads)
+				fabric.Deliver(w, n, opts.PayloadBytes, func() {
+					gradQ = append(gradQ, gradMsg{from: w, iter: iter, grads: snapshot})
+					gradCond.Broadcast()
+				})
+				// Wait for the server's reply for this round.
+				for paramVer[w] <= seen {
+					paramCond[w].Wait()
+				}
+				seen = paramVer[w]
+				tensor.Copy(t.Params(), pending[w])
+
+				rec.RecordIteration(w, iter, p.Now())
+				if w == 0 {
+					rec.RecordTrain(p.Now(), iter, loss)
+					if iter%opts.EvalEvery == 0 {
+						rec.RecordEval(p.Now(), iter, t.EvalLoss())
+					}
+				}
+			}
+		})
+	}
+
+	if err := k.RunUntil(opts.Deadline); err != nil {
+		if _, ok := err.(*sim.DeadlockError); !ok {
+			return nil, err
+		}
+		// Deadline-killed BSP rounds can strand the server; that is
+		// expected at shutdown, not a protocol deadlock.
+	}
+	return &Result{Metrics: rec, Duration: k.Now(), Server: server}, nil
+}

@@ -1,0 +1,35 @@
+package sim
+
+// Barrier is a reusable synchronization barrier for simulated
+// processes: the first n−1 arrivals block, the n-th releases everyone
+// and resets the barrier for the next round. Used by the synchronous
+// baselines (BSP parameter server rounds, ring all-reduce steps).
+type Barrier struct {
+	cond  *Cond
+	n     int
+	count int
+	gen   int
+}
+
+// NewBarrier creates a barrier for n parties on kernel k.
+func NewBarrier(k *Kernel, n int) *Barrier {
+	if n < 1 {
+		panic("sim: barrier needs >=1 party")
+	}
+	return &Barrier{cond: NewCond(k), n: n}
+}
+
+// Wait blocks the calling process until all n parties have arrived.
+func (b *Barrier) Wait() {
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+}

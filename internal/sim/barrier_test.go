@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBarrierReleasesTogether(t *testing.T) {
+	k := NewKernel()
+	b := NewBarrier(k, 3)
+	var releaseTimes []time.Duration
+	for i := 0; i < 3; i++ {
+		i := i
+		k.Spawn("p", func(p *Proc) {
+			p.Sleep(time.Duration(i+1) * 10 * time.Millisecond)
+			b.Wait()
+			releaseTimes = append(releaseTimes, p.Now())
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, rt := range releaseTimes {
+		if rt != 30*time.Millisecond {
+			t.Errorf("released at %v, want 30ms (slowest arrival)", rt)
+		}
+	}
+}
+
+func TestBarrierReusableAcrossRounds(t *testing.T) {
+	k := NewKernel()
+	b := NewBarrier(k, 2)
+	counts := [2]int{}
+	for i := 0; i < 2; i++ {
+		i := i
+		k.Spawn("p", func(p *Proc) {
+			for round := 0; round < 5; round++ {
+				p.Sleep(time.Duration(i+1) * time.Millisecond)
+				b.Wait()
+				counts[i]++
+			}
+		})
+	}
+	if err := k.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 5 || counts[1] != 5 {
+		t.Errorf("rounds %v, want 5 each", counts)
+	}
+}
+
+func TestBarrierPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewBarrier(NewKernel(), 0)
+}

@@ -1,0 +1,407 @@
+// Package sim implements a deterministic cooperative discrete-event
+// simulation kernel with a virtual clock.
+//
+// The kernel runs simulated processes (each backed by a goroutine) one
+// at a time: exactly one process executes between scheduling points, so
+// all interleavings are deterministic and reproducible. Processes
+// advance virtual time by sleeping; the kernel jumps the clock to the
+// next timer when every process is blocked. Condition variables provide
+// monitor-style blocking, and the kernel detects deadlock: if all live
+// processes are blocked on condition variables and no timers or
+// callbacks remain, Run returns a *DeadlockError naming the blocked
+// processes.
+//
+// The kernel is the substrate for the cluster simulator: workers,
+// parameter servers and network-delivery callbacks are all sim
+// processes or timed callbacks, and every experiment built on it
+// regenerates bit-identically.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// procState describes where a process currently is from the scheduler's
+// point of view.
+type procState int
+
+const (
+	stateRunnable procState = iota
+	stateRunning
+	stateSleeping // waiting on a timer
+	stateWaiting  // waiting on a Cond
+	stateDone
+)
+
+func (s procState) String() string {
+	switch s {
+	case stateRunnable:
+		return "runnable"
+	case stateRunning:
+		return "running"
+	case stateSleeping:
+		return "sleeping"
+	case stateWaiting:
+		return "waiting"
+	case stateDone:
+		return "done"
+	}
+	return "unknown"
+}
+
+// Proc is a simulated process. Procs are created with Kernel.Spawn and
+// must only call kernel methods from their own goroutine while running.
+type Proc struct {
+	k      *Kernel
+	id     int
+	name   string
+	state  procState
+	resume chan struct{}
+	// killed is set by the kernel before resuming a proc that must
+	// unwind (deadline reached or kernel stopping). The next blocking
+	// call panics with errKilled, which the spawn wrapper recovers.
+	killed bool
+	// waitingOn is the cond this proc is blocked on, for diagnostics.
+	waitingOn *Cond
+}
+
+// Name returns the name the process was spawned with.
+func (p *Proc) Name() string { return p.name }
+
+// ID returns the process id (dense, in spawn order).
+func (p *Proc) ID() int { return p.id }
+
+// errKilled unwinds a proc goroutine when the kernel shuts it down.
+type errKilled struct{}
+
+// timer is a scheduled wake-up or callback.
+type timer struct {
+	when time.Duration
+	seq  int64 // tiebreaker: FIFO among equal times
+	proc *Proc // non-nil: wake this proc
+	fn   func()
+	idx  int
+}
+
+type timerHeap []*timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *timerHeap) Push(x any) {
+	t := x.(*timer)
+	t.idx = len(*h)
+	*h = append(*h, t)
+}
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}
+
+// DeadlockError reports that the simulation can make no further
+// progress: live processes exist but all are blocked on condition
+// variables with no pending timers.
+type DeadlockError struct {
+	Now     time.Duration
+	Blocked []string // names of blocked processes
+}
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at %v: %d process(es) blocked: %v", e.Now, len(e.Blocked), e.Blocked)
+}
+
+// Kernel is the deterministic simulation scheduler. Create one with
+// NewKernel, spawn processes, then call Run (or RunUntil).
+type Kernel struct {
+	now     time.Duration
+	procs   []*Proc
+	runq    []*Proc
+	timers  timerHeap
+	seq     int64
+	nLive   int
+	current *Proc
+	yield   chan struct{}
+	// deadline, when >0, stops the simulation at that virtual time.
+	deadline time.Duration
+	stopped  bool
+}
+
+// NewKernel returns a kernel with the clock at zero and no processes.
+func NewKernel() *Kernel {
+	return &Kernel{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time. Safe to call from the
+// scheduler's caller between Run invocations and from running procs.
+func (k *Kernel) Now() time.Duration { return k.now }
+
+// Spawn creates a process running fn. fn receives the Proc handle it
+// must use for all blocking operations. Spawn may be called before Run
+// or by a running process.
+func (k *Kernel) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		k:      k,
+		id:     len(k.procs),
+		name:   name,
+		state:  stateRunnable,
+		resume: make(chan struct{}),
+	}
+	k.procs = append(k.procs, p)
+	k.nLive++
+	k.runq = append(k.runq, p)
+	go func() {
+		<-p.resume // wait for first schedule
+		defer func() {
+			if r := recover(); r != nil {
+				if _, ok := r.(errKilled); !ok {
+					panic(r) // real panic: propagate
+				}
+			}
+			p.state = stateDone
+			k.nLive--
+			k.yield <- struct{}{}
+		}()
+		if p.killed {
+			panic(errKilled{})
+		}
+		fn(p)
+	}()
+	return p
+}
+
+// After schedules fn to run at virtual time now+d in scheduler context
+// (no process is running while fn executes). fn must not block; it may
+// call Broadcast/Signal on conds, Spawn, and After. Used for modeling
+// asynchronous events such as network deliveries.
+func (k *Kernel) After(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	k.seq++
+	heap.Push(&k.timers, &timer{when: k.now + d, seq: k.seq, fn: fn})
+}
+
+// Sleep blocks the calling process for virtual duration d.
+func (p *Proc) Sleep(d time.Duration) {
+	k := p.k
+	if p.killed {
+		panic(errKilled{})
+	}
+	if d <= 0 {
+		// Still yield so equal-priority procs interleave
+		// deterministically rather than starving.
+		p.yieldNow()
+		return
+	}
+	k.seq++
+	heap.Push(&k.timers, &timer{when: k.now + d, seq: k.seq, proc: p})
+	p.state = stateSleeping
+	p.park()
+}
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.k.now }
+
+// Yield gives other runnable processes a chance to run at the same
+// virtual instant.
+func (p *Proc) yieldNow() {
+	k := p.k
+	p.state = stateRunnable
+	k.runq = append(k.runq, p)
+	p.park()
+}
+
+// park hands control back to the scheduler and blocks until resumed.
+// On resume, if the kernel is shutting this proc down, it unwinds.
+func (p *Proc) park() {
+	k := p.k
+	k.yield <- struct{}{}
+	<-p.resume
+	if p.killed {
+		panic(errKilled{})
+	}
+	p.state = stateRunning
+}
+
+// schedule runs one process (or timer batch) step. Returns false when
+// nothing remains to run.
+func (k *Kernel) step() (progress bool, err error) {
+	for len(k.runq) == 0 {
+		if k.timers.Len() == 0 {
+			if k.nLive > 0 {
+				return false, k.deadlockError()
+			}
+			return false, nil
+		}
+		next := k.timers[0]
+		if k.deadline > 0 && next.when > k.deadline {
+			k.now = k.deadline
+			return false, nil // deadline reached
+		}
+		k.now = next.when
+		// Fire every timer scheduled for this instant, in seq order.
+		for k.timers.Len() > 0 && k.timers[0].when == k.now {
+			t := heap.Pop(&k.timers).(*timer)
+			if t.proc != nil {
+				t.proc.state = stateRunnable
+				k.runq = append(k.runq, t.proc)
+			} else {
+				t.fn()
+			}
+		}
+	}
+	p := k.runq[0]
+	k.runq = k.runq[1:]
+	if p.state == stateDone {
+		return true, nil
+	}
+	p.state = stateRunning
+	k.current = p
+	p.resume <- struct{}{}
+	<-k.yield
+	k.current = nil
+	return true, nil
+}
+
+func (k *Kernel) deadlockError() *DeadlockError {
+	var blocked []string
+	for _, p := range k.procs {
+		if p.state == stateWaiting || p.state == stateSleeping {
+			blocked = append(blocked, p.name)
+		}
+	}
+	sort.Strings(blocked)
+	return &DeadlockError{Now: k.now, Blocked: blocked}
+}
+
+// Run drives the simulation until every process finishes. It returns a
+// *DeadlockError if the processes can make no further progress.
+func (k *Kernel) Run() error { return k.RunUntil(0) }
+
+// RunUntil drives the simulation until every process finishes or the
+// virtual clock would pass the deadline (deadline 0 means no limit).
+// When the deadline is reached, remaining processes are killed: their
+// next blocking call unwinds the goroutine. RunUntil returns a
+// *DeadlockError on deadlock, nil otherwise.
+func (k *Kernel) RunUntil(deadline time.Duration) error {
+	if k.stopped {
+		return fmt.Errorf("sim: kernel already stopped")
+	}
+	k.deadline = deadline
+	var dead error
+	for {
+		progress, err := k.step()
+		if err != nil {
+			dead = err
+			break
+		}
+		if !progress {
+			break
+		}
+	}
+	k.shutdown()
+	k.stopped = true
+	return dead
+}
+
+// shutdown kills every live process so no goroutines leak.
+func (k *Kernel) shutdown() {
+	// Kill sleeping/waiting procs first, then drain any runnable ones.
+	for {
+		resumed := false
+		for _, p := range k.procs {
+			if p.state == stateSleeping || p.state == stateWaiting || p.state == stateRunnable {
+				p.killed = true
+				if p.waitingOn != nil {
+					p.waitingOn.removeWaiter(p)
+				}
+				p.resume <- struct{}{}
+				<-k.yield
+				resumed = true
+			}
+		}
+		if !resumed {
+			return
+		}
+	}
+}
+
+// Cond is a condition variable usable only inside a single kernel.
+// Because the kernel runs one process at a time, no mutex is required:
+// a process examines shared state, and if it must wait, calls Wait();
+// any process or After-callback that changes the state calls Broadcast
+// or Signal. Unlike sync.Cond there are no spurious wake-ups, but
+// callers should still re-check their predicate in a loop: another
+// woken process may consume the state first.
+type Cond struct {
+	k       *Kernel
+	waiters []*Proc
+}
+
+// NewCond returns a condition variable bound to kernel k.
+func NewCond(k *Kernel) *Cond { return &Cond{k: k} }
+
+// Wait blocks the calling process until Broadcast or Signal.
+// It must be called by the currently running process.
+func (c *Cond) Wait() {
+	p := c.k.current
+	if p == nil {
+		panic("sim: Cond.Wait called outside a running process")
+	}
+	if p.killed {
+		panic(errKilled{})
+	}
+	c.waiters = append(c.waiters, p)
+	p.state = stateWaiting
+	p.waitingOn = c
+	p.park()
+	p.waitingOn = nil
+}
+
+// Broadcast wakes all waiting processes (they become runnable in FIFO
+// order). Safe to call from processes and After callbacks.
+func (c *Cond) Broadcast() {
+	for _, p := range c.waiters {
+		p.state = stateRunnable
+		p.waitingOn = nil
+		c.k.runq = append(c.k.runq, p)
+	}
+	c.waiters = c.waiters[:0]
+}
+
+// Signal wakes the longest-waiting process, if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	p := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	p.state = stateRunnable
+	p.waitingOn = nil
+	c.k.runq = append(c.k.runq, p)
+}
+
+func (c *Cond) removeWaiter(target *Proc) {
+	for i, p := range c.waiters {
+		if p == target {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			return
+		}
+	}
+}

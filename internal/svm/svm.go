@@ -1,0 +1,96 @@
+// Package svm implements the paper's second workload: a linear
+// classifier over sparse features trained with log loss (the paper
+// uses log loss in place of hinge loss, §7.2) and L2 weight decay.
+package svm
+
+import (
+	"math"
+
+	"hop/internal/data"
+)
+
+// Model is a sparse linear classifier with a dense weight vector.
+// The last weight acts as the bias via an implicit constant feature
+// only if the dataset includes one; none is added here, matching
+// common SVM setups for webspam-style data.
+type Model struct {
+	w []float64
+}
+
+// New returns a zero-initialized model over the given feature count.
+func New(features int) *Model {
+	return &Model{w: make([]float64, features)}
+}
+
+// Params returns the flat weight vector (aliased, not copied).
+func (m *Model) Params() []float64 { return m.w }
+
+// NumParams returns the feature dimension.
+func (m *Model) NumParams() int { return len(m.w) }
+
+// Clone returns an independent copy of the model.
+func (m *Model) Clone() *Model {
+	c := New(len(m.w))
+	copy(c.w, m.w)
+	return c
+}
+
+// logistic(z) = 1/(1+e^-z), computed stably.
+func logistic(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+// logLoss(z) = log(1+e^-z) for margin z = y·w·x, computed stably.
+func logLoss(z float64) float64 {
+	if z > 0 {
+		return math.Log1p(math.Exp(-z))
+	}
+	return -z + math.Log1p(math.Exp(z))
+}
+
+// Loss returns the mean log loss of the batch.
+func (m *Model) Loss(b data.SpamBatch) float64 {
+	total := 0.0
+	for i, x := range b.X {
+		total += logLoss(b.Labels[i] * x.Dot(m.w))
+	}
+	return total / float64(len(b.X))
+}
+
+// LossGrad overwrites grads with the batch-averaged gradient of the
+// log loss and returns the mean loss.
+func (m *Model) LossGrad(b data.SpamBatch, grads []float64) float64 {
+	for i := range grads {
+		grads[i] = 0
+	}
+	total := 0.0
+	inv := 1 / float64(len(b.X))
+	for i, x := range b.X {
+		y := b.Labels[i]
+		z := y * x.Dot(m.w)
+		total += logLoss(z)
+		// d/dw log(1+e^{-y·w·x}) = -y·σ(-y·w·x)·x
+		coef := -y * logistic(-z) * inv
+		for k, idx := range x.Idx {
+			grads[idx] += coef * x.Val[k]
+		}
+	}
+	return total * inv
+}
+
+// Accuracy returns the fraction of samples classified with the correct
+// sign.
+func (m *Model) Accuracy(b data.SpamBatch) float64 {
+	correct := 0
+	for i, x := range b.X {
+		score := x.Dot(m.w)
+		if (score >= 0) == (b.Labels[i] > 0) {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(b.X))
+}

@@ -1,0 +1,110 @@
+package svm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hop/internal/data"
+)
+
+func TestZeroModelLossIsLog2(t *testing.T) {
+	d := data.NewWebspam(100, 5, 0, 1)
+	m := New(100)
+	b := d.Sample(rand.New(rand.NewSource(1)), 50)
+	if got := m.Loss(b); math.Abs(got-math.Log(2)) > 1e-12 {
+		t.Errorf("zero-model loss %g, want ln2", got)
+	}
+}
+
+func TestNumericalGradient(t *testing.T) {
+	d := data.NewWebspam(40, 6, 0, 2)
+	m := New(40)
+	rng := rand.New(rand.NewSource(3))
+	for i := range m.Params() {
+		m.Params()[i] = rng.NormFloat64() * 0.1
+	}
+	b := d.Sample(rng, 8)
+	grads := make([]float64, 40)
+	m.LossGrad(b, grads)
+	const eps = 1e-6
+	for _, i := range []int{0, 5, 17, 39} {
+		orig := m.Params()[i]
+		m.Params()[i] = orig + eps
+		lp := m.Loss(b)
+		m.Params()[i] = orig - eps
+		lm := m.Loss(b)
+		m.Params()[i] = orig
+		numeric := (lp - lm) / (2 * eps)
+		if math.Abs(numeric-grads[i]) > 1e-6*(1+math.Abs(numeric)) {
+			t.Errorf("param %d: analytic %g vs numeric %g", i, grads[i], numeric)
+		}
+	}
+}
+
+func TestLossGradReturnsMeanLoss(t *testing.T) {
+	d := data.NewWebspam(60, 5, 0, 4)
+	m := New(60)
+	rng := rand.New(rand.NewSource(5))
+	b := d.Sample(rng, 16)
+	grads := make([]float64, 60)
+	got := m.LossGrad(b, grads)
+	want := m.Loss(b)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("LossGrad loss %g != Loss %g", got, want)
+	}
+}
+
+func TestTrainingImprovesAccuracy(t *testing.T) {
+	d := data.NewWebspam(200, 10, 0.02, 6)
+	m := New(200)
+	rng := rand.New(rand.NewSource(7))
+	eval := d.Sample(rand.New(rand.NewSource(8)), 300)
+	before := m.Accuracy(eval)
+	grads := make([]float64, 200)
+	for i := 0; i < 300; i++ {
+		b := d.Sample(rng, 16)
+		m.LossGrad(b, grads)
+		for j := range grads {
+			m.Params()[j] -= 0.5 * grads[j]
+		}
+	}
+	after := m.Accuracy(eval)
+	if after < 0.85 {
+		t.Errorf("accuracy after training %g (before %g), want >= 0.85", after, before)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := New(10)
+	m.Params()[3] = 5
+	c := m.Clone()
+	if c.Params()[3] != 5 {
+		t.Error("clone lost params")
+	}
+	c.Params()[3] = 7
+	if m.Params()[3] != 5 {
+		t.Error("clone aliases storage")
+	}
+	if m.NumParams() != 10 {
+		t.Error("NumParams")
+	}
+}
+
+func TestLogisticStable(t *testing.T) {
+	if got := logistic(1000); got != 1 {
+		t.Errorf("logistic(1000) = %g", got)
+	}
+	if got := logistic(-1000); got != 0 {
+		t.Errorf("logistic(-1000) = %g", got)
+	}
+	if math.Abs(logistic(0)-0.5) > 1e-15 {
+		t.Error("logistic(0)")
+	}
+	if math.IsInf(logLoss(-1000), 0) || math.IsNaN(logLoss(-1000)) {
+		t.Error("logLoss overflow")
+	}
+	if got := logLoss(1000); got != 0 {
+		t.Errorf("logLoss(1000) = %g", got)
+	}
+}

@@ -1,0 +1,188 @@
+// Package tensor provides the dense float64 kernels used throughout
+// the repository: flat vectors for model parameters (so decentralized
+// parameter averaging is a plain vector operation) and row-major
+// matrices for the neural-network layers.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Zeros returns a zeroed vector of length n.
+func Zeros(n int) []float64 { return make([]float64, n) }
+
+// Clone returns a copy of v.
+func Clone(v []float64) []float64 { return append([]float64(nil), v...) }
+
+// Fill sets every element of v to x.
+func Fill(v []float64, x float64) {
+	for i := range v {
+		v[i] = x
+	}
+}
+
+// Copy copies src into dst; the lengths must match.
+func Copy(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("tensor: Copy length mismatch %d vs %d", len(dst), len(src)))
+	}
+	copy(dst, src)
+}
+
+// AXPY computes dst += alpha * x.
+func AXPY(dst []float64, alpha float64, x []float64) {
+	if len(dst) != len(x) {
+		panic(fmt.Sprintf("tensor: AXPY length mismatch %d vs %d", len(dst), len(x)))
+	}
+	for i, v := range x {
+		dst[i] += alpha * v
+	}
+}
+
+// Scale computes v *= alpha.
+func Scale(v []float64, alpha float64) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// Add computes dst += x.
+func Add(dst, x []float64) { AXPY(dst, 1, x) }
+
+// Sub computes dst -= x.
+func Sub(dst, x []float64) { AXPY(dst, -1, x) }
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	s := 0.0
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 { return math.Sqrt(Dot(v, v)) }
+
+// Dist2 returns the Euclidean distance between a and b.
+func Dist2(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: Dist2 length mismatch %d vs %d", len(a), len(b)))
+	}
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Mean overwrites dst with the element-wise mean of the vectors.
+// vectors must be non-empty and all the same length as dst.
+func Mean(dst []float64, vectors [][]float64) {
+	if len(vectors) == 0 {
+		panic("tensor: Mean of no vectors")
+	}
+	Fill(dst, 0)
+	for _, v := range vectors {
+		Add(dst, v)
+	}
+	Scale(dst, 1/float64(len(vectors)))
+}
+
+// WeightedMean overwrites dst with Σ wᵢ·vᵢ / Σ wᵢ. The weight sum must
+// be positive. This is the Eq. 2 aggregation used by bounded staleness.
+func WeightedMean(dst []float64, vectors [][]float64, weights []float64) {
+	if len(vectors) == 0 || len(vectors) != len(weights) {
+		panic(fmt.Sprintf("tensor: WeightedMean %d vectors, %d weights", len(vectors), len(weights)))
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if total <= 0 {
+		panic(fmt.Sprintf("tensor: WeightedMean non-positive weight sum %g", total))
+	}
+	Fill(dst, 0)
+	for i, v := range vectors {
+		AXPY(dst, weights[i]/total, v)
+	}
+}
+
+// MatMul computes C = A·B for row-major flat matrices:
+// A is m×k, B is k×n, C is m×n. C must not alias A or B.
+func MatMul(c, a, b []float64, m, k, n int) {
+	if len(a) != m*k || len(b) != k*n || len(c) != m*n {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch a=%d b=%d c=%d (m=%d k=%d n=%d)", len(a), len(b), len(c), m, k, n))
+	}
+	for i := range c {
+		c[i] = 0
+	}
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		crow := c[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := arow[p]
+			if av == 0 {
+				continue
+			}
+			brow := b[p*n : (p+1)*n]
+			for j := 0; j < n; j++ {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// MatMulATB computes C = Aᵀ·B where A is k×m, B is k×n, C is m×n.
+func MatMulATB(c, a, b []float64, k, m, n int) {
+	if len(a) != k*m || len(b) != k*n || len(c) != m*n {
+		panic(fmt.Sprintf("tensor: MatMulATB shape mismatch a=%d b=%d c=%d (k=%d m=%d n=%d)", len(a), len(b), len(c), k, m, n))
+	}
+	for i := range c {
+		c[i] = 0
+	}
+	for p := 0; p < k; p++ {
+		arow := a[p*m : (p+1)*m]
+		brow := b[p*n : (p+1)*n]
+		for i := 0; i < m; i++ {
+			av := arow[i]
+			if av == 0 {
+				continue
+			}
+			crow := c[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// MatMulABT computes C = A·Bᵀ where A is m×k, B is n×k, C is m×n.
+func MatMulABT(c, a, b []float64, m, k, n int) {
+	if len(a) != m*k || len(b) != n*k || len(c) != m*n {
+		panic(fmt.Sprintf("tensor: MatMulABT shape mismatch a=%d b=%d c=%d (m=%d k=%d n=%d)", len(a), len(b), len(c), m, k, n))
+	}
+	for i := 0; i < m; i++ {
+		arow := a[i*k : (i+1)*k]
+		crow := c[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			crow[j] = Dot(arow, b[j*k:(j+1)*k])
+		}
+	}
+}
+
+// ArgMax returns the index of the largest element of v.
+func ArgMax(v []float64) int {
+	best, bi := math.Inf(-1), 0
+	for i, x := range v {
+		if x > best {
+			best, bi = x, i
+		}
+	}
+	return bi
+}

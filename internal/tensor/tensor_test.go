@@ -1,0 +1,173 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-12 }
+
+func TestAXPYAndScale(t *testing.T) {
+	v := []float64{1, 2, 3}
+	AXPY(v, 2, []float64{10, 20, 30})
+	want := []float64{21, 42, 63}
+	for i := range want {
+		if !almostEq(v[i], want[i]) {
+			t.Fatalf("AXPY %v, want %v", v, want)
+		}
+	}
+	Scale(v, 0.5)
+	for i := range want {
+		if !almostEq(v[i], want[i]/2) {
+			t.Fatalf("Scale %v", v)
+		}
+	}
+}
+
+func TestDotNormDist(t *testing.T) {
+	a := []float64{3, 4}
+	if !almostEq(Dot(a, a), 25) {
+		t.Error("Dot")
+	}
+	if !almostEq(Norm2(a), 5) {
+		t.Error("Norm2")
+	}
+	if !almostEq(Dist2(a, []float64{0, 0}), 5) {
+		t.Error("Dist2")
+	}
+}
+
+func TestMeanAndWeightedMean(t *testing.T) {
+	dst := make([]float64, 2)
+	Mean(dst, [][]float64{{1, 2}, {3, 6}})
+	if !almostEq(dst[0], 2) || !almostEq(dst[1], 4) {
+		t.Errorf("Mean %v", dst)
+	}
+	WeightedMean(dst, [][]float64{{1, 0}, {5, 0}}, []float64{1, 3})
+	if !almostEq(dst[0], 4) {
+		t.Errorf("WeightedMean %v", dst)
+	}
+}
+
+func TestWeightedMeanMatchesMeanWithEqualWeights(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		// Constrain to a sane range; astronomically large inputs
+		// overflow and are not meaningful here.
+		a, b, c = math.Remainder(a, 1e6), math.Remainder(b, 1e6), math.Remainder(c, 1e6)
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(c) {
+			return true
+		}
+		v := [][]float64{{a}, {b}, {c}}
+		m1 := make([]float64, 1)
+		m2 := make([]float64, 1)
+		Mean(m1, v)
+		WeightedMean(m2, v, []float64{2, 2, 2})
+		return math.Abs(m1[0]-m2[0]) < 1e-9*(1+math.Abs(m1[0]))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatMulKnown(t *testing.T) {
+	// [[1,2],[3,4]] · [[5,6],[7,8]] = [[19,22],[43,50]]
+	c := make([]float64, 4)
+	MatMul(c, []float64{1, 2, 3, 4}, []float64{5, 6, 7, 8}, 2, 2, 2)
+	want := []float64{19, 22, 43, 50}
+	for i := range want {
+		if !almostEq(c[i], want[i]) {
+			t.Fatalf("MatMul %v, want %v", c, want)
+		}
+	}
+}
+
+func TestMatMulVariantsAgree(t *testing.T) {
+	// Check ATB and ABT against plain MatMul with explicit transposes.
+	m, k, n := 3, 4, 2
+	a := make([]float64, m*k) // A: m×k
+	b := make([]float64, k*n) // B: k×n
+	for i := range a {
+		a[i] = float64(i%7) - 3
+	}
+	for i := range b {
+		b[i] = float64(i%5) - 2
+	}
+	want := make([]float64, m*n)
+	MatMul(want, a, b, m, k, n)
+
+	// ATB: pass Aᵀ (k×m) as the "a" argument.
+	at := make([]float64, k*m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < k; j++ {
+			at[j*m+i] = a[i*k+j]
+		}
+	}
+	got := make([]float64, m*n)
+	MatMulATB(got, at, b, k, m, n)
+	for i := range want {
+		if !almostEq(got[i], want[i]) {
+			t.Fatalf("MatMulATB %v, want %v", got, want)
+		}
+	}
+
+	// ABT: pass Bᵀ (n×k) as the "b" argument.
+	bt := make([]float64, n*k)
+	for i := 0; i < k; i++ {
+		for j := 0; j < n; j++ {
+			bt[j*k+i] = b[i*n+j]
+		}
+	}
+	got2 := make([]float64, m*n)
+	MatMulABT(got2, a, bt, m, k, n)
+	for i := range want {
+		if !almostEq(got2[i], want[i]) {
+			t.Fatalf("MatMulABT %v, want %v", got2, want)
+		}
+	}
+}
+
+func TestArgMax(t *testing.T) {
+	if ArgMax([]float64{1, 5, 3}) != 1 {
+		t.Error("ArgMax")
+	}
+	if ArgMax([]float64{-2, -1, -9}) != 1 {
+		t.Error("ArgMax negative")
+	}
+}
+
+func TestPanicsOnMismatch(t *testing.T) {
+	cases := []func(){
+		func() { Copy([]float64{1}, []float64{1, 2}) },
+		func() { AXPY([]float64{1}, 1, []float64{1, 2}) },
+		func() { Dot([]float64{1}, []float64{1, 2}) },
+		func() { Dist2([]float64{1}, []float64{1, 2}) },
+		func() { Mean([]float64{1}, nil) },
+		func() { WeightedMean([]float64{1}, [][]float64{{1}}, []float64{0}) },
+		func() { MatMul(make([]float64, 1), make([]float64, 2), make([]float64, 2), 1, 1, 1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFillZerosClone(t *testing.T) {
+	v := Zeros(3)
+	Fill(v, 2.5)
+	c := Clone(v)
+	c[0] = 0
+	if v[0] != 2.5 {
+		t.Error("Clone aliases storage")
+	}
+	Copy(v, []float64{1, 2, 3})
+	if v[2] != 3 {
+		t.Error("Copy")
+	}
+}

@@ -1,0 +1,189 @@
+// Package transport provides the wire layer of the live runtime:
+// gob-encoded, length-delimited-by-gob messages over TCP (or any
+// net.Conn), with one outgoing connection per peer and an accept loop
+// feeding a handler. It is deliberately small: the protocol above it
+// (internal/live) only needs ordered, reliable, typed messages between
+// named workers, which TCP plus gob provides.
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Kind discriminates protocol messages.
+type Kind uint8
+
+// Message kinds.
+const (
+	// KindUpdate carries model parameters tagged (Iter, From) — the
+	// update-queue entries of §4.1.
+	KindUpdate Kind = iota
+	// KindToken grants Count tokens from the sender's token queue
+	// toward the receiver (§4.2, receiver-side counting).
+	KindToken
+	// KindAck acknowledges consumption of the receiver's iteration
+	// Iter update (NOTIFY-ACK, §3.3).
+	KindAck
+)
+
+// Message is the single wire type.
+type Message struct {
+	Kind   Kind
+	From   int
+	Iter   int
+	Count  int
+	Params []float64
+}
+
+// Handler consumes inbound messages. It is called from per-connection
+// reader goroutines and must be safe for concurrent use.
+type Handler func(Message)
+
+type peer struct {
+	mu   sync.Mutex
+	conn net.Conn
+	enc  *gob.Encoder
+}
+
+// Node is one transport endpoint: a listener plus outgoing peer
+// connections.
+type Node struct {
+	id      int
+	ln      net.Listener
+	handler Handler
+
+	mu      sync.Mutex
+	peers   map[int]*peer
+	inbound []net.Conn
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// Listen starts a node with the given worker id on addr (use ":0" for
+// an ephemeral port) and begins accepting inbound connections, feeding
+// every decoded message to handler.
+func Listen(id int, addr string, handler Handler) (*Node, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	n := &Node{id: id, ln: ln, handler: handler, peers: make(map[int]*peer)}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// ID returns the worker id.
+func (n *Node) ID() int { return n.id }
+
+// Addr returns the listener's address (host:port).
+func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+func (n *Node) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			conn.Close()
+			return
+		}
+		n.inbound = append(n.inbound, conn)
+		n.mu.Unlock()
+		n.wg.Add(1)
+		go n.readLoop(conn)
+	}
+}
+
+func (n *Node) readLoop(conn net.Conn) {
+	defer n.wg.Done()
+	defer conn.Close()
+	dec := gob.NewDecoder(conn)
+	for {
+		var m Message
+		if err := dec.Decode(&m); err != nil {
+			return // connection closed or corrupt
+		}
+		n.handler(m)
+	}
+}
+
+// Dial connects to peer id at addr, retrying until the deadline (peers
+// start in arbitrary order). Dialing the same peer twice is an error.
+func (n *Node) Dial(id int, addr string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			n.mu.Lock()
+			if n.closed {
+				n.mu.Unlock()
+				conn.Close()
+				return fmt.Errorf("transport: node closed")
+			}
+			if _, dup := n.peers[id]; dup {
+				n.mu.Unlock()
+				conn.Close()
+				return fmt.Errorf("transport: peer %d already connected", id)
+			}
+			n.peers[id] = &peer{conn: conn, enc: gob.NewEncoder(conn)}
+			n.mu.Unlock()
+			return nil
+		}
+		lastErr = err
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("transport: dial peer %d at %s: %w", id, addr, lastErr)
+}
+
+// Send encodes m (stamped with this node's id) to peer id. It is safe
+// for concurrent use; messages to one peer are serialized.
+func (n *Node) Send(id int, m Message) error {
+	m.From = n.id
+	n.mu.Lock()
+	p, ok := n.peers[id]
+	n.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("transport: no connection to peer %d", id)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if err := p.enc.Encode(m); err != nil {
+		return fmt.Errorf("transport: send to %d: %w", id, err)
+	}
+	return nil
+}
+
+// Close shuts the listener and all peer connections — both the
+// outgoing connections this node dialed and the inbound connections it
+// accepted — and waits for the reader goroutines to drain.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	peers := n.peers
+	inbound := n.inbound
+	n.peers = map[int]*peer{}
+	n.inbound = nil
+	n.mu.Unlock()
+	n.ln.Close()
+	for _, p := range peers {
+		p.conn.Close()
+	}
+	for _, c := range inbound {
+		c.Close()
+	}
+	n.wg.Wait()
+}

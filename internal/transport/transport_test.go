@@ -1,0 +1,212 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var mu sync.Mutex
+	var got []Message
+	rx, err := Listen(1, "127.0.0.1:0", func(m Message) {
+		mu.Lock()
+		got = append(got, m)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rx.Close()
+
+	tx, err := Listen(0, "127.0.0.1:0", func(Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tx.Close()
+
+	if err := tx.Dial(1, rx.Addr(), 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	want := Message{Kind: KindUpdate, Iter: 7, Params: []float64{1.5, -2.5}}
+	if err := tx.Send(1, want); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("message never arrived")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	m := got[0]
+	if m.From != 0 || m.Iter != 7 || m.Kind != KindUpdate {
+		t.Errorf("message %+v", m)
+	}
+	if len(m.Params) != 2 || m.Params[0] != 1.5 || m.Params[1] != -2.5 {
+		t.Errorf("params %v", m.Params)
+	}
+}
+
+func TestOrderedDeliveryPerPeer(t *testing.T) {
+	var mu sync.Mutex
+	var iters []int
+	rx, err := Listen(1, "127.0.0.1:0", func(m Message) {
+		mu.Lock()
+		iters = append(iters, m.Iter)
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rx.Close()
+	tx, err := Listen(0, "127.0.0.1:0", func(Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tx.Close()
+	if err := tx.Dial(1, rx.Addr(), 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := tx.Send(1, Message{Kind: KindToken, Iter: i, Count: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		mu.Lock()
+		c := len(iters)
+		mu.Unlock()
+		if c == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d arrived", c, n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 0; i < n; i++ {
+		if iters[i] != i {
+			t.Fatalf("out of order at %d: %d", i, iters[i])
+		}
+	}
+}
+
+func TestSendWithoutConnection(t *testing.T) {
+	n, err := Listen(0, "127.0.0.1:0", func(Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	if err := n.Send(5, Message{}); err == nil {
+		t.Error("send to unconnected peer should fail")
+	}
+}
+
+func TestDialTimeout(t *testing.T) {
+	n, err := Listen(0, "127.0.0.1:0", func(Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Close()
+	start := time.Now()
+	// 203.0.113.0/24 is TEST-NET-3: never routable.
+	if err := n.Dial(1, "127.0.0.1:1", 200*time.Millisecond); err == nil {
+		t.Error("dial to closed port should fail")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("dial retried far past its timeout")
+	}
+}
+
+func TestDuplicateDialRejected(t *testing.T) {
+	rx, err := Listen(1, "127.0.0.1:0", func(Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rx.Close()
+	tx, err := Listen(0, "127.0.0.1:0", func(Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tx.Close()
+	if err := tx.Dial(1, rx.Addr(), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Dial(1, rx.Addr(), time.Second); err == nil {
+		t.Error("duplicate dial should fail")
+	}
+}
+
+func TestCloseIdempotentAndStopsAccept(t *testing.T) {
+	n, err := Listen(0, "127.0.0.1:0", func(Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.ID() != 0 {
+		t.Error("ID")
+	}
+	n.Close()
+	n.Close() // must not panic or hang
+}
+
+func TestConcurrentSendersSafe(t *testing.T) {
+	var count int
+	var mu sync.Mutex
+	rx, err := Listen(1, "127.0.0.1:0", func(Message) {
+		mu.Lock()
+		count++
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rx.Close()
+	tx, err := Listen(0, "127.0.0.1:0", func(Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tx.Close()
+	if err := tx.Dial(1, rx.Addr(), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if err := tx.Send(1, Message{Kind: KindAck, Iter: i}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		mu.Lock()
+		c := count
+		mu.Unlock()
+		if c == 400 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("got %d of 400 messages", c)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
