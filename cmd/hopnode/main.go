@@ -35,6 +35,8 @@ func main() {
 		skip      = flag.Bool("skip", false, "enable skipping iterations")
 		maxJump   = flag.Int("max-jump", 10, "max iterations per jump")
 		iters     = flag.Int("iters", 100, "iterations to run")
+		comp      = flag.String("compress", "none", "wire codec for update payloads: none | float32 | topk[:ratio]")
+		chunk     = flag.Int("chunk-bytes", 0, "max wire payload bytes per frame (0 = transport default)")
 		seed      = flag.Int64("seed", 1, "seed")
 		delay     = flag.Duration("delay", 0, "artificial extra compute time per iteration")
 		dialWait  = flag.Duration("dial-wait", 30*time.Second, "how long to retry dialing peers")
@@ -72,21 +74,30 @@ func main() {
 		fail(err)
 	}
 
-	cfg := live.WorkerConfig{
-		ID:         *id,
-		Graph:      g,
-		ListenAddr: *listen,
-		Trainer:    trainer,
-		MaxIG:      *maxIG,
-		Backup:     *backup,
-		Staleness:  *staleness,
-		SendCheck:  *backup > 0,
-		MaxIter:    *iters,
-		Seed:       *seed,
+	spec, err := hop.ParseCompression(*comp)
+	if err != nil {
+		fail(err)
+	}
+
+	// All protocol knobs go through the shared core.Config; the live
+	// WorkerConfig is derived from it.
+	coreCfg := core.Config{
+		Graph:       g,
+		MaxIG:       *maxIG,
+		Backup:      *backup,
+		Staleness:   *staleness,
+		SendCheck:   *backup > 0,
+		Compression: spec,
+		MaxIter:     *iters,
+		Seed:        *seed,
 	}
 	if *skip {
-		cfg.Skip = &core.SkipConfig{MaxJump: *maxJump, TriggerBehind: 2}
+		coreCfg.Skip = &core.SkipConfig{MaxJump: *maxJump, TriggerBehind: 2}
 	}
+	cfg := live.NewWorkerConfig(coreCfg, *id)
+	cfg.ListenAddr = *listen
+	cfg.Trainer = trainer
+	cfg.WireChunkBytes = *chunk
 	if *delay > 0 {
 		d := *delay
 		cfg.ComputeDelay = func(int) time.Duration { return d }
@@ -114,6 +125,20 @@ func main() {
 	}
 	fmt.Printf("worker %d finished %d iterations in %v, final train loss %.4f\n",
 		*id, *iters, time.Since(start).Round(time.Millisecond), loss)
+	st := w.WireStats()
+	fmt.Printf("worker %d wire: %d updates in %d frames, %s sent (%s recv), update payloads %s vs %s raw (%.1fx, codec %s)\n",
+		*id, st.UpdatesSent, st.FramesSent, fmtBytes(st.BytesSent), fmtBytes(st.BytesRecv),
+		fmtBytes(st.WireUpdateBytesSent), fmtBytes(st.RawUpdateBytesSent), st.CompressionRatio(), spec)
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
 }
 
 func parsePeers(s string) (map[int]string, error) {

@@ -1,0 +1,3 @@
+module hop
+
+go 1.21

@@ -36,6 +36,7 @@ import (
 	"io"
 
 	"hop/internal/cluster"
+	"hop/internal/compress"
 	"hop/internal/core"
 	"hop/internal/experiments"
 	"hop/internal/graph"
@@ -114,6 +115,13 @@ func NewBounds(cfg Config) *Bounds { return core.NewBounds(cfg) }
 
 // Unbounded marks an infinite Table 1 bound.
 const Unbounded = core.Unbounded
+
+// CompressionSpec selects the live runtime's wire codec for update
+// payloads ("none", "float32", "topk[:ratio]"); see ParseCompression.
+type CompressionSpec = compress.Spec
+
+// ParseCompression parses a wire-codec spec string.
+func ParseCompression(s string) (CompressionSpec, error) { return compress.ParseSpec(s) }
 
 // --- Workloads --------------------------------------------------------
 

@@ -1,0 +1,310 @@
+// Package compress implements the pluggable gradient/parameter
+// compressors of the live wire layer (see DESIGN.md §2.3). A
+// Compressor turns a dense []float64 update into a compact byte
+// payload; Decode reverses any payload given only the codec kind
+// carried in the frame header, so a receiver never needs the sender's
+// configuration to decompress.
+//
+// Three codecs are provided:
+//
+//   - None: raw little-endian float64s, lossless (8 bytes/coord).
+//   - Float32: cast-down to little-endian float32s (4 bytes/coord),
+//     lossy only by float32 rounding — the "half-width" codec common
+//     in decentralized-training systems.
+//   - TopK: magnitude sparsification. Only the k largest-|x| coords
+//     are transmitted as (uint32 index, float32 value) pairs; the
+//     receiver reconstructs the rest as zero. The L1 reconstruction
+//     error is bounded by the mass of the dropped coordinates (plus
+//     float32 rounding on the kept ones).
+//
+// The simulator never touches this package: simulated runs model
+// payload *size* only, so their behavior is byte-identical whether or
+// not compression is configured.
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Kind identifies a codec on the wire (one byte in the frame header).
+type Kind uint8
+
+// Wire codec kinds. The numeric values are part of the wire format;
+// never renumber.
+const (
+	None Kind = iota
+	Float32
+	TopK
+)
+
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Float32:
+		return "float32"
+	case TopK:
+		return "topk"
+	}
+	return fmt.Sprintf("codec(%d)", uint8(k))
+}
+
+// Supported reports whether this build can decode payloads of kind k.
+// Connection negotiation uses it: an acceptor that does not support
+// the dialer's proposed codec answers with None and both sides fall
+// back (see transport.Dial).
+func Supported(k Kind) bool {
+	switch k {
+	case None, Float32, TopK:
+		return true
+	}
+	return false
+}
+
+// Compressor encodes dense update vectors into wire payloads. A
+// Compressor must be safe for concurrent use; all implementations in
+// this package are stateless.
+type Compressor interface {
+	// Kind is the byte written into every frame header so the
+	// receiver can decode without out-of-band configuration.
+	Kind() Kind
+	// Compress appends the encoded form of src to dst and returns the
+	// extended slice (append-style, so callers can reuse buffers).
+	Compress(dst []byte, src []float64) []byte
+}
+
+// Spec is a parsed compressor selection: a kind plus the TopK keep
+// ratio. The zero Spec means None — configs that never mention
+// compression get the lossless wire format.
+type Spec struct {
+	Kind Kind
+	// Ratio is the TopK keep fraction in (0, 1]; ignored by other
+	// kinds. Zero means the DefaultTopKRatio.
+	Ratio float64
+}
+
+// DefaultTopKRatio is the keep fraction used when a TopK spec does
+// not state one (the 10% operating point of the wire benchmarks).
+const DefaultTopKRatio = 0.1
+
+// ParseSpec parses a command-line compressor spec: "none", "float32",
+// "topk" or "topk:<ratio>" (e.g. "topk:0.1").
+func ParseSpec(s string) (Spec, error) {
+	name, arg, hasArg := strings.Cut(strings.TrimSpace(strings.ToLower(s)), ":")
+	switch name {
+	case "", "none":
+		return Spec{Kind: None}, nil
+	case "float32", "f32":
+		return Spec{Kind: Float32}, nil
+	case "topk":
+		sp := Spec{Kind: TopK, Ratio: DefaultTopKRatio}
+		if hasArg {
+			r, err := strconv.ParseFloat(arg, 64)
+			if err != nil || r <= 0 || r > 1 {
+				return Spec{}, fmt.Errorf("compress: bad topk ratio %q (want 0 < r <= 1)", arg)
+			}
+			sp.Ratio = r
+		}
+		return sp, nil
+	}
+	return Spec{}, fmt.Errorf("compress: unknown codec %q (want none | float32 | topk[:ratio])", s)
+}
+
+func (s Spec) String() string {
+	if s.Kind == TopK {
+		r := s.Ratio
+		if r == 0 {
+			r = DefaultTopKRatio
+		}
+		return fmt.Sprintf("topk:%g", r)
+	}
+	return s.Kind.String()
+}
+
+// New builds the Compressor a Spec describes.
+func (s Spec) New() Compressor {
+	switch s.Kind {
+	case Float32:
+		return float32Codec{}
+	case TopK:
+		r := s.Ratio
+		if r <= 0 || r > 1 {
+			r = DefaultTopKRatio
+		}
+		return topKCodec{ratio: r}
+	default:
+		return noneCodec{}
+	}
+}
+
+// NewNone returns the lossless raw-float64 codec.
+func NewNone() Compressor { return noneCodec{} }
+
+// NewFloat32 returns the float32 cast-down codec.
+func NewFloat32() Compressor { return float32Codec{} }
+
+// NewTopK returns the magnitude-sparsification codec keeping
+// ceil(ratio·n) coordinates; ratio must be in (0, 1].
+func NewTopK(ratio float64) Compressor {
+	if ratio <= 0 || ratio > 1 {
+		panic(fmt.Sprintf("compress: topk ratio %g out of (0,1]", ratio))
+	}
+	return topKCodec{ratio: ratio}
+}
+
+// Decode reverses Compress for any supported kind. It never panics on
+// malformed payloads; it returns an error instead (wire input is
+// untrusted).
+func Decode(k Kind, payload []byte) ([]float64, error) {
+	switch k {
+	case None:
+		if len(payload)%8 != 0 {
+			return nil, fmt.Errorf("compress: none payload length %d not a multiple of 8", len(payload))
+		}
+		out := make([]float64, len(payload)/8)
+		for i := range out {
+			out[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+		}
+		return out, nil
+	case Float32:
+		if len(payload)%4 != 0 {
+			return nil, fmt.Errorf("compress: float32 payload length %d not a multiple of 4", len(payload))
+		}
+		out := make([]float64, len(payload)/4)
+		for i := range out {
+			out[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(payload[4*i:])))
+		}
+		return out, nil
+	case TopK:
+		return decodeTopK(payload)
+	}
+	return nil, fmt.Errorf("compress: unsupported codec %v", k)
+}
+
+// --- None -------------------------------------------------------------
+
+type noneCodec struct{}
+
+func (noneCodec) Kind() Kind { return None }
+
+func (noneCodec) Compress(dst []byte, src []float64) []byte {
+	for _, v := range src {
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	}
+	return dst
+}
+
+// --- Float32 ----------------------------------------------------------
+
+type float32Codec struct{}
+
+func (float32Codec) Kind() Kind { return Float32 }
+
+func (float32Codec) Compress(dst []byte, src []float64) []byte {
+	for _, v := range src {
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(float32(v)))
+	}
+	return dst
+}
+
+// --- TopK -------------------------------------------------------------
+
+// TopK payload layout (little-endian):
+//
+//	uint32 n   original vector length
+//	uint32 k   number of (index, value) pairs that follow
+//	k × { uint32 index, float32 value }
+//
+// Indices are strictly increasing, which Decode verifies: it makes the
+// payload canonical and rejects duplicate-index mass inflation from a
+// corrupt or malicious sender.
+type topKCodec struct{ ratio float64 }
+
+func (topKCodec) Kind() Kind { return TopK }
+
+// KeepCount returns how many coordinates of an n-vector survive:
+// ceil(ratio·n), floored at 1 for non-empty input.
+func (c topKCodec) KeepCount(n int) int {
+	if n == 0 {
+		return 0
+	}
+	k := int(math.Ceil(c.ratio * float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+func (c topKCodec) Compress(dst []byte, src []float64) []byte {
+	n := len(src)
+	k := c.KeepCount(n)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	// Partial selection would be O(n) with quickselect; a full sort of
+	// the index slice keeps this dependency-free and is nowhere near
+	// the wire bottleneck at paper-scale vectors.
+	sort.Slice(idx, func(a, b int) bool {
+		va, vb := math.Abs(src[idx[a]]), math.Abs(src[idx[b]])
+		if va != vb {
+			return va > vb
+		}
+		return idx[a] < idx[b] // deterministic tie-break
+	})
+	kept := idx[:k]
+	sort.Ints(kept)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(n))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(k))
+	for _, i := range kept {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(i))
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(float32(src[i])))
+	}
+	return dst
+}
+
+func decodeTopK(payload []byte) ([]float64, error) {
+	if len(payload) < 8 {
+		return nil, fmt.Errorf("compress: topk payload too short (%d bytes)", len(payload))
+	}
+	n := int(binary.LittleEndian.Uint32(payload))
+	k := int(binary.LittleEndian.Uint32(payload[4:]))
+	if k > n {
+		return nil, fmt.Errorf("compress: topk k=%d exceeds n=%d", k, n)
+	}
+	if k == 0 && n > 0 {
+		// The encoder always keeps >=1 coordinate of a non-empty
+		// vector; a zero-k payload is a decompression bomb, not data.
+		return nil, fmt.Errorf("compress: topk k=0 for n=%d is not canonical", n)
+	}
+	if len(payload) != 8+8*k {
+		return nil, fmt.Errorf("compress: topk payload %d bytes, want %d for k=%d", len(payload), 8+8*k, k)
+	}
+	const maxVector = 1 << 26 // 512 MiB of float64s; far beyond any model here
+	if n > maxVector {
+		return nil, fmt.Errorf("compress: topk n=%d exceeds sanity bound", n)
+	}
+	out := make([]float64, n)
+	prev := -1
+	for p := 0; p < k; p++ {
+		off := 8 + 8*p
+		i := int(binary.LittleEndian.Uint32(payload[off:]))
+		if i >= n {
+			return nil, fmt.Errorf("compress: topk index %d out of range n=%d", i, n)
+		}
+		if i <= prev {
+			return nil, fmt.Errorf("compress: topk indices not strictly increasing at pair %d", p)
+		}
+		prev = i
+		out[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(payload[off+4:])))
+	}
+	return out, nil
+}

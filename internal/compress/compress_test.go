@@ -1,0 +1,237 @@
+package compress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(7)-3))
+	}
+	return v
+}
+
+func TestNoneRoundTripExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 3, 100, 4096} {
+		src := randVec(rng, n)
+		got, err := Decode(None, NewNone().Compress(nil, src))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(got) != n {
+			t.Fatalf("n=%d: decoded %d", n, len(got))
+		}
+		for i := range src {
+			if got[i] != src[i] {
+				t.Fatalf("n=%d: coord %d: %g != %g", n, i, got[i], src[i])
+			}
+		}
+	}
+}
+
+func TestFloat32RoundTripWithinRounding(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 17, 1000} {
+		src := randVec(rng, n)
+		got, err := Decode(Float32, NewFloat32().Compress(nil, src))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		for i := range src {
+			if got[i] != float64(float32(src[i])) {
+				t.Fatalf("coord %d: %g is not the float32 rounding of %g", i, got[i], src[i])
+			}
+		}
+	}
+}
+
+// TestTopKProperties checks the sparsification contract: exactly
+// ceil(ratio*n) coords survive, the kept set is the k largest by
+// magnitude, kept values are float32-exact, dropped coords decode to
+// zero, and the L1 error is bounded by the dropped mass plus float32
+// rounding on the kept mass.
+func TestTopKProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, ratio := range []float64{0.01, 0.1, 0.5, 1.0} {
+		for _, n := range []int{1, 10, 257, 2048} {
+			src := randVec(rng, n)
+			c := NewTopK(ratio).(topKCodec)
+			k := c.KeepCount(n)
+			got, err := Decode(TopK, c.Compress(nil, src))
+			if err != nil {
+				t.Fatalf("ratio=%g n=%d: %v", ratio, n, err)
+			}
+			if len(got) != n {
+				t.Fatalf("ratio=%g n=%d: decoded length %d", ratio, n, len(got))
+			}
+			kept := 0
+			var minKept, maxDropped float64
+			minKept = math.Inf(1)
+			var droppedMass, errMass float64
+			// A zero source coord may legitimately be "kept" as zero;
+			// only non-zero decodes are unambiguous keeps, so kept is a
+			// lower bound checked against the cap k.
+			for i := range src {
+				errMass += math.Abs(got[i] - src[i])
+				if got[i] != 0 {
+					kept++
+					if got[i] != float64(float32(src[i])) {
+						t.Fatalf("kept coord %d: %g not float32(%g)", i, got[i], src[i])
+					}
+					if a := math.Abs(src[i]); a < minKept {
+						minKept = a
+					}
+				} else {
+					droppedMass += math.Abs(src[i])
+					if a := math.Abs(src[i]); a > maxDropped {
+						maxDropped = a
+					}
+				}
+			}
+			if kept > k {
+				t.Fatalf("ratio=%g n=%d: %d coords survived, cap %d", ratio, n, kept, k)
+			}
+			// Selection correctness: nothing dropped may exceed the
+			// smallest kept magnitude.
+			if kept > 0 && maxDropped > minKept {
+				t.Fatalf("ratio=%g n=%d: dropped |%g| > kept |%g|", ratio, n, maxDropped, minKept)
+			}
+			// Error bound: dropped mass plus float32 rounding slack.
+			bound := droppedMass
+			for i := range src {
+				bound += math.Abs(src[i]) * 1e-6
+			}
+			if errMass > bound+1e-12 {
+				t.Fatalf("ratio=%g n=%d: L1 error %g exceeds bound %g", ratio, n, errMass, bound)
+			}
+		}
+	}
+}
+
+func TestTopKRatioOneKeepsEverything(t *testing.T) {
+	src := []float64{3, -1, 0.5, -7, 2}
+	got, err := Decode(TopK, NewTopK(1.0).Compress(nil, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if got[i] != float64(float32(src[i])) {
+			t.Fatalf("coord %d: %g vs %g", i, got[i], src[i])
+		}
+	}
+}
+
+func TestTopKCompressionRatio(t *testing.T) {
+	src := randVec(rand.New(rand.NewSource(4)), 1<<14)
+	raw := len(NewNone().Compress(nil, src))
+	topk := len(NewTopK(0.1).Compress(nil, src))
+	if ratio := float64(raw) / float64(topk); ratio < 4 {
+		t.Fatalf("topk:0.1 only %.1fx smaller than raw", ratio)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Spec
+		ok   bool
+	}{
+		{"none", Spec{Kind: None}, true},
+		{"", Spec{Kind: None}, true},
+		{"float32", Spec{Kind: Float32}, true},
+		{"F32", Spec{Kind: Float32}, true},
+		{"topk", Spec{Kind: TopK, Ratio: DefaultTopKRatio}, true},
+		{"topk:0.25", Spec{Kind: TopK, Ratio: 0.25}, true},
+		{"topk:0", Spec{}, false},
+		{"topk:1.5", Spec{}, false},
+		{"gzip", Spec{}, false},
+	}
+	for _, c := range cases {
+		got, err := ParseSpec(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("ParseSpec(%q): err=%v", c.in, err)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+	for _, s := range []string{"none", "float32", "topk:0.1"} {
+		sp, err := ParseSpec(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sp.String() != s {
+			t.Errorf("round-trip %q -> %q", s, sp.String())
+		}
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		kind    Kind
+		payload []byte
+	}{
+		{None, make([]byte, 7)},
+		{Float32, make([]byte, 6)},
+		{TopK, nil},
+		{TopK, make([]byte, 7)},
+		{TopK, []byte{2, 0, 0, 0, 3, 0, 0, 0}}, // k>n
+		{TopK, []byte{4, 0, 0, 0, 1, 0, 0, 0}}, // missing pairs
+		{TopK, []byte{2, 0, 0, 0, 1, 0, 0, 0, 9, 0, 0, 0, 0, 0, 0, 0}},      // index out of range
+		{Kind(250), []byte{1, 2, 3}},                                        // unknown codec
+		{TopK, append([]byte{2, 0, 0, 0, 2, 0, 0, 0}, make([]byte, 16)...)}, // duplicate index 0
+	}
+	for i, c := range cases {
+		if _, err := Decode(c.kind, c.payload); err == nil {
+			t.Errorf("case %d (%v, %d bytes): malformed payload accepted", i, c.kind, len(c.payload))
+		}
+	}
+}
+
+// FuzzDecode asserts Decode never panics and never returns oversized
+// allocations on arbitrary wire bytes.
+func FuzzDecode(f *testing.F) {
+	f.Add(uint8(None), []byte{0, 0, 0, 0, 0, 0, 0, 64})
+	f.Add(uint8(Float32), []byte{0, 0, 128, 63})
+	f.Add(uint8(TopK), NewTopK(0.5).Compress(nil, []float64{1, -2, 3, 0.25}))
+	f.Fuzz(func(t *testing.T, kind uint8, payload []byte) {
+		out, err := Decode(Kind(kind), payload)
+		if err == nil && Kind(kind) == TopK && len(payload) >= 4 {
+			if want := int(uint32(payload[0]) | uint32(payload[1])<<8 | uint32(payload[2])<<16 | uint32(payload[3])<<24); len(out) != want {
+				t.Fatalf("topk decoded %d coords, header says %d", len(out), want)
+			}
+		}
+	})
+}
+
+// FuzzRoundTrip asserts compress→decode preserves every codec's
+// contract on arbitrary vectors.
+func FuzzRoundTrip(f *testing.F) {
+	f.Add(int64(1), 10)
+	f.Add(int64(99), 1)
+	f.Fuzz(func(t *testing.T, seed int64, n int) {
+		if n < 0 || n > 1<<12 {
+			t.Skip()
+		}
+		src := randVec(rand.New(rand.NewSource(seed)), n)
+		for _, c := range []Compressor{NewNone(), NewFloat32(), NewTopK(0.3)} {
+			got, err := Decode(c.Kind(), c.Compress(nil, src))
+			if err != nil {
+				t.Fatalf("%v: %v", c.Kind(), err)
+			}
+			if len(got) != len(src) {
+				t.Fatalf("%v: length %d want %d", c.Kind(), len(got), len(src))
+			}
+			for i := range got {
+				if got[i] != 0 && got[i] != src[i] && got[i] != float64(float32(src[i])) {
+					t.Fatalf("%v coord %d: %g from %g", c.Kind(), i, got[i], src[i])
+				}
+			}
+		}
+	})
+}

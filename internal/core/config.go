@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"hop/internal/compress"
 	"hop/internal/graph"
 	"hop/internal/model"
 )
@@ -130,6 +131,14 @@ type Config struct {
 	// receiver has already advanced past the sender.
 	SendCheck bool
 
+	// Compression selects the wire codec the live runtime compresses
+	// update payloads with (negotiated per connection; see
+	// internal/transport and DESIGN.md §2.3). The simulator models
+	// payload size, not payload bytes, so simulated runs are
+	// byte-identical whatever this is set to. The zero value is
+	// lossless (compress.None).
+	Compression compress.Spec
+
 	// Skip enables skipping iterations (§5); requires MaxIG > 0.
 	Skip *SkipConfig
 
@@ -188,6 +197,12 @@ func (c *Config) Validate() error {
 		if c.Skip.MaxJump < 1 {
 			return fmt.Errorf("core: SkipConfig.MaxJump must be >=1, got %d", c.Skip.MaxJump)
 		}
+	}
+	if !compress.Supported(c.Compression.Kind) {
+		return fmt.Errorf("core: unsupported compression codec %v", c.Compression.Kind)
+	}
+	if c.Compression.Kind == compress.TopK && (c.Compression.Ratio < 0 || c.Compression.Ratio > 1) {
+		return fmt.Errorf("core: topk ratio %g out of (0,1]", c.Compression.Ratio)
 	}
 	if c.Mode == ModeNotifyAck && (c.MaxIG > 0 || c.Backup > 0 || c.Staleness >= 0 || c.Skip != nil) {
 		return fmt.Errorf("core: NOTIFY-ACK is the fixed-gap baseline; token queues, backup workers, staleness and skipping do not compose with it (§3.4-3.5)")

@@ -20,6 +20,8 @@ package core
 import (
 	"sync"
 	"time"
+
+	"hop/internal/compress"
 )
 
 // Cond is a condition variable bound to its Monitor's lock. Wait
@@ -61,6 +63,12 @@ type Update struct {
 	Params []float64
 	Iter   int
 	From   int
+
+	// Codec records the wire compressor the update arrived under
+	// (compress.None for local or simulated updates) — diagnostic
+	// metadata the live runtime stamps on receipt; the protocol never
+	// branches on it.
+	Codec compress.Kind
 }
 
 // Host is the execution environment the worker engine runs against.

@@ -22,6 +22,7 @@ import (
 	"math/rand"
 	"time"
 
+	"hop/internal/compress"
 	"hop/internal/core"
 	"hop/internal/graph"
 	"hop/internal/model"
@@ -46,6 +47,16 @@ type WorkerConfig struct {
 	SendCheck bool
 	Skip      *core.SkipConfig
 
+	// Compression selects the wire codec for outgoing update payloads
+	// (negotiated per connection at Dial; see internal/transport). The
+	// zero value is lossless.
+	Compression compress.Spec
+
+	// WireChunkBytes caps the per-frame payload size so control
+	// frames interleave with large updates; 0 means
+	// transport.DefaultMaxChunk.
+	WireChunkBytes int
+
 	MaxIter int
 	Seed    int64
 
@@ -55,6 +66,31 @@ type WorkerConfig struct {
 
 	// OnIteration, when non-nil, runs after each completed iteration.
 	OnIteration func(iter int, loss float64)
+}
+
+// NewWorkerConfig seeds a live WorkerConfig for worker id from the
+// shared protocol configuration — the one place core.Config knobs
+// (token queues, backup, staleness, skipping, wire compression) cross
+// into the live runtime. The trainer is taken from c.Trainers when
+// present; the caller fills the live-only fields (ListenAddr,
+// ComputeDelay, OnIteration, ...) before NewWorker.
+func NewWorkerConfig(c core.Config, id int) WorkerConfig {
+	cfg := WorkerConfig{
+		ID:          id,
+		Graph:       c.Graph,
+		MaxIG:       c.MaxIG,
+		Backup:      c.Backup,
+		Staleness:   c.Staleness,
+		SendCheck:   c.SendCheck,
+		Skip:        c.Skip,
+		Compression: c.Compression,
+		MaxIter:     c.MaxIter,
+		Seed:        c.Seed,
+	}
+	if id >= 0 && id < len(c.Trainers) {
+		cfg.Trainer = c.Trainers[id]
+	}
+	return cfg
 }
 
 // Worker is one live protocol participant.
@@ -72,6 +108,11 @@ type Worker struct {
 	peerIter map[int]int
 
 	staleRecv map[int]int // staleness bookkeeping (worker-loop owned)
+
+	// maxStale is the largest (k − update.Iter) actually aggregated by
+	// a bounded-staleness Reduce — the observable Fig. 9 quantity.
+	// Guarded by mon.
+	maxStale int
 
 	rng *rand.Rand
 }
@@ -100,6 +141,9 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	}
 	if cfg.Skip != nil && cfg.MaxIG <= 0 {
 		return nil, fmt.Errorf("live: skipping requires token queues (MaxIG>0)")
+	}
+	if !compress.Supported(cfg.Compression.Kind) {
+		return nil, fmt.Errorf("live: unsupported compression codec %v", cfg.Compression.Kind)
 	}
 	mon := core.NewSyncMonitor()
 	slots := cfg.MaxIG + 1
@@ -130,7 +174,10 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 		w.peerIter[j] = -1
 	}
 	w.staleRecv[cfg.ID] = -1
-	node, err := transport.Listen(cfg.ID, cfg.ListenAddr, w.handle)
+	node, err := transport.ListenConfig(cfg.ID, cfg.ListenAddr, w.handle, transport.Config{
+		Compressor: cfg.Compression.New(),
+		MaxChunk:   cfg.WireChunkBytes,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -172,7 +219,7 @@ func (w *Worker) handle(m transport.Message) {
 	w.observeIter(m.From, m.Iter)
 	switch m.Kind {
 	case transport.KindUpdate:
-		w.uq.Enqueue(core.Update{Params: m.Params, Iter: m.Iter, From: m.From})
+		w.uq.Enqueue(core.Update{Params: m.Params, Iter: m.Iter, From: m.From, Codec: m.Codec})
 	case transport.KindToken:
 		if tq, ok := w.tokens[m.From]; ok {
 			tq.Put(m.Count)
@@ -316,6 +363,7 @@ func (w *Worker) recvReduceStale(k int, in []int) []float64 {
 			}
 			vecs = append(vecs, newest.Params)
 			weights = append(weights, float64(wt))
+			w.noteStaleness(k - newest.Iter)
 		}
 	}
 	out := make([]float64, len(vecs[0]))
@@ -377,3 +425,27 @@ func (w *Worker) renewParams(kr int, in []int) {
 
 // QueueSize reports the update-queue occupancy (diagnostics).
 func (w *Worker) QueueSize() int { return w.uq.Size() }
+
+func (w *Worker) noteStaleness(age int) {
+	w.mon.Lock()
+	if age > w.maxStale {
+		w.maxStale = age
+	}
+	w.mon.Unlock()
+}
+
+// MaxObservedStaleness reports the largest k − iter over all updates a
+// bounded-staleness Reduce actually aggregated: Fig. 9 guarantees it
+// never exceeds the configured bound, however updates arrive
+// (compressed, chunked, out of order relative to tokens). It is 0 when
+// bounded staleness is disabled.
+func (w *Worker) MaxObservedStaleness() int {
+	w.mon.Lock()
+	defer w.mon.Unlock()
+	return w.maxStale
+}
+
+// WireStats snapshots the transport's byte/frame counters (see
+// transport.Stats); feed them to metrics.Recorder.RecordWire to fold
+// into a run's metrics.
+func (w *Worker) WireStats() transport.Stats { return w.node.Stats() }

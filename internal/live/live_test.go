@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"hop/internal/compress"
 	"hop/internal/core"
 	"hop/internal/graph"
 	"hop/internal/model"
@@ -169,6 +170,93 @@ func TestLiveIterationCallbacksOrdered(t *testing.T) {
 		if it != i {
 			t.Fatalf("iteration order %v", iters)
 		}
+	}
+}
+
+// TestLiveStalenessBoundWithCompressedChunkedUpdates is the Fig. 9
+// regression for the binary wire layer: with bounded staleness s, the
+// oldest update a Reduce may aggregate is k−s, and that bound must
+// survive updates that arrive compressed, split across many chunks,
+// and interleaved out of order relative to token frames. A tiny
+// WireChunkBytes forces every update through the chunk-reassembly
+// path; per-worker jitter shuffles arrival order.
+func TestLiveStalenessBoundWithCompressedChunkedUpdates(t *testing.T) {
+	const s = 2
+	dim := 64
+	start := func(i int) model.Trainer {
+		x0 := make([]float64, dim)
+		target := make([]float64, dim)
+		for d := range x0 {
+			x0[d] = float64(i%3) + 0.5
+			target[d] = float64(d%5) / 5
+		}
+		return model.NewQuadratic(x0, target, 0.2, 0.02)
+	}
+	for _, spec := range []string{"none", "float32", "topk:1"} {
+		spec := spec
+		t.Run(spec, func(t *testing.T) {
+			comp, err := compress.ParseSpec(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := graph.Ring(4)
+			const maxIG = 6
+			coreCfg := core.Config{
+				Graph: g, Staleness: s, MaxIG: maxIG,
+				Compression: comp, MaxIter: 40, Seed: 10,
+			}
+			for i := 0; i < g.N(); i++ {
+				coreCfg.Trainers = append(coreCfg.Trainers, start(i))
+			}
+			if err := coreCfg.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			workers := launch(t, g, func(i int) WorkerConfig {
+				cfg := NewWorkerConfig(coreCfg, i)
+				cfg.Seed += int64(i)
+				cfg.WireChunkBytes = 64 // 64-dim updates -> >=4 chunks even at float32
+				if i%2 == 0 {
+					cfg.ComputeDelay = func(iter int) time.Duration {
+						return time.Duration(iter%3) * time.Millisecond
+					}
+				}
+				return cfg
+			})
+			for i, w := range workers {
+				if got := w.MaxObservedStaleness(); got > s {
+					t.Errorf("worker %d aggregated an update %d iterations old, bound %d", i, got, s)
+				}
+				if loss := w.cfg.Trainer.EvalLoss(); loss > 0.5 {
+					t.Errorf("worker %d loss %g", i, loss)
+				}
+				st := w.WireStats()
+				if st.UpdatesSent == 0 || st.FramesSent <= st.UpdatesSent {
+					t.Errorf("worker %d: %d frames for %d updates — chunking never engaged", i, st.FramesSent, st.UpdatesSent)
+				}
+				if comp.Kind == compress.Float32 && st.CompressionRatio() < 1.9 {
+					t.Errorf("worker %d: float32 ratio %.2f", i, st.CompressionRatio())
+				}
+			}
+			// Token conservation: with every worker at MaxIter, Theorem 2
+			// gives count = Iter(j) − Iter(i) + max_ig = max_ig exactly,
+			// once in-flight grants land. Unlike the staleness-window
+			// assertion above (which the Reduce guard enforces by
+			// construction), this one is falsifiable by the wire layer: a
+			// token frame lost, duplicated, or mis-decoded during chunk
+			// interleaving leaves a count permanently below or above
+			// max_ig.
+			deadline := time.Now().Add(5 * time.Second)
+			for i, w := range workers {
+				for j, tq := range w.tokens {
+					for tq.Size() < maxIG && time.Now().Before(deadline) {
+						time.Sleep(time.Millisecond) // grants may still be in flight
+					}
+					if got := tq.Size(); got != maxIG {
+						t.Errorf("worker %d token count for out-neighbor %d: %d, want exactly %d", i, j, got, maxIG)
+					}
+				}
+			}
+		})
 	}
 }
 

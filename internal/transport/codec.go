@@ -1,0 +1,227 @@
+package transport
+
+// codec.go — the length-prefixed binary wire format that replaced the
+// original gob encoding. Every frame is a fixed 32-byte header plus an
+// optional payload; large update payloads are split across several
+// frames (chunks) so a multi-megabyte parameter vector never
+// head-of-line-blocks the token/ACK frames that gate protocol
+// progress. See DESIGN.md §2 for the full layout and the negotiation
+// handshake.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"hop/internal/compress"
+)
+
+const (
+	// magic opens every frame: "HOP" plus the format version byte.
+	// Bumping the version makes old and new nodes refuse each other at
+	// the handshake instead of mis-parsing frames.
+	magic = "HOP\x01"
+
+	headerLen = 32
+
+	// DefaultMaxChunk is the largest per-frame payload unless Config
+	// overrides it. 64 KiB keeps the worst-case control-frame latency
+	// behind a chunk to one socket write.
+	DefaultMaxChunk = 64 << 10
+
+	// maxFramePayload bounds payloadLen on the read side regardless of
+	// sender configuration: a corrupt or hostile header must not drive
+	// a giant allocation.
+	maxFramePayload = 1 << 24
+
+	// maxPendingPartials bounds per-connection chunk-reassembly state;
+	// past it the connection is dropped as misbehaving.
+	maxPendingPartials = 256
+
+	// maxPendingBytes bounds the total payload bytes buffered across
+	// all incomplete messages of one connection — the message-count
+	// cap alone would still let a hostile peer hold chunkCount×16 MiB
+	// per message.
+	maxPendingBytes = 256 << 20
+)
+
+// frameKind discriminates wire frames. It is a superset of the public
+// Kind: the handshake kinds never surface to handlers.
+type frameKind uint8
+
+const (
+	frameUpdate frameKind = iota
+	frameToken
+	frameAck
+	frameHello
+	frameHelloAck
+)
+
+// frameHeader is the fixed prefix of every frame:
+//
+//	off size field
+//	 0   4   magic "HOP" + version 0x01
+//	 4   1   frame kind
+//	 5   1   payload codec (compress.Kind)
+//	 6   2   chunk index
+//	 8   2   chunk count (>=1 on update frames)
+//	10   2   reserved, must be zero
+//	12   4   from: sender worker id
+//	16   4   iter (int32)
+//	20   4   count (int32): token grant count
+//	24   4   seq: per-peer message sequence, keys chunk reassembly
+//	28   4   payload length in bytes
+//
+// All integers are little-endian. Handshake frames reuse the codec
+// byte to carry the proposed (hello) or accepted (hello-ack) codec.
+type frameHeader struct {
+	kind       frameKind
+	codec      compress.Kind
+	chunkIndex uint16
+	chunkCount uint16
+	from       uint32
+	iter       int32
+	count      int32
+	seq        uint32
+	payloadLen uint32
+}
+
+// appendFrame appends the encoded header and payload to dst.
+func appendFrame(dst []byte, h frameHeader, payload []byte) []byte {
+	h.payloadLen = uint32(len(payload))
+	var b [headerLen]byte
+	copy(b[0:4], magic)
+	b[4] = byte(h.kind)
+	b[5] = byte(h.codec)
+	binary.LittleEndian.PutUint16(b[6:], h.chunkIndex)
+	binary.LittleEndian.PutUint16(b[8:], h.chunkCount)
+	binary.LittleEndian.PutUint32(b[12:], h.from)
+	binary.LittleEndian.PutUint32(b[16:], uint32(h.iter))
+	binary.LittleEndian.PutUint32(b[20:], uint32(h.count))
+	binary.LittleEndian.PutUint32(b[24:], h.seq)
+	binary.LittleEndian.PutUint32(b[28:], h.payloadLen)
+	return append(append(dst, b[:]...), payload...)
+}
+
+// parseHeader decodes and validates a frame header.
+func parseHeader(b []byte) (frameHeader, error) {
+	if len(b) < headerLen {
+		return frameHeader{}, fmt.Errorf("transport: short header (%d bytes)", len(b))
+	}
+	if string(b[0:4]) != magic {
+		return frameHeader{}, fmt.Errorf("transport: bad magic %q (version mismatch or not a hop peer): %w", b[0:4], errProtocol)
+	}
+	h := frameHeader{
+		kind:       frameKind(b[4]),
+		codec:      compress.Kind(b[5]),
+		chunkIndex: binary.LittleEndian.Uint16(b[6:]),
+		chunkCount: binary.LittleEndian.Uint16(b[8:]),
+		from:       binary.LittleEndian.Uint32(b[12:]),
+		iter:       int32(binary.LittleEndian.Uint32(b[16:])),
+		count:      int32(binary.LittleEndian.Uint32(b[20:])),
+		seq:        binary.LittleEndian.Uint32(b[24:]),
+		payloadLen: binary.LittleEndian.Uint32(b[28:]),
+	}
+	if b[10] != 0 || b[11] != 0 {
+		return frameHeader{}, fmt.Errorf("transport: reserved header bytes set")
+	}
+	if h.kind > frameHelloAck {
+		return frameHeader{}, fmt.Errorf("transport: unknown frame kind %d", h.kind)
+	}
+	if h.payloadLen > maxFramePayload {
+		return frameHeader{}, fmt.Errorf("transport: frame payload %d exceeds limit %d", h.payloadLen, maxFramePayload)
+	}
+	if h.kind == frameUpdate {
+		if h.chunkCount < 1 {
+			return frameHeader{}, fmt.Errorf("transport: update frame with zero chunk count")
+		}
+		if h.chunkIndex >= h.chunkCount {
+			return frameHeader{}, fmt.Errorf("transport: chunk index %d out of range (count %d)", h.chunkIndex, h.chunkCount)
+		}
+		if h.chunkCount > 1 && h.payloadLen == 0 {
+			return frameHeader{}, fmt.Errorf("transport: empty chunk in %d-chunk message", h.chunkCount)
+		}
+	}
+	return h, nil
+}
+
+// readFrame reads one full frame from r.
+func readFrame(r io.Reader) (frameHeader, []byte, error) {
+	var hb [headerLen]byte
+	if _, err := io.ReadFull(r, hb[:]); err != nil {
+		return frameHeader{}, nil, err
+	}
+	h, err := parseHeader(hb[:])
+	if err != nil {
+		return frameHeader{}, nil, err
+	}
+	var payload []byte
+	if h.payloadLen > 0 {
+		payload = make([]byte, h.payloadLen)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			return frameHeader{}, nil, err
+		}
+	}
+	return h, payload, nil
+}
+
+// partialMsg accumulates the chunks of one in-flight update message.
+type partialMsg struct {
+	header frameHeader // header of the first chunk seen (tags + codec)
+	chunks [][]byte
+	got    int
+	bytes  int
+}
+
+// reassembler tracks chunked updates per connection, keyed by the
+// sender-assigned sequence number, so chunks of different messages
+// (and interleaved control frames) can share one TCP stream.
+type reassembler struct {
+	pending      map[uint32]*partialMsg
+	pendingBytes int
+}
+
+func newReassembler() *reassembler {
+	return &reassembler{pending: make(map[uint32]*partialMsg)}
+}
+
+// add folds one update frame in. It returns the completed (header,
+// payload) when the final chunk of a message arrives, and an error if
+// the stream violates the chunking contract.
+func (ra *reassembler) add(h frameHeader, payload []byte) (frameHeader, []byte, bool, error) {
+	if h.chunkCount == 1 {
+		return h, payload, true, nil
+	}
+	p, ok := ra.pending[h.seq]
+	if !ok {
+		if len(ra.pending) >= maxPendingPartials {
+			return frameHeader{}, nil, false, fmt.Errorf("transport: %d incomplete chunked messages pending", len(ra.pending))
+		}
+		p = &partialMsg{header: h, chunks: make([][]byte, h.chunkCount)}
+		ra.pending[h.seq] = p
+	}
+	if h.chunkCount != p.header.chunkCount || h.codec != p.header.codec ||
+		h.from != p.header.from || h.iter != p.header.iter {
+		return frameHeader{}, nil, false, fmt.Errorf("transport: inconsistent chunk headers for seq %d", h.seq)
+	}
+	if p.chunks[h.chunkIndex] != nil {
+		return frameHeader{}, nil, false, fmt.Errorf("transport: duplicate chunk %d for seq %d", h.chunkIndex, h.seq)
+	}
+	if ra.pendingBytes+len(payload) > maxPendingBytes {
+		return frameHeader{}, nil, false, fmt.Errorf("transport: %d bytes of incomplete chunked messages pending", ra.pendingBytes)
+	}
+	p.chunks[h.chunkIndex] = payload
+	p.got++
+	p.bytes += len(payload)
+	ra.pendingBytes += len(payload)
+	if p.got < int(p.header.chunkCount) {
+		return frameHeader{}, nil, false, nil
+	}
+	delete(ra.pending, h.seq)
+	ra.pendingBytes -= p.bytes
+	joined := make([]byte, 0, p.bytes)
+	for _, c := range p.chunks {
+		joined = append(joined, c...)
+	}
+	return p.header, joined, true, nil
+}

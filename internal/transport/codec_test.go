@@ -1,0 +1,362 @@
+package transport
+
+import (
+	"bytes"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hop/internal/compress"
+)
+
+func TestFrameHeaderRoundTrip(t *testing.T) {
+	want := frameHeader{
+		kind: frameUpdate, codec: compress.TopK,
+		chunkIndex: 3, chunkCount: 9,
+		from: 41, iter: 1 << 20, count: -7, seq: 0xdeadbeef,
+	}
+	payload := []byte{1, 2, 3, 4, 5}
+	h, got, err := readFrame(bytes.NewReader(appendFrame(nil, want, payload)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want.payloadLen = uint32(len(payload))
+	if h != want {
+		t.Errorf("header %+v, want %+v", h, want)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("payload %v", got)
+	}
+}
+
+func TestParseHeaderRejectsMalformed(t *testing.T) {
+	valid := func() []byte {
+		return appendFrame(nil, frameHeader{kind: frameToken, from: 1, iter: 2, count: 3}, nil)
+	}
+	cases := []struct {
+		name   string
+		mutate func(b []byte)
+	}{
+		{"bad magic", func(b []byte) { b[0] = 'X' }},
+		{"future version", func(b []byte) { b[3] = 2 }},
+		{"unknown kind", func(b []byte) { b[4] = 99 }},
+		{"reserved set", func(b []byte) { b[10] = 1 }},
+		{"oversized payload", func(b []byte) { b[28], b[29], b[30], b[31] = 0xff, 0xff, 0xff, 0x7f }},
+		{"zero chunk count", func(b []byte) { b[4] = byte(frameUpdate); b[8], b[9] = 0, 0 }},
+		{"chunk index past count", func(b []byte) { b[4] = byte(frameUpdate); b[6] = 5; b[8] = 2 }},
+		{"empty chunk in multi-chunk", func(b []byte) { b[4] = byte(frameUpdate); b[8] = 4 }},
+	}
+	for _, c := range cases {
+		b := valid()
+		c.mutate(b)
+		if _, err := parseHeader(b); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+	if _, err := parseHeader(valid()[:12]); err == nil {
+		t.Error("short header accepted")
+	}
+}
+
+// FuzzParseHeader asserts arbitrary header bytes never panic and that
+// anything accepted re-encodes to the same bytes (canonical form).
+func FuzzParseHeader(f *testing.F) {
+	f.Add(appendFrame(nil, frameHeader{kind: frameAck, from: 2, iter: 11}, nil))
+	f.Add(bytes.Repeat([]byte{0xff}, headerLen))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		h, err := parseHeader(b)
+		if err != nil {
+			return
+		}
+		h.payloadLen = 0 // appendFrame derives it from the payload
+		out := appendFrame(nil, h, nil)
+		if !bytes.Equal(out[:28], b[:28]) {
+			t.Fatalf("re-encode mismatch: %x vs %x", out[:28], b[:28])
+		}
+	})
+}
+
+func TestReassembler(t *testing.T) {
+	ra := newReassembler()
+	hdr := func(seq uint32, idx, count uint16) frameHeader {
+		return frameHeader{kind: frameUpdate, codec: compress.None, seq: seq, chunkIndex: idx, chunkCount: count, from: 1, iter: 4}
+	}
+	// Single-chunk messages pass straight through.
+	h, payload, done, err := ra.add(hdr(1, 0, 1), []byte{9})
+	if err != nil || !done || len(payload) != 1 || h.iter != 4 {
+		t.Fatalf("single chunk: done=%v err=%v", done, err)
+	}
+	// Chunks of two messages interleaved, each delivered out of order.
+	if _, _, done, err = ra.add(hdr(2, 1, 2), []byte{20}); done || err != nil {
+		t.Fatalf("partial completed early: %v", err)
+	}
+	if _, _, done, err = ra.add(hdr(3, 1, 2), []byte{31}); done || err != nil {
+		t.Fatalf("partial completed early: %v", err)
+	}
+	h, payload, done, err = ra.add(hdr(2, 0, 2), []byte{10})
+	if err != nil || !done || !bytes.Equal(payload, []byte{10, 20}) {
+		t.Fatalf("seq 2: payload %v err %v", payload, err)
+	}
+	h, payload, done, err = ra.add(hdr(3, 0, 2), []byte{30})
+	if err != nil || !done || !bytes.Equal(payload, []byte{30, 31}) {
+		t.Fatalf("seq 3: payload %v err %v", payload, err)
+	}
+	// Contract violations are errors, not corruption.
+	ra.add(hdr(5, 0, 3), []byte{1})
+	if _, _, _, err = ra.add(hdr(5, 0, 3), []byte{1}); err == nil {
+		t.Error("duplicate chunk accepted")
+	}
+	if _, _, _, err = ra.add(hdr(5, 1, 4), []byte{1}); err == nil {
+		t.Error("inconsistent chunk count accepted")
+	}
+	bad := hdr(5, 1, 3)
+	bad.codec = compress.Float32
+	if _, _, _, err = ra.add(bad, []byte{1}); err == nil {
+		t.Error("inconsistent codec accepted")
+	}
+	bad = hdr(5, 1, 3)
+	bad.iter = 99
+	if _, _, _, err = ra.add(bad, []byte{1}); err == nil {
+		t.Error("inconsistent iter accepted — chunks of two updates would merge")
+	}
+	bad = hdr(5, 1, 3)
+	bad.from = 9
+	if _, _, _, err = ra.add(bad, []byte{1}); err == nil {
+		t.Error("inconsistent from accepted")
+	}
+	for s := uint32(100); ; s++ {
+		if _, _, _, err = ra.add(hdr(s, 0, 2), []byte{1}); err != nil {
+			break // pending cap reached
+		}
+		if s > 100+2*maxPendingPartials {
+			t.Fatal("pending partials never capped")
+		}
+	}
+}
+
+func TestMessageString(t *testing.T) {
+	cases := []struct {
+		m    Message
+		want string
+	}{
+		{Message{Kind: KindUpdate, From: 2, Iter: 7, Params: make([]float64, 3), Codec: compress.Float32}, "update{from:2 iter:7 dim:3 codec:float32}"},
+		{Message{Kind: KindToken, From: 1, Iter: 4, Count: 2}, "token{from:1 iter:4 count:2}"},
+		{Message{Kind: KindAck, From: 0, Iter: 9}, "ack{from:0 iter:9}"},
+	}
+	for _, c := range cases {
+		if got := c.m.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+	if s := (Message{Kind: Kind(9)}).String(); !strings.Contains(s, "kind(9)") {
+		t.Errorf("unknown kind String() = %q", s)
+	}
+}
+
+// pipe returns a connected (receiver, sender) node pair, the receiver
+// buffering every message.
+func pipe(t *testing.T, rxCfg, txCfg Config) (*Node, *Node, func() []Message) {
+	t.Helper()
+	var mu sync.Mutex
+	var got []Message
+	rx, err := ListenConfig(1, "127.0.0.1:0", func(m Message) {
+		mu.Lock()
+		got = append(got, m)
+		mu.Unlock()
+	}, rxCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rx.Close)
+	tx, err := ListenConfig(0, "127.0.0.1:0", func(Message) {}, txCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tx.Close)
+	if err := tx.Dial(1, rx.Addr(), 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return rx, tx, func() []Message {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]Message(nil), got...)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never met")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestChunkedUpdateRoundTrip forces multi-chunk updates with a tiny
+// MaxChunk and checks tags and params survive exactly.
+func TestChunkedUpdateRoundTrip(t *testing.T) {
+	rx, tx, got := pipe(t, Config{}, Config{MaxChunk: 128})
+	params := make([]float64, 1000) // 8000 raw bytes -> 63 chunks
+	rng := rand.New(rand.NewSource(7))
+	for i := range params {
+		params[i] = rng.NormFloat64()
+	}
+	if err := tx.Send(1, Message{Kind: KindUpdate, Iter: 42, Params: params}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return len(got()) == 1 })
+	m := got()[0]
+	if m.From != 0 || m.Iter != 42 || m.Codec != compress.None {
+		t.Fatalf("tags corrupted: %v", m)
+	}
+	for i := range params {
+		if m.Params[i] != params[i] {
+			t.Fatalf("coord %d: %g != %g in %v", i, m.Params[i], params[i], m)
+		}
+	}
+	if s := tx.Stats(); s.FramesSent < 63 {
+		t.Errorf("only %d frames for a 63-chunk update", s.FramesSent)
+	}
+	if s := rx.Stats(); s.UpdatesRecv != 1 {
+		t.Errorf("receiver counted %d updates", s.UpdatesRecv)
+	}
+}
+
+// TestCompressedUpdateNegotiated checks a Float32 sender's payload
+// arrives decoded (float32-rounded) and the wire counters show the
+// savings.
+func TestCompressedUpdateNegotiated(t *testing.T) {
+	_, tx, got := pipe(t, Config{}, Config{Compressor: compress.NewFloat32()})
+	params := []float64{1.5, -2.25, 1e-3}
+	if err := tx.Send(1, Message{Kind: KindUpdate, Iter: 3, Params: params}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return len(got()) == 1 })
+	m := got()[0]
+	if m.Codec != compress.Float32 {
+		t.Fatalf("codec metadata %v", m)
+	}
+	for i := range params {
+		if m.Params[i] != float64(float32(params[i])) {
+			t.Fatalf("coord %d: %g in %v", i, m.Params[i], m)
+		}
+	}
+	s := tx.Stats()
+	if s.RawUpdateBytesSent != 24 || s.WireUpdateBytesSent != 12 {
+		t.Errorf("raw=%d wire=%d, want 24/12", s.RawUpdateBytesSent, s.WireUpdateBytesSent)
+	}
+	if r := s.CompressionRatio(); r != 2 {
+		t.Errorf("ratio %g", r)
+	}
+}
+
+// unsupportedCodec proposes a codec kind this build cannot decode, to
+// exercise the negotiation downgrade path.
+type unsupportedCodec struct{ compress.Compressor }
+
+func (unsupportedCodec) Kind() compress.Kind { return compress.Kind(200) }
+
+// TestNegotiationDowngradesUnsupportedCodec: the acceptor answers None
+// for a codec it cannot decode and the dialer must fall back, so the
+// update still arrives — losslessly.
+func TestNegotiationDowngradesUnsupportedCodec(t *testing.T) {
+	_, tx, got := pipe(t, Config{}, Config{Compressor: unsupportedCodec{compress.NewNone()}})
+	if err := tx.Send(1, Message{Kind: KindUpdate, Iter: 1, Params: []float64{3.25}}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return len(got()) == 1 })
+	m := got()[0]
+	if m.Codec != compress.None || m.Params[0] != 3.25 {
+		t.Fatalf("downgrade failed: %v", m)
+	}
+}
+
+// TestRejectsNonHopPeer: garbage instead of a hello must close the
+// connection without delivering anything.
+func TestRejectsNonHopPeer(t *testing.T) {
+	rx, _, got := pipe(t, Config{}, Config{})
+	conn, err := net.Dial("tcp", rx.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Write([]byte("GET / HTTP/1.1\r\n\r\n"))
+	buf := make([]byte, 1)
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Read(buf); err == nil {
+		t.Error("non-hop peer was answered instead of dropped")
+	}
+	if len(got()) != 0 {
+		t.Errorf("garbage delivered messages: %v", got())
+	}
+}
+
+// TestStressConcurrentKinds pumps updates (big enough to chunk),
+// tokens and ACKs through one real TCP pair from many goroutines at
+// once — the -race workhorse for the wire layer. Interleaved control
+// frames must never corrupt chunked updates.
+func TestStressConcurrentKinds(t *testing.T) {
+	_, tx, got := pipe(t, Config{}, Config{Compressor: compress.NewFloat32(), MaxChunk: 256})
+	const (
+		senders    = 4
+		perSender  = 30
+		updateDim  = 300 // 1200 compressed bytes -> 5 chunks
+		tokenCount = senders * perSender
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < senders; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			params := make([]float64, updateDim)
+			for i := range params {
+				params[i] = float64(g)
+			}
+			for i := 0; i < perSender; i++ {
+				if err := tx.Send(1, Message{Kind: KindUpdate, Iter: g*1000 + i, Params: params}); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := tx.Send(1, Message{Kind: KindToken, Iter: i, Count: 1}); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := tx.Send(1, Message{Kind: KindAck, Iter: i}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	waitFor(t, func() bool { return len(got()) == 3*senders*perSender })
+	var updates, tokens, acks int
+	for _, m := range got() {
+		switch m.Kind {
+		case KindUpdate:
+			updates++
+			g := m.Iter / 1000
+			if len(m.Params) != updateDim {
+				t.Fatalf("truncated update %v", m)
+			}
+			for i, v := range m.Params {
+				if v != float64(g) {
+					t.Fatalf("update %v corrupted at %d: %g", m, i, v)
+				}
+			}
+		case KindToken:
+			tokens++
+		case KindAck:
+			acks++
+		}
+	}
+	if updates != tokenCount || tokens != tokenCount || acks != tokenCount {
+		t.Fatalf("got %d updates, %d tokens, %d acks; want %d each", updates, tokens, acks, tokenCount)
+	}
+}

@@ -1,17 +1,35 @@
-// Package transport provides the wire layer of the live runtime:
-// gob-encoded, length-delimited-by-gob messages over TCP (or any
-// net.Conn), with one outgoing connection per peer and an accept loop
-// feeding a handler. It is deliberately small: the protocol above it
-// (internal/live) only needs ordered, reliable, typed messages between
-// named workers, which TCP plus gob provides.
+// Package transport provides the wire layer of the live runtime: a
+// length-prefixed binary frame format over TCP (or any net.Conn), with
+// one outgoing connection per peer and an accept loop feeding a
+// handler. The protocol above it (internal/live) only needs ordered,
+// reliable, typed messages between named workers.
+//
+// Each connection starts with a hello/hello-ack handshake that checks
+// the wire-format version and negotiates the update compressor: the
+// dialer proposes its configured codec, the acceptor answers with that
+// codec if it supports it and compress.None otherwise, and the dialer
+// sends with whatever was accepted. Every data frame additionally
+// carries its own codec byte, so the receive path never depends on
+// out-of-band state to decode.
+//
+// Update payloads larger than Config.MaxChunk are split across frames
+// tagged with a per-peer sequence number and reassembled on receipt;
+// the sender releases the connection lock between chunks, so token and
+// ACK frames from other goroutines interleave instead of queueing
+// behind a large parameter vector (no head-of-line blocking). The full
+// frame layout is documented in DESIGN.md §2 and codec.go.
 package transport
 
 import (
-	"encoding/gob"
+	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"hop/internal/compress"
 )
 
 // Kind discriminates protocol messages.
@@ -30,23 +48,119 @@ const (
 	KindAck
 )
 
-// Message is the single wire type.
+func (k Kind) String() string {
+	switch k {
+	case KindUpdate:
+		return "update"
+	case KindToken:
+		return "token"
+	case KindAck:
+		return "ack"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Message is the single wire type: a tagged union discriminated by
+// Kind. Field validity per kind —
+//
+//	Kind        From  Iter  Count  Params  Codec
+//	KindUpdate   ✓     ✓     –      ✓      ✓ (set on receive)
+//	KindToken    ✓     ✓     ✓      –      –
+//	KindAck      ✓     ✓     –      –      –
+//
+// From is always stamped by Send with the sending node's id; fields
+// marked – are zero and ignored for that kind. Codec records which
+// compressor the params arrived under (receive-side metadata; Send
+// ignores it and uses the connection's negotiated codec).
 type Message struct {
 	Kind   Kind
 	From   int
 	Iter   int
 	Count  int
 	Params []float64
+	Codec  compress.Kind
+}
+
+// String renders the populated fields only, for test-failure and log
+// output.
+func (m Message) String() string {
+	switch m.Kind {
+	case KindUpdate:
+		return fmt.Sprintf("update{from:%d iter:%d dim:%d codec:%v}", m.From, m.Iter, len(m.Params), m.Codec)
+	case KindToken:
+		return fmt.Sprintf("token{from:%d iter:%d count:%d}", m.From, m.Iter, m.Count)
+	case KindAck:
+		return fmt.Sprintf("ack{from:%d iter:%d}", m.From, m.Iter)
+	}
+	return fmt.Sprintf("%v{from:%d iter:%d}", m.Kind, m.From, m.Iter)
 }
 
 // Handler consumes inbound messages. It is called from per-connection
 // reader goroutines and must be safe for concurrent use.
 type Handler func(Message)
 
+// Config tunes a node's wire behavior. The zero value is valid: no
+// compression, DefaultMaxChunk chunking.
+type Config struct {
+	// Compressor encodes outgoing update payloads; nil means
+	// compress.NewNone(). The actually-used codec per connection is
+	// the handshake-negotiated one.
+	Compressor compress.Compressor
+	// MaxChunk is the largest per-frame payload in bytes; 0 means
+	// DefaultMaxChunk.
+	MaxChunk int
+}
+
+func (c Config) compressor() compress.Compressor {
+	if c.Compressor == nil {
+		return compress.NewNone()
+	}
+	return c.Compressor
+}
+
+func (c Config) maxChunk() int {
+	if c.MaxChunk <= 0 {
+		return DefaultMaxChunk
+	}
+	if c.MaxChunk > maxFramePayload {
+		return maxFramePayload
+	}
+	return c.MaxChunk
+}
+
+// Stats is a snapshot of a node's wire counters. RawUpdateBytesSent is
+// what updates would have cost uncompressed (8 bytes per coordinate);
+// WireUpdateBytesSent is their actual compressed payload cost, so the
+// ratio of the two is the realized compression factor.
+type Stats struct {
+	FramesSent, FramesRecv   int64
+	BytesSent, BytesRecv     int64 // on-the-wire bytes including headers
+	UpdatesSent, UpdatesRecv int64
+	RawUpdateBytesSent       int64
+	WireUpdateBytesSent      int64
+}
+
+// CompressionRatio returns raw/wire update bytes (1 when nothing was
+// sent or compression is off and lossless).
+func (s Stats) CompressionRatio() float64 {
+	if s.WireUpdateBytesSent == 0 {
+		return 1
+	}
+	return float64(s.RawUpdateBytesSent) / float64(s.WireUpdateBytesSent)
+}
+
 type peer struct {
-	mu   sync.Mutex
+	mu   sync.Mutex // serializes frame writes; released between chunks
 	conn net.Conn
-	enc  *gob.Encoder
+	comp compress.Compressor // negotiated for this connection
+	seq  atomic.Uint32
+
+	// updMu serializes whole update sends to this peer so the scratch
+	// buffers below can be reused allocation-free; control frames take
+	// only mu, so they still interleave between an update's chunks.
+	updMu sync.Mutex
+	buf   []byte // compressed payload scratch, guarded by updMu
+	frame []byte // per-chunk header+payload scratch, guarded by updMu
 }
 
 // Node is one transport endpoint: a listener plus outgoing peer
@@ -55,23 +169,35 @@ type Node struct {
 	id      int
 	ln      net.Listener
 	handler Handler
+	cfg     Config
 
 	mu      sync.Mutex
 	peers   map[int]*peer
 	inbound []net.Conn
 	closed  bool
 	wg      sync.WaitGroup
+
+	framesSent, framesRecv   atomic.Int64
+	bytesSent, bytesRecv     atomic.Int64
+	updatesSent, updatesRecv atomic.Int64
+	rawUpdateBytes           atomic.Int64
+	wireUpdateBytes          atomic.Int64
 }
 
 // Listen starts a node with the given worker id on addr (use ":0" for
-// an ephemeral port) and begins accepting inbound connections, feeding
-// every decoded message to handler.
+// an ephemeral port) with the default Config.
 func Listen(id int, addr string, handler Handler) (*Node, error) {
+	return ListenConfig(id, addr, handler, Config{})
+}
+
+// ListenConfig starts a node and begins accepting inbound connections,
+// feeding every decoded message to handler.
+func ListenConfig(id int, addr string, handler Handler, cfg Config) (*Node, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
-	n := &Node{id: id, ln: ln, handler: handler, peers: make(map[int]*peer)}
+	n := &Node{id: id, ln: ln, handler: handler, cfg: cfg, peers: make(map[int]*peer)}
 	n.wg.Add(1)
 	go n.acceptLoop()
 	return n, nil
@@ -82,6 +208,20 @@ func (n *Node) ID() int { return n.id }
 
 // Addr returns the listener's address (host:port).
 func (n *Node) Addr() string { return n.ln.Addr().String() }
+
+// Stats returns a snapshot of the wire counters.
+func (n *Node) Stats() Stats {
+	return Stats{
+		FramesSent:          n.framesSent.Load(),
+		FramesRecv:          n.framesRecv.Load(),
+		BytesSent:           n.bytesSent.Load(),
+		BytesRecv:           n.bytesRecv.Load(),
+		UpdatesSent:         n.updatesSent.Load(),
+		UpdatesRecv:         n.updatesRecv.Load(),
+		RawUpdateBytesSent:  n.rawUpdateBytes.Load(),
+		WireUpdateBytesSent: n.wireUpdateBytes.Load(),
+	}
+}
 
 func (n *Node) acceptLoop() {
 	defer n.wg.Done()
@@ -106,47 +246,137 @@ func (n *Node) acceptLoop() {
 func (n *Node) readLoop(conn net.Conn) {
 	defer n.wg.Done()
 	defer conn.Close()
-	dec := gob.NewDecoder(conn)
+	br := bufio.NewReaderSize(conn, 64<<10)
+
+	// Handshake: the first frame must be a hello carrying a compatible
+	// magic/version (readFrame rejects the rest). Answer with the
+	// codec this build supports — the dialer's proposal if decodable,
+	// compress.None otherwise.
+	h, _, err := readFrame(br)
+	if err != nil || h.kind != frameHello {
+		return
+	}
+	accepted := h.codec
+	if !compress.Supported(accepted) {
+		accepted = compress.None
+	}
+	ack := appendFrame(nil, frameHeader{kind: frameHelloAck, codec: accepted, from: uint32(n.id)}, nil)
+	if _, err := conn.Write(ack); err != nil {
+		return
+	}
+
+	ra := newReassembler()
 	for {
-		var m Message
-		if err := dec.Decode(&m); err != nil {
+		h, payload, err := readFrame(br)
+		if err != nil {
 			return // connection closed or corrupt
 		}
-		n.handler(m)
+		n.framesRecv.Add(1)
+		n.bytesRecv.Add(int64(headerLen + len(payload)))
+		switch h.kind {
+		case frameUpdate:
+			mh, joined, done, err := ra.add(h, payload)
+			if err != nil {
+				return // stream violated the chunking contract
+			}
+			if !done {
+				continue
+			}
+			params, err := compress.Decode(mh.codec, joined)
+			if err != nil {
+				return
+			}
+			n.updatesRecv.Add(1)
+			n.handler(Message{
+				Kind: KindUpdate, From: int(mh.from), Iter: int(mh.iter),
+				Params: params, Codec: mh.codec,
+			})
+		case frameToken:
+			n.handler(Message{Kind: KindToken, From: int(h.from), Iter: int(h.iter), Count: int(h.count)})
+		case frameAck:
+			n.handler(Message{Kind: KindAck, From: int(h.from), Iter: int(h.iter)})
+		default:
+			return // handshake frames after the handshake are a protocol error
+		}
 	}
 }
 
-// Dial connects to peer id at addr, retrying until the deadline (peers
-// start in arbitrary order). Dialing the same peer twice is an error.
+// errProtocol marks handshake failures that retrying cannot fix: the
+// remote speaks a different wire format or version.
+var errProtocol = errors.New("protocol mismatch")
+
+// Dial connects to peer id at addr, retrying the TCP connect — and
+// transient handshake failures such as a peer restarting mid-accept —
+// until the deadline (peers start in arbitrary order), then performs
+// the hello/hello-ack handshake: version check plus compressor
+// negotiation. Protocol mismatches fail immediately; dialing the same
+// peer twice is an error.
 func (n *Node) Dial(id int, addr string, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	var lastErr error
 	for time.Now().Before(deadline) {
 		conn, err := net.DialTimeout("tcp", addr, time.Second)
-		if err == nil {
-			n.mu.Lock()
-			if n.closed {
-				n.mu.Unlock()
-				conn.Close()
-				return fmt.Errorf("transport: node closed")
-			}
-			if _, dup := n.peers[id]; dup {
-				n.mu.Unlock()
-				conn.Close()
-				return fmt.Errorf("transport: peer %d already connected", id)
-			}
-			n.peers[id] = &peer{conn: conn, enc: gob.NewEncoder(conn)}
-			n.mu.Unlock()
-			return nil
+		if err != nil {
+			lastErr = err
+			time.Sleep(50 * time.Millisecond)
+			continue
 		}
-		lastErr = err
-		time.Sleep(50 * time.Millisecond)
+		comp, err := n.handshake(conn, deadline)
+		if err != nil {
+			conn.Close()
+			if errors.Is(err, errProtocol) {
+				return err
+			}
+			lastErr = err // transient: reset/EOF/timeout during bring-up
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			conn.Close()
+			return fmt.Errorf("transport: node closed")
+		}
+		if _, dup := n.peers[id]; dup {
+			n.mu.Unlock()
+			conn.Close()
+			return fmt.Errorf("transport: peer %d already connected", id)
+		}
+		n.peers[id] = &peer{conn: conn, comp: comp}
+		n.mu.Unlock()
+		return nil
 	}
 	return fmt.Errorf("transport: dial peer %d at %s: %w", id, addr, lastErr)
 }
 
+// handshake proposes this node's configured codec and returns the
+// compressor to use on the connection per the acceptor's answer.
+func (n *Node) handshake(conn net.Conn, deadline time.Time) (compress.Compressor, error) {
+	proposed := n.cfg.compressor()
+	conn.SetDeadline(deadline)
+	defer conn.SetDeadline(time.Time{})
+	hello := appendFrame(nil, frameHeader{kind: frameHello, codec: proposed.Kind(), from: uint32(n.id)}, nil)
+	if _, err := conn.Write(hello); err != nil {
+		return nil, fmt.Errorf("transport: handshake send: %w", err)
+	}
+	h, _, err := readFrame(conn)
+	if err != nil {
+		return nil, fmt.Errorf("transport: handshake read: %w", err)
+	}
+	if h.kind != frameHelloAck {
+		return nil, fmt.Errorf("transport: handshake got frame kind %d, want hello-ack: %w", h.kind, errProtocol)
+	}
+	if h.codec == proposed.Kind() {
+		return proposed, nil
+	}
+	// The acceptor downgraded us (it cannot decode the proposal).
+	return compress.NewNone(), nil
+}
+
 // Send encodes m (stamped with this node's id) to peer id. It is safe
-// for concurrent use; messages to one peer are serialized.
+// for concurrent use; frames to one peer are serialized, but chunks of
+// a large update release the connection between writes so concurrent
+// token/ACK sends interleave.
 func (n *Node) Send(id int, m Message) error {
 	m.From = n.id
 	n.mu.Lock()
@@ -155,11 +385,68 @@ func (n *Node) Send(id int, m Message) error {
 	if !ok {
 		return fmt.Errorf("transport: no connection to peer %d", id)
 	}
+	switch m.Kind {
+	case KindUpdate:
+		return n.sendUpdate(p, id, m)
+	case KindToken, KindAck:
+		h := frameHeader{
+			kind: frameToken, from: uint32(m.From),
+			iter: int32(m.Iter), count: int32(m.Count),
+		}
+		if m.Kind == KindAck {
+			h.kind = frameAck
+		}
+		return n.writeFrame(p, id, appendFrame(nil, h, nil))
+	}
+	return fmt.Errorf("transport: send to %d: unknown message kind %d", id, m.Kind)
+}
+
+func (n *Node) sendUpdate(p *peer, id int, m Message) error {
+	p.updMu.Lock()
+	defer p.updMu.Unlock()
+	p.buf = p.comp.Compress(p.buf[:0], m.Params)
+	payload := p.buf
+	maxChunk := n.cfg.maxChunk()
+	chunks := (len(payload) + maxChunk - 1) / maxChunk
+	if chunks < 1 {
+		chunks = 1 // empty payload still needs one frame to carry the tags
+	}
+	if chunks > 1<<16-1 {
+		return fmt.Errorf("transport: update of %d payload bytes needs %d chunks (limit %d); raise MaxChunk", len(payload), chunks, 1<<16-1)
+	}
+	seq := p.seq.Add(1)
+	for c := 0; c < chunks; c++ {
+		lo := c * maxChunk
+		hi := lo + maxChunk
+		if hi > len(payload) {
+			hi = len(payload)
+		}
+		h := frameHeader{
+			kind: frameUpdate, codec: p.comp.Kind(),
+			chunkIndex: uint16(c), chunkCount: uint16(chunks),
+			from: uint32(m.From), iter: int32(m.Iter), seq: seq,
+		}
+		p.frame = appendFrame(p.frame[:0], h, payload[lo:hi])
+		if err := n.writeFrame(p, id, p.frame); err != nil {
+			return err
+		}
+	}
+	n.updatesSent.Add(1)
+	n.rawUpdateBytes.Add(int64(8 * len(m.Params)))
+	n.wireUpdateBytes.Add(int64(len(payload)))
+	return nil
+}
+
+// writeFrame writes one encoded frame under the peer lock.
+func (n *Node) writeFrame(p *peer, id int, frame []byte) error {
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	if err := p.enc.Encode(m); err != nil {
+	_, err := p.conn.Write(frame)
+	p.mu.Unlock()
+	if err != nil {
 		return fmt.Errorf("transport: send to %d: %w", id, err)
 	}
+	n.framesSent.Add(1)
+	n.bytesSent.Add(int64(len(frame)))
 	return nil
 }
 
