@@ -12,10 +12,14 @@
 //     lossy only by float32 rounding — the "half-width" codec common
 //     in decentralized-training systems.
 //   - TopK: magnitude sparsification. Only the k largest-|x| coords
-//     are transmitted as (uint32 index, float32 value) pairs; the
-//     receiver reconstructs the rest as zero. The L1 reconstruction
-//     error is bounded by the mass of the dropped coordinates (plus
-//     float32 rounding on the kept ones).
+//     are transmitted as (uint32 index, float32 value) pairs. On the
+//     wire TopK is a *delta stream with error feedback* (see delta.go):
+//     frames carry sparse deltas against a per-connection replica and
+//     dropped mass is remembered and re-sent, so the receiver always
+//     reconstructs full dense state. The stateless codec below is the
+//     frame format only; averaging its zero-filled decode of a raw
+//     parameter vector into a model is unsound — use
+//     DeltaEncoder/DeltaDecoder for state synchronization.
 //
 // The simulator never touches this package: simulated runs model
 // payload *size* only, so their behavior is byte-identical whether or
@@ -92,6 +96,17 @@ type Spec struct {
 // not state one (the 10% operating point of the wire benchmarks).
 const DefaultTopKRatio = 0.1
 
+// MinTopKRatio is the smallest accepted keep fraction. It exists for
+// the decoder, not the statistics: an honest encoder with ratio r
+// emits k ≥ r·n pairs, so bounding r ≥ 1/maxTopKExpansion lets Decode
+// reject any frame claiming a vector more than maxTopKExpansion times
+// larger than the pairs it actually carries — a tiny frame can no
+// longer demand a multi-hundred-MiB allocation.
+const MinTopKRatio = 1.0 / maxTopKExpansion
+
+// maxTopKExpansion bounds n/k on decode; see MinTopKRatio.
+const maxTopKExpansion = 1024
+
 // ParseSpec parses a command-line compressor spec: "none", "float32",
 // "topk" or "topk:<ratio>" (e.g. "topk:0.1").
 func ParseSpec(s string) (Spec, error) {
@@ -105,14 +120,29 @@ func ParseSpec(s string) (Spec, error) {
 		sp := Spec{Kind: TopK, Ratio: DefaultTopKRatio}
 		if hasArg {
 			r, err := strconv.ParseFloat(arg, 64)
-			if err != nil || r <= 0 || r > 1 {
-				return Spec{}, fmt.Errorf("compress: bad topk ratio %q (want 0 < r <= 1)", arg)
+			if err != nil || r < MinTopKRatio || r > 1 {
+				return Spec{}, fmt.Errorf("compress: bad topk ratio %q (want %g <= r <= 1)", arg, MinTopKRatio)
 			}
 			sp.Ratio = r
 		}
 		return sp, nil
 	}
 	return Spec{}, fmt.Errorf("compress: unknown codec %q (want none | float32 | topk[:ratio])", s)
+}
+
+// Validate reports whether New can instantiate the Spec: a supported
+// kind and, for TopK, a ratio that is either zero (meaning
+// DefaultTopKRatio) or in [MinTopKRatio, 1]. Configuration layers
+// (core.Config, live.WorkerConfig) call this so a bad ratio is an
+// error everywhere, never a silent adjustment.
+func (s Spec) Validate() error {
+	if !Supported(s.Kind) {
+		return fmt.Errorf("compress: unsupported codec %v", s.Kind)
+	}
+	if s.Kind == TopK && s.Ratio != 0 && (s.Ratio < MinTopKRatio || s.Ratio > 1) {
+		return fmt.Errorf("compress: topk ratio %g out of [%g,1] (0 means the default %g)", s.Ratio, MinTopKRatio, DefaultTopKRatio)
+	}
+	return nil
 }
 
 func (s Spec) String() string {
@@ -126,17 +156,20 @@ func (s Spec) String() string {
 	return s.Kind.String()
 }
 
-// New builds the Compressor a Spec describes.
+// New builds the Compressor a Spec describes. It panics (via NewTopK)
+// on a ratio outside [MinTopKRatio, 1] — the same values Validate
+// rejects — rather than silently adjusting what goes on the wire;
+// call Validate first on untrusted configuration.
 func (s Spec) New() Compressor {
 	switch s.Kind {
 	case Float32:
 		return float32Codec{}
 	case TopK:
 		r := s.Ratio
-		if r <= 0 || r > 1 {
+		if r == 0 {
 			r = DefaultTopKRatio
 		}
-		return topKCodec{ratio: r}
+		return NewTopK(r)
 	default:
 		return noneCodec{}
 	}
@@ -149,17 +182,19 @@ func NewNone() Compressor { return noneCodec{} }
 func NewFloat32() Compressor { return float32Codec{} }
 
 // NewTopK returns the magnitude-sparsification codec keeping
-// ceil(ratio·n) coordinates; ratio must be in (0, 1].
+// ceil(ratio·n) coordinates; ratio must be in [MinTopKRatio, 1].
 func NewTopK(ratio float64) Compressor {
-	if ratio <= 0 || ratio > 1 {
-		panic(fmt.Sprintf("compress: topk ratio %g out of (0,1]", ratio))
+	if ratio < MinTopKRatio || ratio > 1 {
+		panic(fmt.Sprintf("compress: topk ratio %g out of [%g,1]", ratio, MinTopKRatio))
 	}
 	return topKCodec{ratio: ratio}
 }
 
 // Decode reverses Compress for any supported kind. It never panics on
 // malformed payloads; it returns an error instead (wire input is
-// untrusted).
+// untrusted). For TopK the result is the sparse frame content with
+// dropped coordinates as zero — in stream use that is a *delta*, which
+// DeltaDecoder accumulates into the full state.
 func Decode(k Kind, payload []byte) ([]float64, error) {
 	switch k {
 	case None:
@@ -271,40 +306,69 @@ func (c topKCodec) Compress(dst []byte, src []float64) []byte {
 	return dst
 }
 
-func decodeTopK(payload []byte) ([]float64, error) {
+// parseTopKHeader validates everything about a TopK payload that can
+// be checked before touching the pairs: header presence, k<=n,
+// canonical non-zero k, exact payload length, and the allocation
+// bounds. It returns (n, k).
+func parseTopKHeader(payload []byte) (n, k int, err error) {
 	if len(payload) < 8 {
-		return nil, fmt.Errorf("compress: topk payload too short (%d bytes)", len(payload))
+		return 0, 0, fmt.Errorf("compress: topk payload too short (%d bytes)", len(payload))
 	}
-	n := int(binary.LittleEndian.Uint32(payload))
-	k := int(binary.LittleEndian.Uint32(payload[4:]))
+	n = int(binary.LittleEndian.Uint32(payload))
+	k = int(binary.LittleEndian.Uint32(payload[4:]))
 	if k > n {
-		return nil, fmt.Errorf("compress: topk k=%d exceeds n=%d", k, n)
+		return 0, 0, fmt.Errorf("compress: topk k=%d exceeds n=%d", k, n)
 	}
 	if k == 0 && n > 0 {
 		// The encoder always keeps >=1 coordinate of a non-empty
 		// vector; a zero-k payload is a decompression bomb, not data.
-		return nil, fmt.Errorf("compress: topk k=0 for n=%d is not canonical", n)
+		return 0, 0, fmt.Errorf("compress: topk k=0 for n=%d is not canonical", n)
 	}
 	if len(payload) != 8+8*k {
-		return nil, fmt.Errorf("compress: topk payload %d bytes, want %d for k=%d", len(payload), 8+8*k, k)
+		return 0, 0, fmt.Errorf("compress: topk payload %d bytes, want %d for k=%d", len(payload), 8+8*k, k)
 	}
 	const maxVector = 1 << 26 // 512 MiB of float64s; far beyond any model here
 	if n > maxVector {
-		return nil, fmt.Errorf("compress: topk n=%d exceeds sanity bound", n)
+		return 0, 0, fmt.Errorf("compress: topk n=%d exceeds sanity bound", n)
+	}
+	// Allocation bound: every supported encoder keeps k >= n/maxTopKExpansion
+	// (MinTopKRatio), so a frame claiming more is a decompression bomb —
+	// without this, 16 wire bytes (k=1) could demand a 512 MiB vector.
+	if n > k*maxTopKExpansion {
+		return 0, 0, fmt.Errorf("compress: topk n=%d exceeds %d·k (k=%d)", n, maxTopKExpansion, k)
+	}
+	return n, k, nil
+}
+
+// topKPair reads pair p of a validated payload, enforcing index bounds
+// and the strictly-increasing canonical order against prev.
+func topKPair(payload []byte, p, n, prev int) (i int, v float64, err error) {
+	off := 8 + 8*p
+	i = int(binary.LittleEndian.Uint32(payload[off:]))
+	if i >= n {
+		return 0, 0, fmt.Errorf("compress: topk index %d out of range n=%d", i, n)
+	}
+	if i <= prev {
+		return 0, 0, fmt.Errorf("compress: topk indices not strictly increasing at pair %d", p)
+	}
+	v = float64(math.Float32frombits(binary.LittleEndian.Uint32(payload[off+4:])))
+	return i, v, nil
+}
+
+func decodeTopK(payload []byte) ([]float64, error) {
+	n, k, err := parseTopKHeader(payload)
+	if err != nil {
+		return nil, err
 	}
 	out := make([]float64, n)
 	prev := -1
 	for p := 0; p < k; p++ {
-		off := 8 + 8*p
-		i := int(binary.LittleEndian.Uint32(payload[off:]))
-		if i >= n {
-			return nil, fmt.Errorf("compress: topk index %d out of range n=%d", i, n)
-		}
-		if i <= prev {
-			return nil, fmt.Errorf("compress: topk indices not strictly increasing at pair %d", p)
+		i, v, err := topKPair(payload, p, n, prev)
+		if err != nil {
+			return nil, err
 		}
 		prev = i
-		out[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(payload[off+4:])))
+		out[i] = v
 	}
 	return out, nil
 }

@@ -148,6 +148,7 @@ func TestParseSpec(t *testing.T) {
 		{"topk:0.25", Spec{Kind: TopK, Ratio: 0.25}, true},
 		{"topk:0", Spec{}, false},
 		{"topk:1.5", Spec{}, false},
+		{"topk:0.0001", Spec{}, false}, // below MinTopKRatio: decoder could not bound allocations
 		{"gzip", Spec{}, false},
 	}
 	for _, c := range cases {
@@ -171,6 +172,43 @@ func TestParseSpec(t *testing.T) {
 	}
 }
 
+// TestSpecValidate: every configuration layer funnels through
+// Spec.Validate, and New must reject (panic on) exactly the values
+// Validate rejects — never silently adjust the wire behavior.
+func TestSpecValidate(t *testing.T) {
+	cases := []struct {
+		s  Spec
+		ok bool
+	}{
+		{Spec{}, true},
+		{Spec{Kind: Float32}, true},
+		{Spec{Kind: TopK}, true}, // zero ratio = default
+		{Spec{Kind: TopK, Ratio: MinTopKRatio}, true},
+		{Spec{Kind: TopK, Ratio: 1}, true},
+		{Spec{Kind: TopK, Ratio: 1e-5}, false},
+		{Spec{Kind: TopK, Ratio: 1.2}, false},
+		{Spec{Kind: TopK, Ratio: -0.1}, false},
+		{Spec{Kind: Kind(9)}, false},
+	}
+	for _, c := range cases {
+		err := c.s.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%+v) = %v", c.s, err)
+		}
+		panicked := func() (p bool) {
+			defer func() { p = recover() != nil }()
+			c.s.New()
+			return
+		}()
+		if c.ok && panicked {
+			t.Errorf("New(%+v) panicked on a valid spec", c.s)
+		}
+		if !c.ok && c.s.Kind == TopK && !panicked {
+			t.Errorf("New(%+v) silently accepted a ratio Validate rejects", c.s)
+		}
+	}
+}
+
 func TestDecodeRejectsMalformed(t *testing.T) {
 	cases := []struct {
 		kind    Kind
@@ -185,11 +223,204 @@ func TestDecodeRejectsMalformed(t *testing.T) {
 		{TopK, []byte{2, 0, 0, 0, 1, 0, 0, 0, 9, 0, 0, 0, 0, 0, 0, 0}},      // index out of range
 		{Kind(250), []byte{1, 2, 3}},                                        // unknown codec
 		{TopK, append([]byte{2, 0, 0, 0, 2, 0, 0, 0}, make([]byte, 16)...)}, // duplicate index 0
+		// Expansion bomb: 16 wire bytes claiming an n=2^20 vector (k=1)
+		// must not buy a megacoordinate allocation.
+		{TopK, append([]byte{0, 0, 16, 0, 1, 0, 0, 0}, make([]byte, 8)...)},
 	}
 	for i, c := range cases {
 		if _, err := Decode(c.kind, c.payload); err == nil {
 			t.Errorf("case %d (%v, %d bytes): malformed payload accepted", i, c.kind, len(c.payload))
 		}
+	}
+}
+
+// TestDeltaStreamReplicasStayInStep is the core soundness invariant of
+// TopK on the wire: after every frame, the sender's replica of the
+// receiver (DeltaEncoder.ref) and the receiver's reconstruction
+// (DeltaDecoder.ref) are identical, the warm start is float32-exact,
+// and for a held state the implicit error-feedback residual (x − ref)
+// drains — dropped mass is re-sent, never lost.
+func TestDeltaStreamReplicasStayInStep(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	enc := NewDeltaEncoder(0.1)
+	dec := new(DeltaDecoder)
+	const dim, rounds = 257, 60
+	x := randVec(rng, dim)
+	l1 := func(a, b []float64) float64 {
+		var s float64
+		for i := range a {
+			s += math.Abs(a[i] - b[i])
+		}
+		return s
+	}
+	prevErr := math.Inf(1)
+	for r := 0; r < rounds; r++ {
+		// Random-walk the state for the first half, then hold it fixed
+		// so the residual contraction is observable.
+		if r > 0 && r < rounds/2 {
+			for i := range x {
+				x[i] += 0.01 * rng.NormFloat64()
+			}
+		}
+		payload := enc.Compress(nil, x)
+		enc.Commit()
+		recon, err := dec.Decode(payload)
+		if err != nil {
+			t.Fatalf("round %d: %v", r, err)
+		}
+		for i := range recon {
+			if recon[i] != enc.ref[i] {
+				t.Fatalf("round %d: replicas diverged at %d: %g vs %g", r, i, recon[i], enc.ref[i])
+			}
+		}
+		if r == 0 {
+			// Dense warm start: float32-exact.
+			for i := range recon {
+				if recon[i] != float64(float32(x[i])) {
+					t.Fatalf("warm start coord %d: %g", i, recon[i])
+				}
+			}
+		}
+		if r >= rounds/2 {
+			// Held state: the tracking error must be non-increasing
+			// (modulo float32 rounding slack) round over round.
+			e := l1(x, recon)
+			if e > prevErr+1e-6 {
+				t.Fatalf("round %d: error grew %g -> %g with state held fixed", r, prevErr, e)
+			}
+			prevErr = e
+		}
+	}
+	// After 30 held rounds at 10% sparsity the residual must have
+	// drained: the reconstruction converges to x.
+	var mass float64
+	for _, v := range x {
+		mass += math.Abs(v)
+	}
+	payload := enc.Compress(nil, x)
+	enc.Commit()
+	last, _ := dec.Decode(payload)
+	if errMass := l1(x, last); errMass > 1e-4*mass {
+		t.Fatalf("residual never drained: L1 error %g of mass %g", errMass, mass)
+	}
+}
+
+// TestDeltaStreamUncommittedFrameIsResent: a staged frame the caller
+// failed to deliver (no Commit) must not advance the sender replica —
+// the next frame re-carries the mass and the receiver stays in step.
+func TestDeltaStreamUncommittedFrameIsResent(t *testing.T) {
+	enc := NewDeltaEncoder(0.5)
+	dec := new(DeltaDecoder)
+	x := []float64{10, -20, 30, -40}
+	enc.Compress(nil, x) // send fails: never committed, receiver saw nothing
+	payload := enc.Compress(nil, x)
+	enc.Commit()
+	recon, err := dec.Decode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if recon[i] != float64(float32(x[i])) {
+			t.Fatalf("coord %d lost after failed send: %g, want %g", i, recon[i], x[i])
+		}
+	}
+	// And after a committed warm start, a failed sparse frame must not
+	// mark its mass as delivered either.
+	y := []float64{11, -20, 30, -40} // one coordinate moved
+	enc.Compress(nil, y)             // fails
+	payload = enc.Compress(nil, y)
+	enc.Commit()
+	recon, err = dec.Decode(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recon[0] != float64(float32(11.0)) {
+		t.Fatalf("moved coordinate lost after failed sparse send: %g", recon[0])
+	}
+}
+
+// TestDeltaStreamFailedRekeyDoesNotPoisonDimension: an uncommitted
+// re-key frame of a different dimension must not leak its length into
+// the next encode (this used to panic, or emit a wrong-dimension
+// frame in the widening direction).
+func TestDeltaStreamFailedRekeyDoesNotPoisonDimension(t *testing.T) {
+	enc := NewDeltaEncoder(0.5)
+	dec := new(DeltaDecoder)
+	x := []float64{1, 2, 3, 4}
+	p := enc.Compress(nil, x)
+	enc.Commit()
+	if _, err := dec.Decode(p); err != nil {
+		t.Fatal(err)
+	}
+	enc.Compress(nil, []float64{7, 8})          // shrink re-key: send fails, never committed
+	enc.Compress(nil, []float64{1, 2, 3, 4, 5}) // widen re-key: also fails
+	x[0] = 9
+	p = enc.Compress(nil, x) // back to the live dimension
+	enc.Commit()
+	recon, err := dec.Decode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recon) != len(x) {
+		t.Fatalf("frame re-keyed the receiver to dim %d, want %d", len(recon), len(x))
+	}
+	for i := range x {
+		if recon[i] != float64(float32(x[i])) {
+			t.Fatalf("coord %d: %g, want %g", i, recon[i], x[i])
+		}
+	}
+}
+
+// TestDeltaStreamRekeysOnDimensionChange: a length change restarts the
+// stream with a dense frame on both sides.
+func TestDeltaStreamRekeysOnDimensionChange(t *testing.T) {
+	enc := NewDeltaEncoder(0.5)
+	dec := new(DeltaDecoder)
+	p1 := enc.Compress(nil, []float64{1, 2, 3, 4})
+	enc.Commit()
+	if _, err := dec.Decode(p1); err != nil {
+		t.Fatal(err)
+	}
+	y := []float64{5, -6}
+	p2 := enc.Compress(nil, y)
+	enc.Commit()
+	recon, err := dec.Decode(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range y {
+		if recon[i] != y[i] {
+			t.Fatalf("after re-key coord %d: %g, want %g", i, recon[i], y[i])
+		}
+	}
+}
+
+// TestDeltaDecoderRejectsSparseRekey: a frame whose dimension differs
+// from the replica must be dense (the encoder always warm-starts
+// densely); a sparse wrong-dimension frame is corruption and accepting
+// it would wipe the replica into mostly-zero "state".
+func TestDeltaDecoderRejectsSparseRekey(t *testing.T) {
+	dec := new(DeltaDecoder)
+	// First frame sparse: k < n with no established replica.
+	sparse := NewTopK(MinTopKRatio).Compress(nil, make([]float64, 2048))
+	if _, err := dec.Decode(sparse); err == nil {
+		t.Error("sparse first frame accepted")
+	}
+	// Establish a 4-dim replica, then offer a sparse 2048-dim frame.
+	enc := NewDeltaEncoder(0.5)
+	p := enc.Compress(nil, []float64{1, 2, 3, 4})
+	enc.Commit()
+	if _, err := dec.Decode(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.Decode(sparse); err == nil {
+		t.Error("sparse re-key frame accepted; replica would be wiped")
+	}
+	// The established stream still works after the rejected frames.
+	p = enc.Compress(nil, []float64{1, 2, 3, 5})
+	enc.Commit()
+	if out, err := dec.Decode(p); err != nil || out[3] != 5 {
+		t.Errorf("stream broken after rejected re-key: %v %v", out, err)
 	}
 }
 

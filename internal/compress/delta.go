@@ -1,0 +1,175 @@
+package compress
+
+// delta.go — the stateful half of the TopK codec. Sparsifying a full
+// parameter vector and averaging the zero-filled reconstruction into a
+// model destroys training (the dropped 90% of coordinates enter the
+// mean as zeros). TopK is therefore defined on the wire as a *delta
+// stream*: each frame carries the top-k coordinates of
+//
+//	delta_t = x_t − ref_t
+//
+// where ref_t is the sender's replica of what the receiver has
+// reconstructed so far; after encoding, ref_{t+1} = ref_t + q_t with
+// q_t the float32-rounded transmitted sparse vector. This is the
+// x̂-tracking of Koloskova et al.'s CHOCO-SGD, and it is error feedback
+// with implicit memory: mass a frame drops stays in x − ref and is
+// re-attempted on every later frame, so for a held state the replica
+// converges geometrically (TopK removes at least the k largest-|·|
+// shares of the remaining error each round) and nothing is ever lost.
+// The receiver folds each decoded delta into its replica and hands the
+// full dense reconstruction to the protocol. The first frame of a
+// stream (and the first after a dimension change) is sent dense
+// (k = n) so both replicas start float32-exact.
+//
+// One DeltaEncoder/DeltaDecoder pair serves one ordered, reliable
+// stream (one transport connection). Neither is safe for concurrent
+// use; the transport serializes update sends per peer and decodes per
+// connection.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// StreamCompressor is implemented by codecs whose encoding is stateful
+// per connection. The transport calls NewStream once per dialed peer
+// and must serialize Compress calls on the returned instance; stateless
+// codecs are shared as-is.
+type StreamCompressor interface {
+	Compressor
+	// NewStream returns a fresh, independent per-connection encoder.
+	NewStream() Compressor
+}
+
+// NewStream makes TopK a StreamCompressor: its per-connection form is
+// the replica-tracking delta encoder.
+func (c topKCodec) NewStream() Compressor { return &DeltaEncoder{codec: c} }
+
+// StreamCommitter is implemented by stream encoders whose Compress
+// only *stages* a frame. The caller must invoke Commit once the frame
+// has actually been handed to the reliable stream (all chunks
+// written); a failed send is simply never committed, so the encoder
+// re-sends the same mass later instead of desyncing from a receiver
+// that saw nothing.
+type StreamCommitter interface {
+	Commit()
+}
+
+// DeltaEncoder is the sender half of a TopK delta stream.
+type DeltaEncoder struct {
+	codec topKCodec
+	// ref replicates the receiver's reconstruction (bit-for-bit: both
+	// sides accumulate the same float32 values in the same order);
+	// delta is scratch for x − ref. The untransmitted mass x − ref is
+	// the implicit error-feedback residual.
+	ref, delta []float64
+	// pending is the staged-but-uncommitted payload (aliasing the
+	// caller's buffer, which must stay untouched until Commit);
+	// pendingRekey records that it is a warm-start frame.
+	pending      []byte
+	pendingRekey bool
+}
+
+// NewDeltaEncoder returns a delta-stream encoder keeping ceil(ratio·n)
+// coordinates per frame; ratio must be in [MinTopKRatio, 1].
+func NewDeltaEncoder(ratio float64) *DeltaEncoder {
+	return &DeltaEncoder{codec: NewTopK(ratio).(topKCodec)}
+}
+
+// Kind returns TopK: delta frames are ordinary TopK payloads; the
+// stream semantics live in the encoder/decoder state.
+func (e *DeltaEncoder) Kind() Kind { return TopK }
+
+// Compress appends one delta frame for state x and stages it; the
+// replica does not advance until Commit, so a frame the caller fails
+// to deliver is simply re-encoded later and no mass is lost. The
+// first committed frame (and the first after len(x) changes) re-keys
+// the stream and is sent dense. Staging a new frame discards an
+// uncommitted one.
+func (e *DeltaEncoder) Compress(dst []byte, x []float64) []byte {
+	enc := e.codec
+	// delta always takes the dimension of *this* frame: an uncommitted
+	// staged frame (e.g. a failed re-key to a different dimension) must
+	// not leak its length into the next encode.
+	if cap(e.delta) < len(x) {
+		e.delta = make([]float64, len(x))
+	}
+	e.delta = e.delta[:len(x)]
+	e.pendingRekey = len(e.ref) != len(x)
+	if e.pendingRekey {
+		copy(e.delta, x)
+		enc = topKCodec{ratio: 1} // dense warm start: replicas begin exact
+	} else {
+		for i, v := range x {
+			e.delta[i] = v - e.ref[i]
+		}
+	}
+	start := len(dst)
+	dst = enc.Compress(dst, e.delta)
+	e.pending = dst[start:]
+	return dst
+}
+
+// Commit advances the replica by the float32-rounded sparse vector the
+// staged frame actually carries, so ref tracks the receiver exactly —
+// including the rounding the receiver will see. Call it only once the
+// frame is on the wire; a no-op when nothing is staged.
+func (e *DeltaEncoder) Commit() {
+	payload := e.pending
+	if payload == nil {
+		return
+	}
+	e.pending = nil
+	if e.pendingRekey {
+		e.ref = make([]float64, len(e.delta))
+	}
+	k := int(binary.LittleEndian.Uint32(payload[4:]))
+	for p := 0; p < k; p++ {
+		off := 8 + 8*p
+		i := binary.LittleEndian.Uint32(payload[off:])
+		v := float64(math.Float32frombits(binary.LittleEndian.Uint32(payload[off+4:])))
+		e.ref[i] += v
+	}
+}
+
+// DeltaDecoder is the receiver half of a TopK delta stream: it holds
+// the replica of the sender's state for one connection.
+type DeltaDecoder struct {
+	ref []float64
+}
+
+// Decode folds one delta payload into the replica and returns a copy
+// of the full reconstructed state. A payload whose dimension differs
+// from the replica re-keys the stream — and must be dense (k = n),
+// because the encoder always warm-starts a re-key densely; a *sparse*
+// frame of the wrong dimension is corruption, and accepting it would
+// wipe the replica and hand mostly-zero state to the protocol. The
+// fold is O(k) — the sparse pairs are applied directly, never
+// materialized as a dense delta. On a malformed payload the replica
+// may be partially advanced; the caller must treat the error as fatal
+// for the stream (the transport drops the connection).
+func (d *DeltaDecoder) Decode(payload []byte) ([]float64, error) {
+	n, k, err := parseTopKHeader(payload)
+	if err != nil {
+		return nil, err
+	}
+	if len(d.ref) != n {
+		if k != n {
+			return nil, fmt.Errorf("compress: topk re-key frame (replica dim %d -> %d) must be dense, got k=%d", len(d.ref), n, k)
+		}
+		d.ref = make([]float64, n)
+	}
+	prev := -1
+	for p := 0; p < k; p++ {
+		i, v, err := topKPair(payload, p, n, prev)
+		if err != nil {
+			return nil, err
+		}
+		prev = i
+		d.ref[i] += v
+	}
+	out := make([]float64, n)
+	copy(out, d.ref)
+	return out, nil
+}

@@ -198,11 +198,8 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("core: SkipConfig.MaxJump must be >=1, got %d", c.Skip.MaxJump)
 		}
 	}
-	if !compress.Supported(c.Compression.Kind) {
-		return fmt.Errorf("core: unsupported compression codec %v", c.Compression.Kind)
-	}
-	if c.Compression.Kind == compress.TopK && (c.Compression.Ratio < 0 || c.Compression.Ratio > 1) {
-		return fmt.Errorf("core: topk ratio %g out of (0,1]", c.Compression.Ratio)
+	if err := c.Compression.Validate(); err != nil {
+		return fmt.Errorf("core: %w", err)
 	}
 	if c.Mode == ModeNotifyAck && (c.MaxIG > 0 || c.Backup > 0 || c.Staleness >= 0 || c.Skip != nil) {
 		return fmt.Errorf("core: NOTIFY-ACK is the fixed-gap baseline; token queues, backup workers, staleness and skipping do not compose with it (§3.4-3.5)")

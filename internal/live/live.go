@@ -19,6 +19,7 @@ package live
 
 import (
 	"fmt"
+	"log"
 	"math/rand"
 	"time"
 
@@ -142,8 +143,8 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if cfg.Skip != nil && cfg.MaxIG <= 0 {
 		return nil, fmt.Errorf("live: skipping requires token queues (MaxIG>0)")
 	}
-	if !compress.Supported(cfg.Compression.Kind) {
-		return nil, fmt.Errorf("live: unsupported compression codec %v", cfg.Compression.Kind)
+	if err := cfg.Compression.Validate(); err != nil {
+		return nil, fmt.Errorf("live: %w", err)
 	}
 	mon := core.NewSyncMonitor()
 	slots := cfg.MaxIG + 1
@@ -177,6 +178,12 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	node, err := transport.ListenConfig(cfg.ID, cfg.ListenAddr, w.handle, transport.Config{
 		Compressor: cfg.Compression.New(),
 		MaxChunk:   cfg.WireChunkBytes,
+		// A dropped in-neighbor otherwise manifests only as a silent
+		// hang in recvReduce; log the diagnosis (also counted in
+		// WireStats().ReadErrors).
+		OnReadError: func(err error) {
+			log.Printf("hop/live: worker %d: %v", cfg.ID, err)
+		},
 	})
 	if err != nil {
 		return nil, err

@@ -192,7 +192,10 @@ func TestLiveStalenessBoundWithCompressedChunkedUpdates(t *testing.T) {
 		}
 		return model.NewQuadratic(x0, target, 0.2, 0.02)
 	}
-	for _, spec := range []string{"none", "float32", "topk:1"} {
+	// topk:0.1 is the headline sparse operating point: it exercises the
+	// delta-stream path end to end (a zero-filled decode averaged into
+	// the model would blow the loss bound below).
+	for _, spec := range []string{"none", "float32", "topk:1", "topk:0.1"} {
 		spec := spec
 		t.Run(spec, func(t *testing.T) {
 			comp, err := compress.ParseSpec(spec)
@@ -236,6 +239,12 @@ func TestLiveStalenessBoundWithCompressedChunkedUpdates(t *testing.T) {
 				if comp.Kind == compress.Float32 && st.CompressionRatio() < 1.9 {
 					t.Errorf("worker %d: float32 ratio %.2f", i, st.CompressionRatio())
 				}
+				if comp.Kind == compress.TopK && comp.Ratio == 0.1 && st.CompressionRatio() < 4 {
+					t.Errorf("worker %d: topk:0.1 realized only %.2fx on the wire", i, st.CompressionRatio())
+				}
+				if st.ReadErrors != 0 {
+					t.Errorf("worker %d: %d inbound connections dropped", i, st.ReadErrors)
+				}
 			}
 			// Token conservation: with every worker at MaxIter, Theorem 2
 			// gives count = Iter(j) − Iter(i) + max_ig = max_ig exactly,
@@ -269,6 +278,7 @@ func TestLiveConfigValidation(t *testing.T) {
 		{Graph: g, ID: 0, Trainer: quadStart(0)},
 		{Graph: g, ID: 0, Trainer: quadStart(0), MaxIter: 1, Backup: 1},
 		{Graph: g, ID: 0, Trainer: quadStart(0), MaxIter: 1, Skip: &core.SkipConfig{MaxJump: 2}},
+		{Graph: g, ID: 0, Trainer: quadStart(0), MaxIter: 1, Compression: compress.Spec{Kind: compress.TopK, Ratio: 1e-5}},
 	}
 	for i, cfg := range cases {
 		cfg.Staleness = -1

@@ -19,8 +19,11 @@ import (
 const (
 	// magic opens every frame: "HOP" plus the format version byte.
 	// Bumping the version makes old and new nodes refuse each other at
-	// the handshake instead of mis-parsing frames.
-	magic = "HOP\x01"
+	// the handshake instead of mis-parsing frames. Version 2 redefined
+	// TopK update payloads from absolute sparse vectors to
+	// error-feedback delta streams (compress/delta.go); a v1 peer would
+	// mis-aggregate them, so the formats must not interoperate.
+	magic = "HOP\x02"
 
 	headerLen = 32
 
@@ -55,12 +58,17 @@ const (
 	frameAck
 	frameHello
 	frameHelloAck
+	// frameGoodbye announces an orderly shutdown: Node.Close sends it
+	// (best effort) before closing each outgoing connection, so the
+	// receiver can tell a clean departure from a peer dying mid-run —
+	// an EOF *without* a preceding goodbye is reported as a read error.
+	frameGoodbye
 )
 
 // frameHeader is the fixed prefix of every frame:
 //
 //	off size field
-//	 0   4   magic "HOP" + version 0x01
+//	 0   4   magic "HOP" + version 0x02
 //	 4   1   frame kind
 //	 5   1   payload codec (compress.Kind)
 //	 6   2   chunk index
@@ -125,7 +133,7 @@ func parseHeader(b []byte) (frameHeader, error) {
 	if b[10] != 0 || b[11] != 0 {
 		return frameHeader{}, fmt.Errorf("transport: reserved header bytes set")
 	}
-	if h.kind > frameHelloAck {
+	if h.kind > frameGoodbye {
 		return frameHeader{}, fmt.Errorf("transport: unknown frame kind %d", h.kind)
 	}
 	if h.payloadLen > maxFramePayload {

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"io"
 	"math/rand"
 	"net"
 	"strings"
@@ -41,7 +42,8 @@ func TestParseHeaderRejectsMalformed(t *testing.T) {
 		mutate func(b []byte)
 	}{
 		{"bad magic", func(b []byte) { b[0] = 'X' }},
-		{"future version", func(b []byte) { b[3] = 2 }},
+		{"version skew", func(b []byte) { b[3] = 1 }}, // v1 TopK frames are absolute, not deltas
+		{"future version", func(b []byte) { b[3] = 9 }},
 		{"unknown kind", func(b []byte) { b[4] = 99 }},
 		{"reserved set", func(b []byte) { b[10] = 1 }},
 		{"oversized payload", func(b []byte) { b[28], b[29], b[30], b[31] = 0xff, 0xff, 0xff, 0x7f }},
@@ -293,6 +295,202 @@ func TestRejectsNonHopPeer(t *testing.T) {
 	}
 	if len(got()) != 0 {
 		t.Errorf("garbage delivered messages: %v", got())
+	}
+}
+
+// TestTopKUpdatesAreDeltaStreams: with a TopK sender, the receiver
+// must see the sender's full state (within float32 rounding and
+// residual feedback), not a zero-filled sparse vector — the defect
+// that made topk:0.1 destroy training when averaged into a model.
+func TestTopKUpdatesAreDeltaStreams(t *testing.T) {
+	_, tx, got := pipe(t, Config{}, Config{Compressor: compress.NewTopK(0.25)})
+	const dim, rounds = 64, 30
+	x := make([]float64, dim)
+	for i := range x {
+		x[i] = float64(i) + 1 // every coordinate non-zero
+	}
+	for r := 0; r < rounds; r++ {
+		if err := tx.Send(1, Message{Kind: KindUpdate, Iter: r, Params: x}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return len(got()) == rounds })
+	// First frame is the dense warm start: exact to float32.
+	for i, v := range got()[0].Params {
+		if v != float64(float32(x[i])) {
+			t.Fatalf("warm start coord %d: %g, want %g", i, v, x[i])
+		}
+	}
+	// A constant state must stay fully reconstructed on every
+	// subsequent frame — no coordinate may collapse to zero.
+	last := got()[rounds-1]
+	if last.Codec != compress.TopK {
+		t.Fatalf("codec metadata %v", last)
+	}
+	for i, v := range last.Params {
+		if diff := v - x[i]; diff > 1e-4 || diff < -1e-4 {
+			t.Fatalf("steady state coord %d drifted: %g vs %g", i, v, x[i])
+		}
+	}
+	// And the wire must actually have been sparse after the warm start.
+	s := tx.Stats()
+	steady := s.WireUpdateBytesSent - (8 + 8*dim) // minus warm-start payload
+	perUpdate := steady / (rounds - 1)
+	if perUpdate > 8+16*8 { // header + k=16 pairs
+		t.Errorf("steady-state topk frames average %d bytes, not sparse", perUpdate)
+	}
+}
+
+// TestReadErrorsObservable: a protocol violation after the handshake
+// must surface through Config.OnReadError and the ReadErrors counter
+// instead of tearing the connection down silently.
+func TestReadErrorsObservable(t *testing.T) {
+	errCh := make(chan error, 4)
+	rx, err := ListenConfig(1, "127.0.0.1:0", func(Message) {}, Config{
+		OnReadError: func(e error) { errCh <- e },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rx.Close()
+	conn, err := net.Dial("tcp", rx.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(appendFrame(nil, frameHeader{kind: frameHello, codec: compress.None, from: 9}, nil)); err != nil {
+		t.Fatal(err)
+	}
+	ackBuf := make([]byte, headerLen)
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(conn, ackBuf); err != nil {
+		t.Fatalf("no hello-ack: %v", err)
+	}
+	// A hello after the handshake violates the protocol.
+	if _, err := conn.Write(appendFrame(nil, frameHeader{kind: frameHello, from: 9}, nil)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case e := <-errCh:
+		if !strings.Contains(e.Error(), "after handshake") {
+			t.Errorf("unexpected diagnosis: %v", e)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("read error never reported")
+	}
+	if got := rx.Stats().ReadErrors; got != 1 {
+		t.Errorf("ReadErrors = %d, want 1", got)
+	}
+}
+
+// TestPeerDeathVsCleanCloseObservability: an EOF without a preceding
+// goodbye frame (peer process died) must be reported, while an orderly
+// Node.Close — which announces itself with a goodbye — must not.
+func TestPeerDeathVsCleanCloseObservability(t *testing.T) {
+	errCh := make(chan error, 4)
+	rx, err := ListenConfig(1, "127.0.0.1:0", func(Message) {}, Config{
+		OnReadError: func(e error) { errCh <- e },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rx.Close()
+
+	// Orderly close: a real node dials, sends, closes.
+	tx, err := Listen(0, "127.0.0.1:0", func(Message) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Dial(1, rx.Addr(), 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Send(1, Message{Kind: KindAck, Iter: 1}); err != nil {
+		t.Fatal(err)
+	}
+	tx.Close()
+	select {
+	case e := <-errCh:
+		t.Fatalf("orderly close reported as failure: %v", e)
+	case <-time.After(300 * time.Millisecond):
+	}
+
+	// Peer death: handshake succeeds, then the socket dies with no
+	// goodbye (what os.Exit or a crash produces).
+	conn, err := net.Dial("tcp", rx.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(appendFrame(nil, frameHeader{kind: frameHello, codec: compress.None, from: 7}, nil)); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(conn, make([]byte, headerLen)); err != nil {
+		t.Fatalf("no hello-ack: %v", err)
+	}
+	conn.Close()
+	select {
+	case e := <-errCh:
+		if !strings.Contains(e.Error(), "without goodbye") {
+			t.Errorf("unexpected diagnosis: %v", e)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("peer death never reported")
+	}
+}
+
+// TestConnectionPinnedToHelloSender: data frames claiming a sender id
+// other than the hello's must drop the connection — otherwise a
+// hostile peer could grow per-sender receive state (delta replicas)
+// with fabricated ids.
+func TestConnectionPinnedToHelloSender(t *testing.T) {
+	errCh := make(chan error, 4)
+	var mu sync.Mutex
+	var got []Message
+	rx, err := ListenConfig(1, "127.0.0.1:0", func(m Message) {
+		mu.Lock()
+		got = append(got, m)
+		mu.Unlock()
+	}, Config{OnReadError: func(e error) { errCh <- e }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rx.Close()
+	conn, err := net.Dial("tcp", rx.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write(appendFrame(nil, frameHeader{kind: frameHello, codec: compress.None, from: 9}, nil)); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := io.ReadFull(conn, make([]byte, headerLen)); err != nil {
+		t.Fatalf("no hello-ack: %v", err)
+	}
+	// Matching sender passes, mismatched sender kills the connection.
+	if _, err := conn.Write(appendFrame(nil, frameHeader{kind: frameToken, from: 9, iter: 1, count: 1}, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write(appendFrame(nil, frameHeader{kind: frameToken, from: 8, iter: 2, count: 1}, nil)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case e := <-errCh:
+		if !strings.Contains(e.Error(), "pinned to sender") {
+			t.Errorf("unexpected diagnosis: %v", e)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("mismatched sender never reported")
+	}
+	waitFor(t, func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(got) == 1
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	if got[0].From != 9 || got[0].Iter != 1 {
+		t.Errorf("delivered %v", got[0])
 	}
 }
 

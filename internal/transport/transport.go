@@ -8,9 +8,11 @@
 // the wire-format version and negotiates the update compressor: the
 // dialer proposes its configured codec, the acceptor answers with that
 // codec if it supports it and compress.None otherwise, and the dialer
-// sends with whatever was accepted. Every data frame additionally
-// carries its own codec byte, so the receive path never depends on
-// out-of-band state to decode.
+// sends with whatever was accepted. Every data frame carries its own
+// codec byte; None and Float32 frames decode statelessly, while TopK
+// frames form a per-connection delta stream with error feedback
+// (compress.DeltaEncoder/DeltaDecoder), so sparsification never zeroes
+// coordinates of the state the protocol aggregates.
 //
 // Update payloads larger than Config.MaxChunk are split across frames
 // tagged with a per-peer sequence number and reassembled on receipt;
@@ -24,6 +26,7 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -109,6 +112,14 @@ type Config struct {
 	// MaxChunk is the largest per-frame payload in bytes; 0 means
 	// DefaultMaxChunk.
 	MaxChunk int
+	// OnReadError, when non-nil, is invoked whenever an inbound
+	// connection is torn down for a reason other than a clean close or
+	// this node shutting down: handshake rejection, chunk-contract
+	// violation, reassembly limits, codec decode failure, abrupt peer
+	// death. Without it a dropped peer is visible only as updates
+	// silently ceasing (and the ReadErrors counter). Called from reader
+	// goroutines; must be safe for concurrent use.
+	OnReadError func(err error)
 }
 
 func (c Config) compressor() compress.Compressor {
@@ -138,6 +149,9 @@ type Stats struct {
 	UpdatesSent, UpdatesRecv int64
 	RawUpdateBytesSent       int64
 	WireUpdateBytesSent      int64
+	// ReadErrors counts inbound connections dropped for protocol-level
+	// failures (everything Config.OnReadError reports).
+	ReadErrors int64
 }
 
 // CompressionRatio returns raw/wire update bytes (1 when nothing was
@@ -182,6 +196,7 @@ type Node struct {
 	updatesSent, updatesRecv atomic.Int64
 	rawUpdateBytes           atomic.Int64
 	wireUpdateBytes          atomic.Int64
+	readErrors               atomic.Int64
 }
 
 // Listen starts a node with the given worker id on addr (use ":0" for
@@ -220,6 +235,7 @@ func (n *Node) Stats() Stats {
 		UpdatesRecv:         n.updatesRecv.Load(),
 		RawUpdateBytesSent:  n.rawUpdateBytes.Load(),
 		WireUpdateBytesSent: n.wireUpdateBytes.Load(),
+		ReadErrors:          n.readErrors.Load(),
 	}
 }
 
@@ -246,6 +262,16 @@ func (n *Node) acceptLoop() {
 func (n *Node) readLoop(conn net.Conn) {
 	defer n.wg.Done()
 	defer conn.Close()
+	if err := n.readConn(conn); err != nil {
+		n.noteReadError(conn, err)
+	}
+}
+
+// readConn drives one inbound connection until it ends. A nil return
+// is a clean close; any error is a diagnosis of why the peer was
+// dropped, surfaced through noteReadError so the failure is observable
+// instead of manifesting as updates silently ceasing.
+func (n *Node) readConn(conn net.Conn) error {
 	br := bufio.NewReaderSize(conn, 64<<10)
 
 	// Handshake: the first frame must be a hello carrying a compatible
@@ -253,8 +279,14 @@ func (n *Node) readLoop(conn net.Conn) {
 	// codec this build supports — the dialer's proposal if decodable,
 	// compress.None otherwise.
 	h, _, err := readFrame(br)
-	if err != nil || h.kind != frameHello {
-		return
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil // connect-and-leave (port probe); nothing to report
+		}
+		return fmt.Errorf("handshake: %w", err)
+	}
+	if h.kind != frameHello {
+		return fmt.Errorf("handshake: first frame is %d, want hello", h.kind)
 	}
 	accepted := h.codec
 	if !compress.Supported(accepted) {
@@ -262,29 +294,52 @@ func (n *Node) readLoop(conn net.Conn) {
 	}
 	ack := appendFrame(nil, frameHeader{kind: frameHelloAck, codec: accepted, from: uint32(n.id)}, nil)
 	if _, err := conn.Write(ack); err != nil {
-		return
+		return fmt.Errorf("handshake ack: %w", err)
 	}
 
 	ra := newReassembler()
+	// The hello pins this connection's sender id: Send always stamps
+	// the dialing node's own id, so a data frame claiming any other id
+	// is a protocol violation. Enforcing it also lets the TopK delta
+	// decoder be a single replica per connection instead of an
+	// attacker-growable map keyed by fabricated sender ids.
+	sender := h.from
+	var delta *compress.DeltaDecoder
 	for {
 		h, payload, err := readFrame(br)
 		if err != nil {
-			return // connection closed or corrupt
+			if errors.Is(err, io.EOF) {
+				// A goodbye-less FIN means the peer process died (an
+				// orderly Node.Close announces itself first).
+				return fmt.Errorf("peer %d closed without goodbye (process died?)", sender)
+			}
+			return fmt.Errorf("read frame: %w", err)
 		}
 		n.framesRecv.Add(1)
 		n.bytesRecv.Add(int64(headerLen + len(payload)))
+		if h.kind <= frameAck && h.from != sender {
+			return fmt.Errorf("frame from %d on connection pinned to sender %d", h.from, sender)
+		}
 		switch h.kind {
 		case frameUpdate:
 			mh, joined, done, err := ra.add(h, payload)
 			if err != nil {
-				return // stream violated the chunking contract
+				return err // stream violated the chunking contract
 			}
 			if !done {
 				continue
 			}
-			params, err := compress.Decode(mh.codec, joined)
+			var params []float64
+			if mh.codec == compress.TopK {
+				if delta == nil {
+					delta = new(compress.DeltaDecoder)
+				}
+				params, err = delta.Decode(joined)
+			} else {
+				params, err = compress.Decode(mh.codec, joined)
+			}
 			if err != nil {
-				return
+				return fmt.Errorf("update from %d iter %d: %w", mh.from, mh.iter, err)
 			}
 			n.updatesRecv.Add(1)
 			n.handler(Message{
@@ -295,9 +350,30 @@ func (n *Node) readLoop(conn net.Conn) {
 			n.handler(Message{Kind: KindToken, From: int(h.from), Iter: int(h.iter), Count: int(h.count)})
 		case frameAck:
 			n.handler(Message{Kind: KindAck, From: int(h.from), Iter: int(h.iter)})
+		case frameGoodbye:
+			return nil // orderly shutdown announced; the EOF that follows is clean
 		default:
-			return // handshake frames after the handshake are a protocol error
+			return fmt.Errorf("frame kind %d after handshake", h.kind)
 		}
+	}
+}
+
+// noteReadError records an abnormal inbound-connection teardown and
+// surfaces it through Config.OnReadError. Clean closes and this node's
+// own shutdown are not diagnostics and stay silent.
+func (n *Node) noteReadError(conn net.Conn, err error) {
+	if errors.Is(err, net.ErrClosed) {
+		return
+	}
+	n.mu.Lock()
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return
+	}
+	n.readErrors.Add(1)
+	if cb := n.cfg.OnReadError; cb != nil {
+		cb(fmt.Errorf("transport: dropping inbound connection %v: %w", conn.RemoteAddr(), err))
 	}
 }
 
@@ -342,7 +418,7 @@ func (n *Node) Dial(id int, addr string, timeout time.Duration) error {
 			conn.Close()
 			return fmt.Errorf("transport: peer %d already connected", id)
 		}
-		n.peers[id] = &peer{conn: conn, comp: comp}
+		n.peers[id] = &peer{conn: conn, comp: perStream(comp)}
 		n.mu.Unlock()
 		return nil
 	}
@@ -371,6 +447,17 @@ func (n *Node) handshake(conn net.Conn, deadline time.Time) (compress.Compressor
 	}
 	// The acceptor downgraded us (it cannot decode the proposal).
 	return compress.NewNone(), nil
+}
+
+// perStream instantiates per-connection encoder state for stateful
+// codecs (the TopK delta stream); stateless codecs are shared as-is.
+// Each dialed peer gets its own instance because the encoder tracks
+// that peer's reconstruction replica.
+func perStream(c compress.Compressor) compress.Compressor {
+	if s, ok := c.(compress.StreamCompressor); ok {
+		return s.NewStream()
+	}
+	return c
 }
 
 // Send encodes m (stamped with this node's id) to peer id. It is safe
@@ -431,6 +518,13 @@ func (n *Node) sendUpdate(p *peer, id int, m Message) error {
 			return err
 		}
 	}
+	// Only now has the receiver (eventually) seen the frame: advance
+	// stream-codec state. An errored send above stays uncommitted, so
+	// the encoder re-sends the same mass next time instead of
+	// desyncing from a receiver that saw nothing.
+	if c, ok := p.comp.(compress.StreamCommitter); ok {
+		c.Commit()
+	}
 	n.updatesSent.Add(1)
 	n.rawUpdateBytes.Add(int64(8 * len(m.Params)))
 	n.wireUpdateBytes.Add(int64(len(payload)))
@@ -466,7 +560,15 @@ func (n *Node) Close() {
 	n.inbound = nil
 	n.mu.Unlock()
 	n.ln.Close()
+	goodbye := appendFrame(nil, frameHeader{kind: frameGoodbye, from: uint32(n.id)}, nil)
 	for _, p := range peers {
+		// Best-effort goodbye so receivers can tell this orderly close
+		// from a crash. The write deadline also unblocks any Send stuck
+		// on a full socket, letting us take the frame lock.
+		p.conn.SetWriteDeadline(time.Now().Add(200 * time.Millisecond))
+		p.mu.Lock()
+		p.conn.Write(goodbye)
+		p.mu.Unlock()
 		p.conn.Close()
 	}
 	for _, c := range inbound {
