@@ -183,6 +183,69 @@ func BenchmarkTensorMean(b *testing.B) {
 	}
 }
 
+// --- GEMM microbenchmarks (the compute-plane trajectory) --------------
+//
+// The shapes are the ones the CNN workload actually issues (see
+// BENCH.md): conv1/conv2 are the per-sample im2col products of the
+// MiniVGG stand-in, dense the batched fully-connected products, and
+// "large" a paper-scale panel that exercises the cache blocking and
+// row sharding. All report allocations: the acceptance bar is zero
+// allocs/op in steady state. scripts/bench.sh runs these and records
+// the results in BENCH_gemm.json.
+
+func benchGemm(b *testing.B, kind string, m, k, n int) {
+	rng := rand.New(rand.NewSource(3))
+	dimA, dimB := m*k, k*n
+	if kind == "atb" {
+		dimA = k * m
+	}
+	if kind == "abt" {
+		dimB = n * k
+	}
+	a := make([]float64, dimA)
+	bb := make([]float64, dimB)
+	c := make([]float64, m*n)
+	for i := range a {
+		a[i] = rng.NormFloat64()
+	}
+	for i := range bb {
+		bb[i] = rng.NormFloat64()
+	}
+	b.SetBytes(int64(8 * (dimA + dimB + m*n)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		switch kind {
+		case "ab":
+			tensor.MatMul(c, a, bb, m, k, n)
+		case "atb":
+			tensor.MatMulATB(c, a, bb, k, m, n)
+		case "abt":
+			tensor.MatMulABT(c, a, bb, m, k, n)
+		}
+	}
+	b.ReportMetric(2*float64(m)*float64(k)*float64(n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "gflops")
+}
+
+// Conv1 of the MiniVGG CNN: weights(8×27) · im2col(27×64), per sample.
+func BenchmarkGemmConv1(b *testing.B) { benchGemm(b, "ab", 8, 27, 64) }
+
+// Conv2: weights(16×72) · im2col(72×16), per sample.
+func BenchmarkGemmConv2(b *testing.B) { benchGemm(b, "ab", 16, 72, 16) }
+
+// Dense forward: batch(16×64) · weightsᵀ(64×64).
+func BenchmarkGemmDense(b *testing.B) { benchGemm(b, "abt", 16, 64, 64) }
+
+// Dense weight gradient: dYᵀ(64×16) · X(16×64) over the batch.
+func BenchmarkGemmDenseGradATB(b *testing.B) { benchGemm(b, "atb", 64, 16, 64) }
+
+// Conv weight gradient: dOut(8×64) · colsᵀ(64×27), per sample.
+func BenchmarkGemmConvGradABT(b *testing.B) { benchGemm(b, "abt", 8, 64, 27) }
+
+// Paper-scale panel: a 128×1152×256 product (VGG-sized im2col block),
+// large enough for the worker pool to engage.
+func BenchmarkGemmLarge(b *testing.B) { benchGemm(b, "ab", 128, 1152, 256) }
+
 // --- Wire codec & compression benchmarks -----------------------------
 
 // gobUpdateBytes measures the retired wire format: one gob-encoded
@@ -262,6 +325,49 @@ func BenchmarkWireDecode(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := compress.Decode(comp.Kind(), payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDeltaEncode measures the TopK delta-stream sender hot path:
+// residual computation, quickselect sparsification and staging, plus
+// the replica commit — one neighbor's worth of work per iteration.
+func BenchmarkDeltaEncode(b *testing.B) {
+	enc := compress.NewDeltaEncoder(0.1)
+	params := wireParams(1 << 16)
+	var dst []byte
+	dst = enc.Compress(dst[:0], params)
+	enc.Commit() // warm start: subsequent frames are true sparse deltas
+	b.SetBytes(int64(8 * len(params)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		params[i&0xffff] += 1e-3 // keep the delta stream non-degenerate
+		dst = enc.Compress(dst[:0], params)
+		enc.Commit()
+	}
+}
+
+// BenchmarkDeltaFold measures the receiver half: folding one sparse
+// delta frame into the connection replica and materializing the dense
+// reconstruction.
+func BenchmarkDeltaFold(b *testing.B) {
+	enc := compress.NewDeltaEncoder(0.1)
+	params := wireParams(1 << 16)
+	warm := enc.Compress(nil, params)
+	enc.Commit()
+	params[17] += 1e-3
+	frame := enc.Compress(nil, params)
+	var dec compress.DeltaDecoder
+	if _, err := dec.Decode(warm); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(8 * len(params)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dec.Decode(frame); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -15,16 +15,19 @@ import (
 	"time"
 
 	"hop/internal/experiments"
+	"hop/internal/tensor"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment id (figNN, table1, deadlock) or 'all'")
-		scale  = flag.String("scale", "quick", "quick or full")
-		series = flag.Bool("series", false, "dump raw recorded series after each report")
-		list   = flag.Bool("list", false, "list experiment ids and exit")
+		exp     = flag.String("exp", "all", "experiment id (figNN, table1, deadlock) or 'all'")
+		scale   = flag.String("scale", "quick", "quick or full")
+		series  = flag.Bool("series", false, "dump raw recorded series after each report")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		workers = flag.Int("compute-workers", 0, "compute-plane width for tensor kernels (0 = GOMAXPROCS); reports are byte-identical at any width")
 	)
 	flag.Parse()
+	tensor.SetWorkers(*workers)
 
 	if *list {
 		for _, e := range experiments.Registry {

@@ -40,8 +40,10 @@ func main() {
 		seed      = flag.Int64("seed", 1, "seed")
 		delay     = flag.Duration("delay", 0, "artificial extra compute time per iteration")
 		dialWait  = flag.Duration("dial-wait", 30*time.Second, "how long to retry dialing peers")
+		cworkers  = flag.Int("compute-workers", 0, "compute-plane width for tensor kernels (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	hop.SetComputeWorkers(*cworkers)
 
 	var g *hop.Graph
 	switch *graphKind {

@@ -43,6 +43,8 @@ func main() {
 		prob       = flag.Float64("prob", 0, "random slowdown probability (default 1/workers)")
 		slowWorker = flag.Int("slow-worker", 0, "worker for deterministic slowdown")
 
+		computeWorkers = flag.Int("compute-workers", 0, "compute-plane width for tensor kernels (0 = GOMAXPROCS); results are bit-identical at any width")
+
 		compute  = flag.Duration("compute", 0, "base compute time per iteration (default per workload)")
 		payload  = flag.Int("payload", 0, "update payload bytes (default per workload)")
 		deadline = flag.Duration("deadline", 300*time.Second, "virtual-time deadline (0 = use -iters)")
@@ -51,6 +53,7 @@ func main() {
 		series   = flag.Bool("series", false, "print the eval-loss series")
 	)
 	flag.Parse()
+	hop.SetComputeWorkers(*computeWorkers)
 
 	g, err := buildGraph(*graphKind, *workers, *machines)
 	if err != nil {

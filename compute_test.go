@@ -1,0 +1,58 @@
+package hop_test
+
+// compute_test.go — determinism guarantees of the parallel compute
+// plane (DESIGN.md §3): figure reproductions must be byte-identical at
+// every compute-plane width, because parallelism only shards
+// independent rows and never reassociates floating-point sums.
+
+import (
+	"bytes"
+	"testing"
+
+	"hop"
+)
+
+// TestFigureOutputComputeWidthInvariant regenerates the Figure 12
+// quick reproduction — the CNN + SVM sweep over all three topologies,
+// the heaviest GEMM consumer in the registry — at compute-plane width
+// 1 and width 4 and requires the two reports to be byte-identical.
+func TestFigureOutputComputeWidthInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full fig12 quick reproductions; skipped with -short")
+	}
+	if raceEnabled {
+		t.Skip("runs ~10 minutes under the race detector; the race CI step would hit the per-binary test timeout")
+	}
+	defer hop.SetComputeWorkers(0)
+	run := func(workers int) []byte {
+		hop.SetComputeWorkers(workers)
+		var buf bytes.Buffer
+		if err := hop.RunExperiment("fig12", hop.ScaleQuick, &buf); err != nil {
+			t.Fatalf("fig12 at %d workers: %v", workers, err)
+		}
+		return buf.Bytes()
+	}
+	seq := run(1)
+	par := run(4)
+	if !bytes.Equal(seq, par) {
+		i := 0
+		for i < len(seq) && i < len(par) && seq[i] == par[i] {
+			i++
+		}
+		lo, hi := i-40, i+40
+		if lo < 0 {
+			lo = 0
+		}
+		clip := func(b []byte) string {
+			h := hi
+			if h > len(b) {
+				h = len(b)
+			}
+			if lo >= h {
+				return ""
+			}
+			return string(b[lo:h])
+		}
+		t.Fatalf("fig12 output diverges at byte %d:\n  1 worker:  …%s…\n  4 workers: …%s…", i, clip(seq), clip(par))
+	}
+}

@@ -95,7 +95,11 @@ type host struct {
 func (h *host) Now() time.Duration { return h.k.Now() }
 
 func (h *host) Compute(w, iter int, fn func()) time.Duration {
-	fn() // gradient math runs instantly in host time
+	// Gradient math runs instantly in *virtual* time, as one atomic
+	// step of the worker's sim process; inside the hatch it may use
+	// every core through the tensor worker pool without the scheduler
+	// observing any intermediate state (DESIGN.md §3).
+	h.k.Compute(fn)
 	return h.compute.IterTime(w, iter, h.rngs[w])
 }
 

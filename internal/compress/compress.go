@@ -33,6 +33,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 // Kind identifies a codec on the wire (one byte in the frame header).
@@ -278,23 +279,29 @@ func (c topKCodec) KeepCount(n int) int {
 	return k
 }
 
+// idxPool recycles the selection scratch of Compress: encoding runs
+// once per neighbor per iteration on the delta hot path, and an O(n)
+// index buffer per call was the encoder's dominant allocation.
+var idxPool = sync.Pool{New: func() any { return new([]int) }}
+
 func (c topKCodec) Compress(dst []byte, src []float64) []byte {
 	n := len(src)
 	k := c.KeepCount(n)
-	idx := make([]int, n)
+	ip := idxPool.Get().(*[]int)
+	if cap(*ip) < n {
+		*ip = make([]int, n)
+	}
+	idx := (*ip)[:n]
 	for i := range idx {
 		idx[i] = i
 	}
-	// Partial selection would be O(n) with quickselect; a full sort of
-	// the index slice keeps this dependency-free and is nowhere near
-	// the wire bottleneck at paper-scale vectors.
-	sort.Slice(idx, func(a, b int) bool {
-		va, vb := math.Abs(src[idx[a]]), math.Abs(src[idx[b]])
-		if va != vb {
-			return va > vb
-		}
-		return idx[a] < idx[b] // deterministic tie-break
-	})
+	// Quickselect partitions the k largest-magnitude coordinates to the
+	// front in O(n) expected time (the old full sort was O(n log n) and
+	// allocated through sort.Slice). The comparator is a strict total
+	// order (|value| descending, index ascending on ties), so the
+	// selected *set* — and therefore the wire bytes — is deterministic
+	// and identical to the sorted implementation's.
+	selectTopK(idx, src, k)
 	kept := idx[:k]
 	sort.Ints(kept)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(n))
@@ -303,7 +310,67 @@ func (c topKCodec) Compress(dst []byte, src []float64) []byte {
 		dst = binary.LittleEndian.AppendUint32(dst, uint32(i))
 		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(float32(src[i])))
 	}
+	idxPool.Put(ip)
 	return dst
+}
+
+// topKLess is the selection order: |src[a]| > |src[b]|, ties broken by
+// smaller index — a strict total order, so every correct selection
+// algorithm picks the same k elements.
+func topKLess(src []float64, a, b int) bool {
+	va, vb := math.Abs(src[a]), math.Abs(src[b])
+	if va != vb {
+		return va > vb
+	}
+	return a < b
+}
+
+// selectTopK partially orders idx so its first k entries are the k
+// first elements under topKLess, via iterative median-of-three
+// quickselect with an insertion-sort base case.
+func selectTopK(idx []int, src []float64, k int) {
+	lo, hi := 0, len(idx)
+	for hi-lo > 12 {
+		// Median-of-three pivot, moved to lo.
+		mid := lo + (hi-lo)/2
+		a, b, c := idx[lo], idx[mid], idx[hi-1]
+		var pv int
+		switch {
+		case topKLess(src, a, b) == topKLess(src, b, c):
+			pv = mid
+		case topKLess(src, a, c) == topKLess(src, c, b):
+			pv = hi - 1
+		default:
+			pv = lo
+		}
+		idx[lo], idx[pv] = idx[pv], idx[lo]
+		pivot := idx[lo]
+		// Hoare-style partition: entries ordered before the pivot end
+		// up in [lo, p).
+		p := lo
+		for i := lo + 1; i < hi; i++ {
+			if topKLess(src, idx[i], pivot) {
+				p++
+				idx[p], idx[i] = idx[i], idx[p]
+			}
+		}
+		idx[lo], idx[p] = idx[p], idx[lo]
+		switch {
+		case p == k || p == k-1:
+			return
+		case p > k:
+			hi = p
+		default:
+			lo = p + 1
+		}
+	}
+	// Insertion sort the small remainder; only [lo, min(hi, k)) needs
+	// ordering, but the range is tiny so sorting it whole is simplest.
+	for i := lo + 1; i < hi; i++ {
+		for j := i; j > lo && topKLess(src, idx[j], idx[j-1]); j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
 }
 
 // parseTopKHeader validates everything about a TopK payload that can

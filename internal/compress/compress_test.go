@@ -3,6 +3,7 @@ package compress
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 )
 
@@ -465,4 +466,52 @@ func FuzzRoundTrip(f *testing.F) {
 			}
 		}
 	})
+}
+
+// TestSelectTopKMatchesSortReference pins the quickselect against the
+// specification it replaced: a full sort by (|value| desc, index asc).
+// The selected set — and therefore the encoded payload — must be
+// identical for every input, including heavy ties.
+func TestSelectTopKMatchesSortReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(200)
+		src := make([]float64, n)
+		for i := range src {
+			switch rng.Intn(4) {
+			case 0:
+				src[i] = 0 // force ties
+			case 1:
+				src[i] = 1 // force |·| ties with mixed sign
+				if rng.Intn(2) == 0 {
+					src[i] = -1
+				}
+			default:
+				src[i] = rng.NormFloat64()
+			}
+		}
+		k := 1 + rng.Intn(n)
+
+		ref := make([]int, n)
+		for i := range ref {
+			ref[i] = i
+		}
+		sort.Slice(ref, func(a, b int) bool { return topKLess(src, ref[a], ref[b]) })
+		want := append([]int(nil), ref[:k]...)
+		sort.Ints(want)
+
+		got := make([]int, n)
+		for i := range got {
+			got[i] = i
+		}
+		selectTopK(got, src, k)
+		gotK := append([]int(nil), got[:k]...)
+		sort.Ints(gotK)
+
+		for i := range want {
+			if gotK[i] != want[i] {
+				t.Fatalf("trial %d (n=%d k=%d): selected %v, reference %v", trial, n, k, gotK, want)
+			}
+		}
+	}
 }

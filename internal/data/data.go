@@ -56,8 +56,24 @@ func (d *Images) SampleSize() int { return d.C * d.H * d.W }
 
 // Sample draws a batch of b labeled samples using rng.
 func (d *Images) Sample(rng *rand.Rand, b int) ImageBatch {
+	var batch ImageBatch
+	d.SampleInto(&batch, rng, b)
+	return batch
+}
+
+// SampleInto draws a batch of b labeled samples using rng, reusing
+// batch's buffers when they are large enough — the allocation-free form
+// the training hot path uses (a trainer resamples every iteration; the
+// draw itself is identical to Sample's).
+func (d *Images) SampleInto(batch *ImageBatch, rng *rand.Rand, b int) {
 	size := d.SampleSize()
-	batch := ImageBatch{X: make([]float64, b*size), Labels: make([]int, b), B: b}
+	if cap(batch.X) < b*size {
+		batch.X = make([]float64, b*size)
+	}
+	if cap(batch.Labels) < b {
+		batch.Labels = make([]int, b)
+	}
+	batch.X, batch.Labels, batch.B = batch.X[:b*size], batch.Labels[:b], b
 	for i := 0; i < b; i++ {
 		k := rng.Intn(d.Classes)
 		batch.Labels[i] = k
@@ -67,7 +83,6 @@ func (d *Images) Sample(rng *rand.Rand, b int) ImageBatch {
 			row[j] = proto[j] + rng.NormFloat64()*d.noise
 		}
 	}
-	return batch
 }
 
 // SparseVec is a sparse feature vector in coordinate form; indices are
@@ -114,10 +129,27 @@ func NewWebspam(features, nnz int, flip float64, seed int64) *Webspam {
 
 // Sample draws a batch of b labeled sparse samples using rng.
 func (d *Webspam) Sample(rng *rand.Rand, b int) SpamBatch {
-	batch := SpamBatch{X: make([]SparseVec, b), Labels: make([]float64, b)}
+	var batch SpamBatch
+	d.SampleInto(&batch, rng, b)
+	return batch
+}
+
+// SampleInto draws a batch of b labeled sparse samples using rng,
+// reusing batch's buffers (including each slot's Idx/Val backing
+// arrays) when large enough. The RNG consumption sequence is identical
+// to Sample's, so reusing buffers never changes what is drawn.
+func (d *Webspam) SampleInto(batch *SpamBatch, rng *rand.Rand, b int) {
+	for len(batch.X) < b {
+		batch.X = append(batch.X, SparseVec{})
+	}
+	batch.X = batch.X[:b]
+	if cap(batch.Labels) < b {
+		batch.Labels = make([]float64, b)
+	}
+	batch.Labels = batch.Labels[:b]
 	for i := 0; i < b; i++ {
-		v := sampleSparse(rng, d.Features, d.nnz)
-		margin := v.Dot(d.truth)
+		sampleSparseInto(&batch.X[i], rng, d.Features, d.nnz)
+		margin := batch.X[i].Dot(d.truth)
 		label := 1.0
 		if margin < 0 {
 			label = -1.0
@@ -125,33 +157,46 @@ func (d *Webspam) Sample(rng *rand.Rand, b int) SpamBatch {
 		if rng.Float64() < d.flip {
 			label = -label
 		}
-		batch.X[i] = v
 		batch.Labels[i] = label
 	}
-	return batch
 }
 
-// sampleSparse draws nnz distinct sorted indices with ±1 values.
-func sampleSparse(rng *rand.Rand, features, nnz int) SparseVec {
-	seen := make(map[int]bool, nnz)
-	idx := make([]int, 0, nnz)
+// sampleSparseInto draws nnz distinct sorted indices with ±1 values
+// into v, reusing its backing arrays. Duplicate detection is a linear
+// scan over the (tiny) accepted prefix: the accept/reject decisions —
+// and therefore the RNG stream — are exactly those of the previous
+// map-based implementation, without its per-sample allocations.
+func sampleSparseInto(v *SparseVec, rng *rand.Rand, features, nnz int) {
+	if cap(v.Idx) < nnz {
+		v.Idx = make([]int, 0, nnz)
+	}
+	idx := v.Idx[:0]
 	for len(idx) < nnz {
 		i := rng.Intn(features)
-		if !seen[i] {
-			seen[i] = true
+		dup := false
+		for _, j := range idx {
+			if j == i {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			idx = append(idx, i)
 		}
 	}
 	sortInts(idx)
-	val := make([]float64, nnz)
-	for i := range val {
+	v.Idx = idx
+	if cap(v.Val) < nnz {
+		v.Val = make([]float64, nnz)
+	}
+	v.Val = v.Val[:nnz]
+	for i := range v.Val {
 		if rng.Intn(2) == 0 {
-			val[i] = 1
+			v.Val[i] = 1
 		} else {
-			val[i] = -1
+			v.Val[i] = -1
 		}
 	}
-	return SparseVec{Idx: idx, Val: val}
 }
 
 func sortInts(s []int) {

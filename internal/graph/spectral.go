@@ -3,6 +3,7 @@ package graph
 import (
 	"math"
 	"sort"
+	"sync"
 )
 
 // SpectralGap returns ‖λ1‖−‖λ2‖ for the given weight matrix, the
@@ -95,11 +96,26 @@ func rotate(a [][]float64, p, q int, c, s float64) {
 	}
 }
 
+// iterScratch recycles the iterate/product vector pair across
+// powerIteration calls: topology searches evaluate spectral gaps for
+// many candidate graphs in a loop, and the two per-call vectors were
+// the function's only allocations.
+var iterScratch = sync.Pool{New: func() any { return new([]float64) }}
+
+func getScratch(n int) (*[]float64, []float64) {
+	p := iterScratch.Get().(*[]float64)
+	if cap(*p) < n {
+		*p = make([]float64, n)
+	}
+	return p, (*p)[:n]
+}
+
 // powerIteration estimates the dominant eigenvalue magnitude of w,
 // optionally after applying a deflation transform to the iterate.
 func powerIteration(w [][]float64, deflate func([]float64)) float64 {
 	n := len(w)
-	v := make([]float64, n)
+	vp, v := getScratch(n)
+	defer iterScratch.Put(vp)
 	// Deterministic pseudo-random start avoiding symmetry traps.
 	seed := uint64(0x9e3779b97f4a7c15)
 	for i := range v {
@@ -112,7 +128,8 @@ func powerIteration(w [][]float64, deflate func([]float64)) float64 {
 		deflate(v)
 	}
 	normalize(v)
-	tmp := make([]float64, n)
+	tp, tmp := getScratch(n)
+	defer iterScratch.Put(tp)
 	lambda := 0.0
 	for iter := 0; iter < 5000; iter++ {
 		matVec(w, v, tmp)

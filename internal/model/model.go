@@ -75,6 +75,10 @@ type CNN struct {
 	sgd  *opt.SGD
 	ds   *data.Images
 	eval data.ImageBatch
+	// batch is the reusable mini-batch buffer: resampling every
+	// iteration must not allocate (the training hot path is
+	// zero-steady-state-alloc; see DESIGN.md §3).
+	batch data.ImageBatch
 }
 
 // NewCNN builds the CNN workload: a MiniVGG network, a synthetic image
@@ -102,8 +106,8 @@ func (c *CNN) NumParams() int { return c.net.NumParams() }
 
 // ComputeGrad implements Trainer.
 func (c *CNN) ComputeGrad(rng *rand.Rand) ([]float64, float64) {
-	b := c.ds.Sample(rng, c.cfg.BatchSize)
-	loss := c.net.LossGrad(b.X, b.Labels, b.B)
+	c.ds.SampleInto(&c.batch, rng, c.cfg.BatchSize)
+	loss := c.net.LossGrad(c.batch.X, c.batch.Labels, c.batch.B)
 	return c.net.Grads(), loss
 }
 
@@ -161,6 +165,8 @@ type SVM struct {
 	ds    *data.Webspam
 	eval  data.SpamBatch
 	grads []float64
+	// batch is the reusable mini-batch buffer (see CNN.batch).
+	batch data.SpamBatch
 }
 
 // NewSVM builds the SVM workload.
@@ -185,8 +191,8 @@ func (s *SVM) NumParams() int { return s.m.NumParams() }
 
 // ComputeGrad implements Trainer.
 func (s *SVM) ComputeGrad(rng *rand.Rand) ([]float64, float64) {
-	b := s.ds.Sample(rng, s.cfg.BatchSize)
-	loss := s.m.LossGrad(b, s.grads)
+	s.ds.SampleInto(&s.batch, rng, s.cfg.BatchSize)
+	loss := s.m.LossGrad(s.batch, s.grads)
 	return s.grads, loss
 }
 

@@ -3,6 +3,8 @@ package model
 import (
 	"math/rand"
 	"testing"
+
+	"hop/internal/tensor"
 )
 
 func TestCNNTrainerLearns(t *testing.T) {
@@ -108,5 +110,29 @@ func TestEvalLossPositive(t *testing.T) {
 	}
 	if l := NewSVM(DefaultSVMConfig()).EvalLoss(); l <= 0 {
 		t.Errorf("SVM eval loss %g", l)
+	}
+}
+
+// TestComputeGradZeroSteadyStateAllocs pins the end-to-end zero-alloc
+// contract of the per-iteration hot path (sample + forward + backward)
+// for both workloads: after warm-up, an iteration must not allocate.
+func TestComputeGradZeroSteadyStateAllocs(t *testing.T) {
+	defer tensor.SetWorkers(0)
+	tensor.SetWorkers(1) // inline shards: only hot-path allocations count
+	for _, tc := range []struct {
+		name    string
+		trainer Trainer
+	}{
+		{"cnn", NewCNN(DefaultCNNConfig())},
+		{"svm", NewSVM(DefaultSVMConfig())},
+	} {
+		rng := rand.New(rand.NewSource(3))
+		tc.trainer.ComputeGrad(rng) // warm-up: grow retained batch + scratch
+		allocs := testing.AllocsPerRun(20, func() {
+			tc.trainer.ComputeGrad(rng)
+		})
+		if allocs > 0 {
+			t.Errorf("%s: ComputeGrad allocates %.1f objects/iter in steady state, want 0", tc.name, allocs)
+		}
 	}
 }

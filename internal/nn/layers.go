@@ -23,6 +23,24 @@ type Conv2D struct {
 	lastX   []float64 // retained input for backward
 	lastCol []float64 // retained im2col buffer (per batch sample loop reuse)
 	out     []float64
+
+	// Backward scratch, retained across steps so the training hot path
+	// is allocation-free in steady state (same cap-check pattern as
+	// Forward). dwAll/dbAll/dcolAll hold per-sample partials so samples
+	// can run in parallel; the fold into dw/db is sequential in sample
+	// order, keeping results bit-identical at any pool size.
+	dx      []float64
+	dwAll   []float64 // [b, len(dw)]
+	dbAll   []float64 // [b, OutC]
+	dcolAll []float64 // [b, kdim*p]
+
+	// Persistent shard closures (bound once in Bind) plus the per-call
+	// state they read: handing tensor.Parallel a fresh closure every
+	// Forward/Backward would put one allocation per layer per step back
+	// on the hot path.
+	fwdFn, bwdFn func(lo, hi int)
+	lastB        int
+	lastDy       []float64
 }
 
 // NewConv2D returns a conv layer producing outC channels with a k×k
@@ -45,6 +63,7 @@ func (c *Conv2D) Bind(in Shape, params, grads []float64) {
 	nw := c.OutC * in.C * c.K * c.K
 	c.weights, c.bias = params[:nw], params[nw:]
 	c.dw, c.db = grads[:nw], grads[nw:]
+	c.fwdFn, c.bwdFn = c.forwardShard, c.backwardShard
 }
 
 func (c *Conv2D) Init(rng *rand.Rand) {
@@ -137,10 +156,25 @@ func (c *Conv2D) Forward(x []float64, b int) []float64 {
 		c.out = make([]float64, b*c.OutC*p)
 	}
 	c.lastX = x
+	c.lastB = b
 	out := c.out[:b*c.OutC*p]
-	for s := 0; s < b; s++ {
+	// Samples are independent, so the batch shards across the compute
+	// plane; per-sample results are written to disjoint regions and each
+	// is computed exactly as in the sequential loop, so the output is
+	// bit-identical at any pool size.
+	tensor.Parallel(b, c.fwdFn)
+	return out
+}
+
+// forwardShard computes samples [lo, hi) of the current forward pass.
+func (c *Conv2D) forwardShard(lo, hi int) {
+	in := c.in
+	p := in.H * in.W
+	kdim := in.C * c.K * c.K
+	out := c.out[:c.lastB*c.OutC*p]
+	for s := lo; s < hi; s++ {
 		cols := c.lastCol[s*kdim*p : (s+1)*kdim*p]
-		c.im2col(x[s*in.Size():(s+1)*in.Size()], cols)
+		c.im2col(c.lastX[s*in.Size():(s+1)*in.Size()], cols)
 		o := out[s*c.OutC*p : (s+1)*c.OutC*p]
 		tensor.MatMul(o, c.weights, cols, c.OutC, kdim, p)
 		for oc := 0; oc < c.OutC; oc++ {
@@ -151,35 +185,71 @@ func (c *Conv2D) Forward(x []float64, b int) []float64 {
 			}
 		}
 	}
-	return out
 }
 
 func (c *Conv2D) Backward(dy []float64, b int) []float64 {
 	in := c.in
 	p := in.H * in.W
 	kdim := in.C * c.K * c.K
-	dx := make([]float64, b*in.Size())
-	dwTmp := make([]float64, len(c.dw))
-	dcol := make([]float64, kdim*p)
+	nw := len(c.dw)
+	if cap(c.dx) < b*in.Size() {
+		c.dx = make([]float64, b*in.Size())
+	}
+	if cap(c.dwAll) < b*nw {
+		c.dwAll = make([]float64, b*nw)
+	}
+	if cap(c.dbAll) < b*c.OutC {
+		c.dbAll = make([]float64, b*c.OutC)
+	}
+	if cap(c.dcolAll) < b*kdim*p {
+		c.dcolAll = make([]float64, b*kdim*p)
+	}
+	dx := c.dx[:b*in.Size()]
+	c.lastDy, c.lastB = dy, b
+	// Per-sample partials compute in parallel into disjoint regions …
+	tensor.Parallel(b, c.bwdFn)
+	// … and fold into the shared gradient sequentially in sample order,
+	// the same accumulation order as the sequential loop.
+	dwAll, dbAll := c.dwAll[:b*nw], c.dbAll[:b*c.OutC]
 	for s := 0; s < b; s++ {
+		tensor.Add(c.dw, dwAll[s*nw:(s+1)*nw])
+		for oc := 0; oc < c.OutC; oc++ {
+			c.db[oc] += dbAll[s*c.OutC+oc]
+		}
+	}
+	return dx
+}
+
+// backwardShard computes per-sample gradient partials for samples
+// [lo, hi) of the current backward pass.
+func (c *Conv2D) backwardShard(lo, hi int) {
+	in := c.in
+	p := in.H * in.W
+	kdim := in.C * c.K * c.K
+	nw := len(c.dw)
+	dy, dx := c.lastDy, c.dx[:c.lastB*in.Size()]
+	for s := lo; s < hi; s++ {
 		dout := dy[s*c.OutC*p : (s+1)*c.OutC*p]
 		cols := c.lastCol[s*kdim*p : (s+1)*kdim*p]
-		// dW += dOut · colsᵀ
-		tensor.MatMulABT(dwTmp, dout, cols, c.OutC, p, kdim)
-		tensor.Add(c.dw, dwTmp)
-		// db += row sums of dOut
+		// dWₛ = dOut · colsᵀ
+		tensor.MatMulABT(c.dwAll[s*nw:(s+1)*nw], dout, cols, c.OutC, p, kdim)
+		// dbₛ = row sums of dOut
 		for oc := 0; oc < c.OutC; oc++ {
 			s2 := 0.0
 			for _, v := range dout[oc*p : (oc+1)*p] {
 				s2 += v
 			}
-			c.db[oc] += s2
+			c.dbAll[s*c.OutC+oc] = s2
 		}
-		// dcols = Wᵀ · dOut, then scatter back
+		// dcols = Wᵀ · dOut, then scatter back into this sample's dx
+		dcol := c.dcolAll[s*kdim*p : (s+1)*kdim*p]
 		tensor.MatMulATB(dcol, c.weights, dout, c.OutC, kdim, p)
-		c.col2im(dcol, dx[s*in.Size():(s+1)*in.Size()])
+		dxs := dx[s*in.Size() : (s+1)*in.Size()]
+		for i := range dxs {
+			dxs[i] = 0
+		}
+		c.col2im(dcol, dxs)
 	}
-	return dx
 }
 
 // --- ReLU ------------------------------------------------------------
@@ -188,6 +258,7 @@ func (c *Conv2D) Backward(dy []float64, b int) []float64 {
 type ReLU struct {
 	lastX []float64
 	out   []float64
+	dx    []float64
 }
 
 // NewReLU returns a ReLU activation layer.
@@ -217,10 +288,15 @@ func (r *ReLU) Forward(x []float64, b int) []float64 {
 }
 
 func (r *ReLU) Backward(dy []float64, b int) []float64 {
-	dx := make([]float64, len(dy))
+	if cap(r.dx) < len(dy) {
+		r.dx = make([]float64, len(dy))
+	}
+	dx := r.dx[:len(dy)]
 	for i, v := range r.lastX {
 		if v > 0 {
 			dx[i] = dy[i]
+		} else {
+			dx[i] = 0
 		}
 	}
 	return dx
@@ -234,6 +310,7 @@ type MaxPool2 struct {
 	in     Shape
 	argmax []int
 	out    []float64
+	dx     []float64
 }
 
 // NewMaxPool2 returns a 2×2/stride-2 max-pooling layer.
@@ -290,7 +367,13 @@ func (m *MaxPool2) Forward(x []float64, b int) []float64 {
 func (m *MaxPool2) Backward(dy []float64, b int) []float64 {
 	in := m.in
 	outSize := in.C * (in.H / 2) * (in.W / 2)
-	dx := make([]float64, b*in.Size())
+	if cap(m.dx) < b*in.Size() {
+		m.dx = make([]float64, b*in.Size())
+	}
+	dx := m.dx[:b*in.Size()]
+	for i := range dx {
+		dx[i] = 0
+	}
 	arg := m.argmax[:b*outSize]
 	for i, g := range dy {
 		dx[arg[i]] += g
@@ -311,6 +394,8 @@ type Dense struct {
 
 	lastX []float64
 	out   []float64
+	dx    []float64
+	dwTmp []float64
 }
 
 // NewDense returns a fully connected layer with out units.
@@ -358,7 +443,10 @@ func (d *Dense) Forward(x []float64, b int) []float64 {
 
 func (d *Dense) Backward(dy []float64, b int) []float64 {
 	in := d.in.Size()
-	dwTmp := make([]float64, len(d.dw))
+	if cap(d.dwTmp) < len(d.dw) {
+		d.dwTmp = make([]float64, len(d.dw))
+	}
+	dwTmp := d.dwTmp[:len(d.dw)]
 	tensor.MatMulATB(dwTmp, dy, d.lastX, b, d.Out, in)
 	tensor.Add(d.dw, dwTmp)
 	for s := 0; s < b; s++ {
@@ -367,7 +455,10 @@ func (d *Dense) Backward(dy []float64, b int) []float64 {
 			d.db[j] += v
 		}
 	}
-	dx := make([]float64, b*in)
+	if cap(d.dx) < b*in {
+		d.dx = make([]float64, b*in)
+	}
+	dx := d.dx[:b*in]
 	tensor.MatMul(dx, dy, d.weights, b, d.Out, in)
 	return dx
 }

@@ -207,3 +207,51 @@ func TestLayerNames(t *testing.T) {
 		t.Error("activation names")
 	}
 }
+
+// TestLossGradZeroSteadyStateAllocs pins the zero-alloc contract of
+// the training hot path: after a warm-up step has grown every layer's
+// retained scratch, repeated forward+backward passes must not allocate.
+func TestLossGradZeroSteadyStateAllocs(t *testing.T) {
+	defer tensor.SetWorkers(0)
+	tensor.SetWorkers(1) // inline shards: only hot-path allocations count
+	rng := rand.New(rand.NewSource(5))
+	in := Shape{C: 3, H: 8, W: 8}
+	net := MiniVGG(in, 4)
+	net.Init(rng)
+	x, labels := randomBatch(rng, in, 4, 16)
+	net.LossGrad(x, labels, 16) // warm-up: grow scratch
+	allocs := testing.AllocsPerRun(20, func() {
+		net.LossGrad(x, labels, 16)
+	})
+	if allocs > 0 {
+		t.Fatalf("LossGrad allocates %.1f objects/step in steady state, want 0", allocs)
+	}
+}
+
+// TestLossGradPoolSizeInvariant checks the other half of the compute
+// plane contract at layer level: gradients are bit-identical whether
+// the batch runs on one worker or many.
+func TestLossGradPoolSizeInvariant(t *testing.T) {
+	defer tensor.SetWorkers(0)
+	rng := rand.New(rand.NewSource(6))
+	in := Shape{C: 3, H: 8, W: 8}
+	x, labels := randomBatch(rng, in, 4, 16)
+
+	grad := func(workers int) ([]float64, float64) {
+		tensor.SetWorkers(workers)
+		net := MiniVGG(in, 4)
+		net.Init(rand.New(rand.NewSource(9)))
+		loss := net.LossGrad(x, labels, 16)
+		return tensor.Clone(net.Grads()), loss
+	}
+	g1, l1 := grad(1)
+	g4, l4 := grad(4)
+	if l1 != l4 {
+		t.Fatalf("loss differs across pool sizes: %g vs %g", l1, l4)
+	}
+	for i := range g1 {
+		if g1[i] != g4[i] {
+			t.Fatalf("grad[%d] differs across pool sizes: %g vs %g", i, g1[i], g4[i])
+		}
+	}
+}

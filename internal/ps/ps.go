@@ -163,7 +163,11 @@ func Run(opts Options) (*Result, error) {
 		})
 	}
 
-	// Server process.
+	// Server process. The BSP reduction buffers live outside the loop:
+	// one mean vector and one gather slice serve every round instead of
+	// being reallocated per reduction.
+	meanBuf := make([]float64, len(server.Params()))
+	vecsBuf := make([][]float64, n)
 	k.Spawn("server", func(p *sim.Proc) {
 		applied := 0
 		for opts.MaxIter == 0 || applied < opts.MaxIter*n {
@@ -174,12 +178,11 @@ func Run(opts Options) (*Result, error) {
 				for len(gradQ) < n {
 					gradCond.Wait()
 				}
-				vecs := make([][]float64, n)
 				for i, g := range gradQ {
-					vecs[i] = g.grads
+					vecsBuf[i] = g.grads
 				}
-				mean := make([]float64, len(vecs[0]))
-				tensor.Mean(mean, vecs)
+				mean := meanBuf
+				p.Compute(func() { tensor.Mean(mean, vecsBuf) })
 				server.Apply(mean)
 				applied += n
 				gradQ = gradQ[:0]
@@ -232,7 +235,11 @@ func Run(opts Options) (*Result, error) {
 						clockCond.Wait()
 					}
 				}
-				grads, loss := t.ComputeGrad(rngs[w])
+				var (
+					grads []float64
+					loss  float64
+				)
+				p.Compute(func() { grads, loss = t.ComputeGrad(rngs[w]) })
 				p.Sleep(opts.Compute.IterTime(w, iter, slowRngs[w]))
 				snapshot := tensor.Clone(grads)
 				fabric.Deliver(w, n, opts.PayloadBytes, func() {

@@ -218,6 +218,35 @@ func (p *Proc) Sleep(d time.Duration) {
 // Now returns the current virtual time.
 func (p *Proc) Now() time.Duration { return p.k.now }
 
+// Compute runs fn as one atomic compute step of the calling process:
+// the scheduler never observes an intermediate state, so deterministic
+// interleavings are preserved exactly as if fn were inline code. The
+// point of the hatch is what fn is *allowed* to do: it may fan work out
+// across real OS threads (e.g. the tensor worker pool), because those
+// goroutines are invisible to the kernel — they are joined before
+// Compute returns and touch no simulated state. fn must be pure
+// compute: it must not call any kernel operation (Sleep, Wait, Spawn,
+// After), must not block on other simulated processes, and must leave
+// no goroutines running when it returns. This is the split between the
+// scheduling plane (one process at a time, deterministic) and the
+// compute plane (all cores); see DESIGN.md §3.
+func (p *Proc) Compute(fn func()) {
+	if p.k.current != p {
+		panic("sim: Compute called by a process that is not running")
+	}
+	fn()
+}
+
+// Compute runs fn as one atomic compute step of the currently running
+// process — the Kernel-level form of Proc.Compute for callers that
+// hold the kernel rather than the Proc.
+func (k *Kernel) Compute(fn func()) {
+	if k.current == nil {
+		panic("sim: Compute called outside a running process")
+	}
+	k.current.Compute(fn)
+}
+
 // Yield gives other runnable processes a chance to run at the same
 // virtual instant.
 func (p *Proc) yieldNow() {

@@ -1,0 +1,168 @@
+package tensor
+
+// pool.go — the parallel compute plane. The deterministic simulation
+// kernel (internal/sim) runs exactly one simulated process at a time,
+// so without help every GEMM in a figure reproduction executes on one
+// core no matter the machine. The compute plane fixes that without
+// touching the scheduling plane: numeric kernels shard their *row*
+// loops across a persistent worker pool, and because every output cell
+// is still produced by exactly one goroutine accumulating its terms in
+// exactly the same order as the sequential kernel, results are
+// bit-identical at any pool size — including pool size one. The
+// scheduler keeps its deterministic interleavings; the arithmetic gets
+// all the cores (see DESIGN.md §3).
+//
+// Lifecycle: worker goroutines are started lazily on first use and are
+// never torn down (they are parked on a channel receive when idle, so
+// an idle pool costs nothing but a few KiB of stacks). The pool grows
+// to the largest worker count ever requested and shards each call over
+// Workers() chunks. Hand-off is by unbuffered channel: a task is either
+// picked up by an idle worker immediately or run inline by the
+// submitter, so nested Parallel calls degrade to sequential execution
+// instead of deadlocking.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// configuredWorkers is the SetWorkers override; 0 means "use
+// GOMAXPROCS".
+var configuredWorkers atomic.Int64
+
+// Workers returns the current compute-plane width: the number of row
+// shards Parallel splits work into. It defaults to runtime.GOMAXPROCS
+// and can be overridden with SetWorkers.
+func Workers() int {
+	if w := configuredWorkers.Load(); w > 0 {
+		return int(w)
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SetWorkers overrides the compute-plane width (the -compute-workers
+// knob). n <= 0 restores the GOMAXPROCS default. Results are
+// bit-identical at any width — the setting trades wall-clock speed
+// against CPU share only, so tests may pin it to compare runs. Safe
+// for concurrent use; takes effect on subsequent Parallel calls.
+func SetWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	configuredWorkers.Store(int64(n))
+}
+
+// parTask is one row shard. It is sent by value over an unbuffered
+// channel, so dispatching a shard performs no allocation; the fn
+// field is only used by the generic Parallel entry point — the GEMM
+// kernels dispatch with a typed op to stay closure-free on the hot
+// path.
+type parTask struct {
+	op      uint8
+	fn      func(lo, hi int) // opFunc only
+	c, a, b []float64
+	m, k, n int
+	lo, hi  int
+	wg      *sync.WaitGroup
+}
+
+// Shard op codes.
+const (
+	opFunc uint8 = iota
+	opMatMul
+	opMatMulATB
+	opMatMulABT
+)
+
+func (t *parTask) run() {
+	switch t.op {
+	case opFunc:
+		t.fn(t.lo, t.hi)
+	case opMatMul:
+		matMulRows(t.c, t.a, t.b, t.k, t.n, t.lo, t.hi)
+	case opMatMulATB:
+		matMulATBCols(t.c, t.a, t.b, t.k, t.m, t.n, t.lo, t.hi)
+	case opMatMulABT:
+		matMulABTRows(t.c, t.a, t.b, t.k, t.n, t.lo, t.hi)
+	}
+}
+
+var (
+	// tasks is the unbuffered hand-off channel; see the package
+	// comment for why it must not be buffered.
+	tasks = make(chan parTask)
+
+	// started counts live worker goroutines; ensureWorkers grows the
+	// pool up to the requested width.
+	startedMu sync.Mutex
+	started   int
+
+	wgPool = sync.Pool{New: func() any { return new(sync.WaitGroup) }}
+)
+
+// ensureWorkers grows the pool to at least n goroutines.
+func ensureWorkers(n int) {
+	if n <= 0 {
+		return
+	}
+	startedMu.Lock()
+	for started < n {
+		go func() {
+			for t := range tasks {
+				t.run()
+				t.wg.Done()
+			}
+		}()
+		started++
+	}
+	startedMu.Unlock()
+}
+
+// dispatch shards [0, t.hi) over w chunks, runs the last chunk inline,
+// and waits for the rest. Each index lands in exactly one chunk, and
+// chunk boundaries never split the work a single output cell depends
+// on (callers shard independent rows), so results are identical for
+// every w.
+func dispatch(t parTask, n, w int) {
+	if w > n {
+		w = n
+	}
+	if w <= 1 || n <= 0 {
+		t.lo, t.hi = 0, n
+		t.run()
+		return
+	}
+	ensureWorkers(w - 1)
+	wg := wgPool.Get().(*sync.WaitGroup)
+	t.wg = wg
+	for c := 0; c < w-1; c++ {
+		s := t
+		s.lo, s.hi = c*n/w, (c+1)*n/w
+		wg.Add(1)
+		select {
+		case tasks <- s:
+			// An idle worker took it.
+		default:
+			// Every worker is busy (or we are nested inside one):
+			// run the shard on this goroutine instead of blocking.
+			s.run()
+			wg.Done()
+		}
+	}
+	t.lo, t.hi = (w-1)*n/w, n
+	t.run()
+	wg.Wait()
+	wgPool.Put(wg)
+}
+
+// Parallel runs fn(lo, hi) over disjoint contiguous shards covering
+// [0, n), using up to Workers() goroutines from the persistent pool;
+// with one worker (or n < 2) it is exactly fn(0, n). fn must be safe
+// to run concurrently on disjoint ranges and must not depend on shard
+// boundaries — under that contract the result is identical at any pool
+// size. Nested calls are safe: shards that cannot be handed to an idle
+// worker run inline on the caller.
+func Parallel(n int, fn func(lo, hi int)) {
+	dispatch(parTask{op: opFunc, fn: fn}, n, Workers())
+}

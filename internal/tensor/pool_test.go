@@ -1,0 +1,217 @@
+package tensor
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// --- Naive reference kernels -----------------------------------------
+//
+// These are the plain triple loops the tiled kernels must match *bit
+// for bit* (not within epsilon): the tiling and sharding contract is
+// that every output cell accumulates its k-dimension terms in
+// increasing order into one accumulator, which is exactly what these
+// loops do.
+
+func refMatMul(c, a, b []float64, m, k, n int) {
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for p := 0; p < k; p++ {
+				s += a[i*k+p] * b[p*n+j]
+			}
+			c[i*n+j] = s
+		}
+	}
+}
+
+func refMatMulATB(c, a, b []float64, k, m, n int) {
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for p := 0; p < k; p++ {
+				s += a[p*m+i] * b[p*n+j]
+			}
+			c[i*n+j] = s
+		}
+	}
+}
+
+func refMatMulABT(c, a, b []float64, m, k, n int) {
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for p := 0; p < k; p++ {
+				s += a[i*k+p] * b[j*k+p]
+			}
+			c[i*n+j] = s
+		}
+	}
+}
+
+func randVec(rng *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		// Mix magnitudes so summation order actually matters: if the
+		// tiled kernels reassociated additions, these would differ.
+		v[i] = rng.NormFloat64() * float64(int(1)<<uint(rng.Intn(20)))
+	}
+	return v
+}
+
+// exactEq requires bit-identical values (0 == -0 is fine: the kernels
+// never produce -0 from finite inputs that the references don't).
+func exactEq(t *testing.T, name string, got, want []float64, m, n int) {
+	t.Helper()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s (%dx%d): cell %d = %g, reference %g (not bit-identical)", name, m, n, i, got[i], want[i])
+		}
+	}
+}
+
+// TestGemmMatchesNaiveExactly is the determinism property test: across
+// odd and degenerate shapes, every tiled kernel must equal the naive
+// triple loop exactly, at several pool widths including widths larger
+// than the machine.
+func TestGemmMatchesNaiveExactly(t *testing.T) {
+	defer SetWorkers(0)
+	rng := rand.New(rand.NewSource(7))
+	shapes := [][3]int{
+		{1, 1, 1}, {1, 7, 1}, {3, 1, 5}, {2, 2, 2},
+		{5, 3, 7}, {7, 13, 9}, {8, 27, 64}, {16, 72, 16},
+		{17, 31, 29}, {64, 64, 64}, {33, 129, 65}, {16, 1024, 10},
+	}
+	for _, workers := range []int{1, 2, 3, 4, 7, 16} {
+		SetWorkers(workers)
+		for _, s := range shapes {
+			m, k, n := s[0], s[1], s[2]
+			a := randVec(rng, m*k)
+			b := randVec(rng, k*n)
+			got := make([]float64, m*n)
+			want := make([]float64, m*n)
+
+			MatMul(got, a, b, m, k, n)
+			refMatMul(want, a, b, m, k, n)
+			exactEq(t, "MatMul", got, want, m, n)
+
+			at := randVec(rng, k*m)
+			MatMulATB(got, at, b, k, m, n)
+			refMatMulATB(want, at, b, k, m, n)
+			exactEq(t, "MatMulATB", got, want, m, n)
+
+			bt := randVec(rng, n*k)
+			MatMulABT(got, a, bt, m, k, n)
+			refMatMulABT(want, a, bt, m, k, n)
+			exactEq(t, "MatMulABT", got, want, m, n)
+		}
+	}
+}
+
+// TestGemmPoolSizeInvariant pins the tentpole guarantee directly: the
+// same inputs produce bit-identical outputs at every pool width.
+func TestGemmPoolSizeInvariant(t *testing.T) {
+	defer SetWorkers(0)
+	rng := rand.New(rand.NewSource(11))
+	m, k, n := 61, 47, 53
+	a, b := randVec(rng, m*k), randVec(rng, k*n)
+	SetWorkers(1)
+	want := make([]float64, m*n)
+	MatMul(want, a, b, m, k, n)
+	for _, w := range []int{2, 3, 5, 8, 32} {
+		SetWorkers(w)
+		got := make([]float64, m*n)
+		MatMul(got, a, b, m, k, n)
+		exactEq(t, "MatMul", got, want, m, n)
+	}
+}
+
+// TestParallelCoversExactlyOnce checks the sharding contract Parallel
+// promises its callers: disjoint contiguous shards covering [0, n),
+// each index exactly once, at any width.
+func TestParallelCoversExactlyOnce(t *testing.T) {
+	defer SetWorkers(0)
+	for _, workers := range []int{1, 2, 3, 8, 33} {
+		SetWorkers(workers)
+		for _, n := range []int{0, 1, 2, 7, 64, 1001} {
+			hits := make([]int32, n)
+			var mu sync.Mutex
+			covered := 0
+			Parallel(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					hits[i]++
+				}
+				mu.Lock()
+				covered += hi - lo
+				mu.Unlock()
+			})
+			if covered != n {
+				t.Fatalf("workers=%d n=%d: covered %d indices", workers, n, covered)
+			}
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelNested checks that a shard may itself call Parallel (the
+// conv layers do: batch-parallel forward around row-sharded GEMMs)
+// without deadlock or double work.
+func TestParallelNested(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(4)
+	const outer, inner = 6, 40
+	hits := make([]int32, outer*inner)
+	var mu sync.Mutex
+	Parallel(outer, func(lo, hi int) {
+		for o := lo; o < hi; o++ {
+			o := o
+			Parallel(inner, func(ilo, ihi int) {
+				mu.Lock()
+				for i := ilo; i < ihi; i++ {
+					hits[o*inner+i]++
+				}
+				mu.Unlock()
+			})
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("nested: index %d visited %d times", i, h)
+		}
+	}
+}
+
+// TestSetWorkersClamp checks the knob semantics: negative resets to
+// the GOMAXPROCS default, positive values are honored as given.
+func TestSetWorkersClamp(t *testing.T) {
+	defer SetWorkers(0)
+	SetWorkers(3)
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d after SetWorkers(3)", Workers())
+	}
+	SetWorkers(-5)
+	if Workers() < 1 {
+		t.Fatalf("Workers() = %d after reset", Workers())
+	}
+}
+
+// BenchmarkParallelOverhead measures the cost of one pooled dispatch
+// against doing the work inline — the latency floor a GEMM must beat
+// for sharding to pay.
+func BenchmarkParallelOverhead(b *testing.B) {
+	sink := make([]float64, 256)
+	fn := func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			sink[j] += 1
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Parallel(len(sink), fn)
+	}
+}

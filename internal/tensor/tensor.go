@@ -113,65 +113,171 @@ func WeightedMean(dst []float64, vectors [][]float64, weights []float64) {
 	}
 }
 
+// gemmParFlops is the minimum m·k·n at which a GEMM shards its row
+// loop across the worker pool; below it the hand-off overhead exceeds
+// the arithmetic. Sharding never changes results (each output cell is
+// produced whole, in the same summation order, by exactly one shard),
+// so the threshold is purely a latency tuning knob.
+const gemmParFlops = 1 << 16
+
 // MatMul computes C = A·B for row-major flat matrices:
 // A is m×k, B is k×n, C is m×n. C must not alias A or B.
+//
+// The kernel is register-tiled (four rows of C per pass over a row of
+// B) and shards rows of C across the worker pool for large shapes.
+// Each cell C[i,j] accumulates a[i,p]·b[p,j] for p = 0…k−1 in
+// increasing p order into a single accumulator on every code path, so
+// the result is bit-identical at any pool size and any tile shape.
 func MatMul(c, a, b []float64, m, k, n int) {
 	if len(a) != m*k || len(b) != k*n || len(c) != m*n {
 		panic(fmt.Sprintf("tensor: MatMul shape mismatch a=%d b=%d c=%d (m=%d k=%d n=%d)", len(a), len(b), len(c), m, k, n))
 	}
-	for i := range c {
-		c[i] = 0
+	w := 1
+	if m >= 2 && m*k*n >= gemmParFlops {
+		w = Workers()
 	}
-	for i := 0; i < m; i++ {
+	dispatch(parTask{op: opMatMul, c: c, a: a, b: b, k: k, n: n}, m, w)
+}
+
+// matMulRows computes rows [i0, i1) of C = A·B. Four C rows advance
+// together so each row of B is streamed once per quad, but every cell
+// keeps its own accumulator and p increases monotonically — the
+// summation order of the plain triple loop.
+func matMulRows(c, a, b []float64, k, n, i0, i1 int) {
+	z := c[i0*n : i1*n]
+	for j := range z {
+		z[j] = 0
+	}
+	i := i0
+	for ; i+4 <= i1; i += 4 {
+		a0 := a[i*k : (i+1)*k]
+		a1 := a[(i+1)*k : (i+2)*k]
+		a2 := a[(i+2)*k : (i+3)*k]
+		a3 := a[(i+3)*k : (i+4)*k]
+		c0 := c[i*n : (i+1)*n]
+		c1 := c[(i+1)*n : (i+2)*n]
+		c2 := c[(i+2)*n : (i+3)*n]
+		c3 := c[(i+3)*n : (i+4)*n]
+		for p := 0; p < k; p++ {
+			av0, av1, av2, av3 := a0[p], a1[p], a2[p], a3[p]
+			brow := b[p*n : (p+1)*n]
+			for j, bv := range brow {
+				c0[j] += av0 * bv
+				c1[j] += av1 * bv
+				c2[j] += av2 * bv
+				c3[j] += av3 * bv
+			}
+		}
+	}
+	for ; i < i1; i++ {
 		arow := a[i*k : (i+1)*k]
 		crow := c[i*n : (i+1)*n]
 		for p := 0; p < k; p++ {
 			av := arow[p]
-			if av == 0 {
-				continue
-			}
 			brow := b[p*n : (p+1)*n]
-			for j := 0; j < n; j++ {
-				crow[j] += av * brow[j]
+			for j, bv := range brow {
+				crow[j] += av * bv
 			}
 		}
 	}
 }
 
 // MatMulATB computes C = Aᵀ·B where A is k×m, B is k×n, C is m×n.
+// Rows of C (columns of A) are sharded across the worker pool; every
+// cell accumulates over p = 0…k−1 in increasing order, exactly as
+// MatMul, so results are pool-size invariant.
 func MatMulATB(c, a, b []float64, k, m, n int) {
 	if len(a) != k*m || len(b) != k*n || len(c) != m*n {
 		panic(fmt.Sprintf("tensor: MatMulATB shape mismatch a=%d b=%d c=%d (k=%d m=%d n=%d)", len(a), len(b), len(c), k, m, n))
 	}
-	for i := range c {
-		c[i] = 0
+	w := 1
+	if m >= 2 && m*k*n >= gemmParFlops {
+		w = Workers()
 	}
-	for p := 0; p < k; p++ {
-		arow := a[p*m : (p+1)*m]
-		brow := b[p*n : (p+1)*n]
-		for i := 0; i < m; i++ {
-			av := arow[i]
-			if av == 0 {
-				continue
+	dispatch(parTask{op: opMatMulATB, c: c, a: a, b: b, m: m, k: k, n: n}, m, w)
+}
+
+// matMulATBCols computes rows [i0, i1) of C = Aᵀ·B (A is k×m): four C
+// rows per pass so each row of B is streamed once per quad; A's
+// strided column reads amortize over the whole B row.
+func matMulATBCols(c, a, b []float64, k, m, n, i0, i1 int) {
+	z := c[i0*n : i1*n]
+	for j := range z {
+		z[j] = 0
+	}
+	i := i0
+	for ; i+4 <= i1; i += 4 {
+		c0 := c[i*n : (i+1)*n]
+		c1 := c[(i+1)*n : (i+2)*n]
+		c2 := c[(i+2)*n : (i+3)*n]
+		c3 := c[(i+3)*n : (i+4)*n]
+		for p := 0; p < k; p++ {
+			apos := p*m + i
+			av0, av1, av2, av3 := a[apos], a[apos+1], a[apos+2], a[apos+3]
+			brow := b[p*n : (p+1)*n]
+			for j, bv := range brow {
+				c0[j] += av0 * bv
+				c1[j] += av1 * bv
+				c2[j] += av2 * bv
+				c3[j] += av3 * bv
 			}
-			crow := c[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				crow[j] += av * brow[j]
+		}
+	}
+	for ; i < i1; i++ {
+		crow := c[i*n : (i+1)*n]
+		for p := 0; p < k; p++ {
+			av := a[p*m+i]
+			brow := b[p*n : (p+1)*n]
+			for j, bv := range brow {
+				crow[j] += av * bv
 			}
 		}
 	}
 }
 
 // MatMulABT computes C = A·Bᵀ where A is m×k, B is n×k, C is m×n.
+// Rows of C are sharded across the worker pool; each cell is one dot
+// product accumulated over p = 0…k−1 in increasing order.
 func MatMulABT(c, a, b []float64, m, k, n int) {
 	if len(a) != m*k || len(b) != n*k || len(c) != m*n {
 		panic(fmt.Sprintf("tensor: MatMulABT shape mismatch a=%d b=%d c=%d (m=%d k=%d n=%d)", len(a), len(b), len(c), m, k, n))
 	}
-	for i := 0; i < m; i++ {
+	w := 1
+	if m >= 2 && m*k*n >= gemmParFlops {
+		w = Workers()
+	}
+	dispatch(parTask{op: opMatMulABT, c: c, a: a, b: b, k: k, n: n}, m, w)
+}
+
+// matMulABTRows computes rows [i0, i1) of C = A·Bᵀ: the row of A is
+// streamed once against four rows of B, with one independent
+// accumulator per output cell.
+func matMulABTRows(c, a, b []float64, k, n, i0, i1 int) {
+	for i := i0; i < i1; i++ {
 		arow := a[i*k : (i+1)*k]
 		crow := c[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			crow[j] = Dot(arow, b[j*k:(j+1)*k])
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			b0 := b[j*k : (j+1)*k]
+			b1 := b[(j+1)*k : (j+2)*k]
+			b2 := b[(j+2)*k : (j+3)*k]
+			b3 := b[(j+3)*k : (j+4)*k]
+			var s0, s1, s2, s3 float64
+			for p, av := range arow {
+				s0 += av * b0[p]
+				s1 += av * b1[p]
+				s2 += av * b2[p]
+				s3 += av * b3[p]
+			}
+			crow[j], crow[j+1], crow[j+2], crow[j+3] = s0, s1, s2, s3
+		}
+		for ; j < n; j++ {
+			brow := b[j*k : (j+1)*k]
+			s := 0.0
+			for p, av := range arow {
+				s += av * brow[p]
+			}
+			crow[j] = s
 		}
 	}
 }

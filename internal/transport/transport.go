@@ -449,6 +449,29 @@ func (n *Node) handshake(conn net.Conn, deadline time.Time) (compress.Compressor
 	return compress.NewNone(), nil
 }
 
+// framePool recycles the header-only frame buffers of control sends
+// (token, ACK, goodbye, hello-ack). Update frames reuse the per-peer
+// scratch under updMu instead; this pool exists because control frames
+// are sent from arbitrary goroutines at protocol rate and previously
+// cost one allocation each. A buffer is returned to the pool only
+// after conn.Write has fully consumed it (writeFrame is synchronous),
+// so a pooled buffer is never reused while referenced — the race
+// stress test runs this path under -race.
+var framePool = sync.Pool{New: func() any {
+	b := make([]byte, 0, headerLen)
+	return &b
+}}
+
+// sendControlFrame encodes and writes a payload-less frame through the
+// buffer pool.
+func (n *Node) sendControlFrame(p *peer, id int, h frameHeader) error {
+	fb := framePool.Get().(*[]byte)
+	*fb = appendFrame((*fb)[:0], h, nil)
+	err := n.writeFrame(p, id, *fb)
+	framePool.Put(fb)
+	return err
+}
+
 // perStream instantiates per-connection encoder state for stateful
 // codecs (the TopK delta stream); stateless codecs are shared as-is.
 // Each dialed peer gets its own instance because the encoder tracks
@@ -483,7 +506,7 @@ func (n *Node) Send(id int, m Message) error {
 		if m.Kind == KindAck {
 			h.kind = frameAck
 		}
-		return n.writeFrame(p, id, appendFrame(nil, h, nil))
+		return n.sendControlFrame(p, id, h)
 	}
 	return fmt.Errorf("transport: send to %d: unknown message kind %d", id, m.Kind)
 }

@@ -210,3 +210,101 @@ func TestConcurrentSendersSafe(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 }
+
+// TestFramePoolNotReusedWhileReferenced drives the pooled control-frame
+// path hard from many goroutines to two peers while chunked updates
+// interleave on the same connections. Under -race (the CI test mode)
+// this fails if a pooled buffer is ever handed out again while a
+// previous send still references it; without -race it still verifies
+// that every message arrives intact.
+func TestFramePoolNotReusedWhileReferenced(t *testing.T) {
+	type rxCount struct {
+		mu               sync.Mutex
+		tokens, acks, up int
+	}
+	newRx := func(id int) (*Node, *rxCount) {
+		var c rxCount
+		n, err := Listen(id, "127.0.0.1:0", func(m Message) {
+			c.mu.Lock()
+			switch m.Kind {
+			case KindToken:
+				c.tokens++
+			case KindAck:
+				c.acks++
+			case KindUpdate:
+				c.up++
+			}
+			c.mu.Unlock()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n, &c
+	}
+	rx1, c1 := newRx(1)
+	defer rx1.Close()
+	rx2, c2 := newRx(2)
+	defer rx2.Close()
+	// Small MaxChunk so updates span many frames and interleave with
+	// pooled control frames on the same peer lock.
+	tx, err := ListenConfig(0, "127.0.0.1:0", func(Message) {}, Config{MaxChunk: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tx.Close()
+	if err := tx.Dial(1, rx1.Addr(), time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Dial(2, rx2.Addr(), time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines, perG = 8, 60
+	params := make([]float64, 64) // 512 B payload -> 8 chunks at MaxChunk 64
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			dst := 1 + g%2
+			for i := 0; i < perG; i++ {
+				var err error
+				switch i % 3 {
+				case 0:
+					err = tx.Send(dst, Message{Kind: KindToken, Iter: i, Count: 1})
+				case 1:
+					err = tx.Send(dst, Message{Kind: KindAck, Iter: i})
+				default:
+					err = tx.Send(dst, Message{Kind: KindUpdate, Iter: i, Params: params})
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wantTokens := goroutines / 2 * perG / 3
+	wantAcks := wantTokens
+	wantUp := wantTokens
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c1.mu.Lock()
+		t1, a1, u1 := c1.tokens, c1.acks, c1.up
+		c1.mu.Unlock()
+		c2.mu.Lock()
+		t2, a2, u2 := c2.tokens, c2.acks, c2.up
+		c2.mu.Unlock()
+		if t1 == wantTokens && a1 == wantAcks && u1 == wantUp &&
+			t2 == wantTokens && a2 == wantAcks && u2 == wantUp {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("peer1 got tokens=%d acks=%d updates=%d, peer2 tokens=%d acks=%d updates=%d (want %d/%d/%d each)",
+				t1, a1, u1, t2, a2, u2, wantTokens, wantAcks, wantUp)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package hop_test
+
+// raceEnabled is false in normal builds; see race_enabled_test.go.
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package hop_test
+
+// raceEnabled reports whether this test binary was built with the race
+// detector; heavyweight integration tests (two full figure
+// reproductions) skip themselves under it — the race CI step would
+// otherwise exceed Go's default per-binary test timeout.
+const raceEnabled = true

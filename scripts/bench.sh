@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# bench.sh — run the compute-plane benchmark trajectory and write the
+# machine-readable result file (BENCH_gemm.json). See BENCH.md.
+#
+# Usage:
+#   scripts/bench.sh                 # GEMM + codec microbenchmarks -> BENCH_gemm.json
+#   scripts/bench.sh --figures       # also smoke the figure benchmarks (benchtime=1x)
+#   BENCH_OUT=custom.json scripts/bench.sh
+#
+# The JSON is a flat array of {bench, ns_per_op, allocs_per_op,
+# bytes_per_op, mb_per_s, extra{...}} objects plus a header record with
+# host metadata, so successive runs can be diffed or plotted as a
+# trajectory.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${BENCH_OUT:-BENCH_gemm.json}"
+BENCHTIME="${BENCH_TIME:-200x}"
+PATTERN="${BENCH_PATTERN:-Gemm|Delta|WireCompress|WireDecode|ParallelOverhead}"
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "running: go test -run '^$' -bench '$PATTERN' -benchmem -benchtime=$BENCHTIME ./ ./internal/tensor/" >&2
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime="$BENCHTIME" -count=1 ./ ./internal/tensor/ | tee "$RAW" >&2
+
+awk -v out="$OUT" '
+BEGIN {
+    n = 0
+}
+/^cpu:/ { sub(/^cpu: */, ""); cpu = $0 }
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name); sub(/^Benchmark/, "", name)
+    ns = ""; bop = ""; aop = ""; mbs = ""; extra = ""
+    for (i = 2; i <= NF; i++) {
+        if ($(i) == "ns/op")     ns  = $(i-1)
+        else if ($(i) == "B/op")      bop = $(i-1)
+        else if ($(i) == "allocs/op") aop = $(i-1)
+        else if ($(i) == "MB/s")      mbs = $(i-1)
+        else if ($(i) ~ /^[a-zA-Z]/ && $(i-1) ~ /^[0-9.eE+-]+$/) {
+            if (extra != "") extra = extra ","
+            extra = extra "\"" $(i) "\":" $(i-1)
+        }
+    }
+    if (ns == "") next
+    rec = "  {\"bench\":\"" name "\",\"ns_per_op\":" ns
+    if (aop != "") rec = rec ",\"allocs_per_op\":" aop
+    if (bop != "") rec = rec ",\"bytes_per_op\":" bop
+    if (mbs != "") rec = rec ",\"mb_per_s\":" mbs
+    if (extra != "") rec = rec ",\"extra\":{" extra "}"
+    rec = rec "}"
+    recs[n++] = rec
+}
+END {
+    printf "{\n" > out
+    printf "  \"schema\": \"hop-bench/v1\",\n" >> out
+    cmd = "date -u +%Y-%m-%dT%H:%M:%SZ"; cmd | getline ts; close(cmd)
+    cmd = "go env GOOS GOARCH"; cmd | getline goos; cmd | getline goarch; close(cmd)
+    cmd = "getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0"; cmd | getline ncpu; close(cmd)
+    printf "  \"timestamp\": \"%s\",\n", ts >> out
+    printf "  \"goos\": \"%s\", \"goarch\": \"%s\", \"cpus\": %s,\n", goos, goarch, ncpu >> out
+    printf "  \"cpu\": \"%s\",\n", cpu >> out
+    printf "  \"results\": [\n" >> out
+    for (i = 0; i < n; i++) printf "%s%s\n", recs[i], (i < n-1 ? "," : "") >> out
+    printf "  ]\n}\n" >> out
+}
+' "$RAW"
+
+echo "wrote $OUT" >&2
+
+if [ "${1:-}" = "--figures" ]; then
+    echo "running figure smoke benchmarks (one full reproduction each)" >&2
+    go test -run '^$' -bench 'Fig12|Fig14|Table1' -benchtime=1x -count=1 ./ >&2
+fi
