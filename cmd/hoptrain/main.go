@@ -9,6 +9,8 @@
 //
 //	hoptrain -graph ring -workload svm -slow det -slow-worker 0 -factor 4 \
 //	         -maxig 4 -backup 1 -skip -max-jump 10 -deadline 60s
+//
+//	hoptrain -scenario spec.json    # the same run from a declarative spec
 package main
 
 import (
@@ -51,9 +53,32 @@ func main() {
 		iters    = flag.Int("iters", 0, "max iterations per worker (0 = run to deadline)")
 		seed     = flag.Int64("seed", 1, "seed")
 		series   = flag.Bool("series", false, "print the eval-loss series")
+
+		scenarioFile = flag.String("scenario", "", "run a declarative scenario JSON spec instead of assembling one from flags (DESIGN.md §4)")
 	)
 	flag.Parse()
 	hop.SetComputeWorkers(*computeWorkers)
+
+	if *scenarioFile != "" {
+		data, err := os.ReadFile(*scenarioFile)
+		if err != nil {
+			fail(err)
+		}
+		spec, err := hop.ParseScenario(data)
+		if err != nil {
+			fail(err)
+		}
+		res, err := hop.RunScenario(spec) // resolves, runs, rejects deadlocks
+		if err != nil {
+			fail(err)
+		}
+		g, err := spec.Topology.Build()
+		if err != nil {
+			fail(err)
+		}
+		printResult(g, res, *series)
+		return
+	}
 
 	g, err := buildGraph(*graphKind, *workers, *machines)
 	if err != nil {
@@ -140,6 +165,11 @@ func main() {
 		fail(fmt.Errorf("run deadlocked: %v", res.Deadlock))
 	}
 
+	printResult(g, res, *series)
+}
+
+// printResult renders the standard run summary.
+func printResult(g *hop.Graph, res *hop.Result, series bool) {
 	fmt.Printf("graph:            %s\n", g)
 	fmt.Printf("virtual duration: %v\n", res.Duration)
 	fmt.Printf("iterations:       %d total, %d on slowest worker\n",
@@ -153,7 +183,7 @@ func main() {
 	fs := res.Fabric.Stats()
 	fmt.Printf("network:          %d msgs, %.1f MB (%.1f MB inter-machine)\n",
 		fs.Messages, float64(fs.Bytes)/1e6, float64(fs.InterBytes)/1e6)
-	if *series {
+	if series {
 		res.Metrics.Eval.Render(os.Stdout)
 	}
 }

@@ -44,6 +44,7 @@ import (
 	"hop/internal/metrics"
 	"hop/internal/model"
 	"hop/internal/netsim"
+	"hop/internal/scenario"
 	"hop/internal/tensor"
 )
 
@@ -211,6 +212,68 @@ func Run(opts Options) (*Result, error) { return cluster.Run(opts) }
 
 // Series is a recorded (time, step, value) sequence.
 type Series = metrics.Series
+
+// --- Scenarios and sweeps -----------------------------------------------
+
+// Scenario is a declarative experiment spec: every axis of one
+// simulated run (workload, topology, protocol, heterogeneity, network,
+// compression, payload, deadline, seed) as plain data. Parse one from
+// JSON with ParseScenario, or compose it in Go and call Run.
+type Scenario = scenario.Spec
+
+// ScenarioTopology selects a Scenario's graph and placement.
+type ScenarioTopology = scenario.Topology
+
+// ScenarioProtocol selects a Scenario's coordination settings.
+type ScenarioProtocol = scenario.Protocol
+
+// ScenarioHetero selects a Scenario's compute-heterogeneity profile.
+type ScenarioHetero = scenario.Hetero
+
+// ScenarioNet selects a Scenario's network condition, including the
+// heterogeneous link classes (per-machine bandwidth, bursty
+// stragglers).
+type ScenarioNet = scenario.Net
+
+// ScenarioDuration is a time.Duration that reads and writes the
+// human-friendly "500ms"/"4s" JSON form scenario specs use.
+type ScenarioDuration = scenario.Duration
+
+// Sweep expands a base Scenario across axis grids of partial-spec
+// patches; Run fans the cells out in parallel with byte-identical
+// reports at any width (DESIGN.md §4).
+type Sweep = scenario.Sweep
+
+// SweepAxis is one sweep dimension.
+type SweepAxis = scenario.Axis
+
+// SweepValue is one point on a sweep axis: a label plus a partial-spec
+// JSON patch.
+type SweepValue = scenario.AxisValue
+
+// SweepResult holds every cell's report in deterministic grid order.
+type SweepResult = scenario.SweepResult
+
+// ParseScenario decodes a JSON scenario spec (unknown fields are
+// rejected).
+func ParseScenario(data []byte) (Scenario, error) { return scenario.Parse(data) }
+
+// ParseSweep decodes a JSON sweep document.
+func ParseSweep(data []byte) (Sweep, error) { return scenario.ParseSweep(data) }
+
+// RunScenario resolves and executes one scenario on the deterministic
+// simulator.
+func RunScenario(s Scenario) (*Result, error) { return s.Run() }
+
+// RunSweep expands and executes a sweep, fanning cells out across at
+// most width goroutines (width <= 0 means one per cell).
+func RunSweep(sw Sweep, width int) (*SweepResult, error) { return sw.Run(width) }
+
+// Sweeps lists the named built-in sweeps (hopsweep -list).
+func Sweeps() []Sweep { return experiments.Sweeps() }
+
+// LookupSweep finds a built-in sweep by name.
+func LookupSweep(name string) (Sweep, error) { return experiments.LookupSweep(name) }
 
 // --- Experiments --------------------------------------------------------
 

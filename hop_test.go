@@ -89,6 +89,45 @@ func TestRunExperimentFacade(t *testing.T) {
 	}
 }
 
+// TestScenarioFacade drives the declarative layer through the public
+// API: parse a spec, run it, and run a built-in sweep.
+func TestScenarioFacade(t *testing.T) {
+	spec, err := hop.ParseScenario([]byte(`{
+		"workload": "quadratic",
+		"topology": {"kind": "ring", "workers": 4, "machines": 2},
+		"deadline": "5s",
+		"seed": 9
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := hop.RunScenario(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Iterations() == 0 {
+		t.Error("no iterations")
+	}
+
+	if len(hop.Sweeps()) == 0 {
+		t.Fatal("no built-in sweeps")
+	}
+	sw, err := hop.LookupSweep("het-comp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := sw.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) < 6 {
+		t.Errorf("het-comp has %d cells, want >= 6 (2x3 grid)", len(cells))
+	}
+	if _, err := hop.ParseSweep([]byte(`{"axes": "nope"}`)); err == nil {
+		t.Error("bad sweep accepted")
+	}
+}
+
 // TestWorkloadConstructors sanity-checks the workload façade.
 func TestWorkloadConstructors(t *testing.T) {
 	if hop.NewCNN(hop.DefaultCNNConfig()).NumParams() == 0 {

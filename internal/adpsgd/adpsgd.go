@@ -78,7 +78,7 @@ func Run(opts Options) (*Result, error) {
 	if opts.MaxIter == 0 && opts.Deadline == 0 {
 		return nil, fmt.Errorf("adpsgd: need MaxIter or Deadline")
 	}
-	if opts.Net == (netsim.Config{}) {
+	if opts.Net.IsZero() {
 		opts.Net = netsim.Default1GbE()
 	}
 	if opts.PayloadBytes <= 0 {

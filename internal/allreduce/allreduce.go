@@ -57,7 +57,7 @@ func Run(opts Options) (*Result, error) {
 	if opts.MaxIter == 0 && opts.Deadline == 0 {
 		return nil, fmt.Errorf("allreduce: need MaxIter or Deadline")
 	}
-	if opts.Net == (netsim.Config{}) {
+	if opts.Net.IsZero() {
 		opts.Net = netsim.Default1GbE()
 	}
 	if opts.PayloadBytes <= 0 {

@@ -133,7 +133,7 @@ func Run(opts Options) (*Result, error) {
 			cfg.Trainers[i] = opts.Trainer.Clone()
 		}
 	}
-	if opts.Net == (netsim.Config{}) {
+	if opts.Net.IsZero() {
 		opts.Net = netsim.Default1GbE()
 	}
 	if opts.PayloadBytes <= 0 {

@@ -54,9 +54,12 @@ func TestProfilesSane(t *testing.T) {
 	}
 }
 
-func TestPaperGraphs(t *testing.T) {
+func TestPaperTopologies(t *testing.T) {
 	for _, kind := range []string{"ring", "ring-based", "double-ring"} {
-		g := paperGraph(kind)
+		g, err := paperTopology(kind).Build()
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
 		if g.N() != 16 || g.NumMachines() != 4 {
 			t.Errorf("%s: n=%d machines=%d", kind, g.N(), g.NumMachines())
 		}
@@ -64,12 +67,33 @@ func TestPaperGraphs(t *testing.T) {
 			t.Errorf("%s: %v", kind, err)
 		}
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("unknown graph should panic")
+	if _, err := paperTopology("mystery").Build(); err == nil {
+		t.Error("unknown graph kind should fail to build")
+	}
+}
+
+// TestBuiltinSweepsExpand keeps every registered sweep expandable and
+// its cells resolvable without running them.
+func TestBuiltinSweepsExpand(t *testing.T) {
+	if len(SweepNames()) != len(Sweeps()) {
+		t.Error("sweep name count")
+	}
+	for _, sw := range Sweeps() {
+		cells, err := sw.Cells()
+		if err != nil {
+			t.Errorf("%s: %v", sw.Name, err)
+			continue
 		}
-	}()
-	paperGraph("mystery")
+		if len(cells) < 4 {
+			t.Errorf("%s: only %d cells", sw.Name, len(cells))
+		}
+		if _, err := LookupSweep(sw.Name); err != nil {
+			t.Errorf("LookupSweep(%s): %v", sw.Name, err)
+		}
+	}
+	if _, err := LookupSweep("nope"); err == nil {
+		t.Error("unknown sweep should fail")
+	}
 }
 
 func TestFig21SpectralStructure(t *testing.T) {

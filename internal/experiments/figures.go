@@ -5,11 +5,19 @@ import (
 	"time"
 
 	"hop/internal/cluster"
-	"hop/internal/core"
 	"hop/internal/graph"
-	"hop/internal/hetero"
-	"hop/internal/netsim"
+	"hop/internal/scenario"
 )
+
+// slowLabel renders the resolved heterogeneity profile the way the
+// figure rows have always been labeled (hetero.Slowdown.String()).
+func slowLabel(h scenario.Hetero, workers int) string {
+	s, err := h.Slowdown(workers)
+	if err != nil {
+		return h.Kind
+	}
+	return s.String()
+}
 
 // Fig12 — Effect of heterogeneity (§7.3.1): standard decentralized
 // training on ring / ring-based / double-ring, with and without 6×
@@ -19,19 +27,17 @@ func Fig12(scale Scale) (*Report, error) {
 	rep := newReport("fig12", "effect of heterogeneity (random 6x slowdown) across graphs")
 	for _, p := range profiles() {
 		for _, kind := range []string{"ring", "ring-based", "double-ring"} {
-			g := paperGraph(kind)
 			var meanIter [2]time.Duration
-			for si, slow := range []hetero.Slowdown{hetero.None{}, hetero.Random{Fact: 6, Prob: randomSlowProb(16)}} {
-				res, err := runDec(decRun{
-					profile: p, graph: g, slow: slow,
-					deadline: p.Deadline[scale], seed: int64(si),
-				})
+			for si, het := range []scenario.Hetero{{}, randomSlow()} {
+				spec := decSpec(p, scale, paperTopology(kind), int64(si))
+				spec.Hetero = het
+				res, err := runSpec(spec)
 				if err != nil {
 					return nil, err
 				}
-				label := fmt.Sprintf("%s/%s/%s", p.Name, kind, slow)
+				label := fmt.Sprintf("%s/%s/%s", p.Name, kind, slowLabel(het, 16))
 				summarize(rep, label, res.Metrics, res.Duration, p.TargetLoss)
-				rep.series(key(p.Name, kind, slow.String(), "loss-vs-time"), res.Metrics.Eval)
+				rep.series(key(p.Name, kind, slowLabel(het, 16), "loss-vs-time"), res.Metrics.Eval)
 				meanIter[si] = res.Metrics.MeanIterDurationAll(2)
 			}
 			ratio := float64(meanIter[1]) / float64(meanIter[0])
@@ -49,21 +55,18 @@ func Fig12(scale Scale) (*Report, error) {
 func Fig13(scale Scale) (*Report, error) {
 	rep := newReport("fig13", "decentralized vs parameter server (BSP)")
 	for _, p := range profiles() {
-		g := paperGraph("ring-based")
 		deadline := p.Deadline[scale]
 
-		homo, err := runDec(decRun{profile: p, graph: g, slow: hetero.None{}, deadline: deadline, seed: 1})
+		homo, err := runSpec(decSpec(p, scale, paperTopology("ring-based"), 1))
 		if err != nil {
 			return nil, err
 		}
 		summarize(rep, p.Name+"/decentralized-homo", homo.Metrics, homo.Duration, p.TargetLoss)
 		rep.series(key(p.Name, "dec-homo", "loss-vs-time"), homo.Metrics.Eval)
 
-		het, err := runDec(decRun{
-			profile: p, graph: g,
-			slow:     hetero.Random{Fact: 6, Prob: randomSlowProb(16)},
-			deadline: deadline, seed: 2,
-		})
+		hetSpec := decSpec(p, scale, paperTopology("ring-based"), 2)
+		hetSpec.Hetero = randomSlow()
+		het, err := runSpec(hetSpec)
 		if err != nil {
 			return nil, err
 		}
@@ -86,23 +89,23 @@ func Fig13(scale Scale) (*Report, error) {
 	return rep, nil
 }
 
+// backupProtocol is the §4.3 setting every backup-worker figure uses:
+// one backup worker under token queues with the send check on.
+func backupProtocol() scenario.Protocol {
+	return scenario.Protocol{MaxIG: 4, Backup: 1, SendCheck: true}
+}
+
 // fig14Runs executes the backup-worker comparison shared by Figures 14
 // (loss vs time), 15 (loss vs steps) and 16 (iteration speed).
 func fig14Runs(scale Scale, p Profile, kind string) (std, bak *cluster.Result, err error) {
-	g := paperGraph(kind)
-	slow := hetero.Random{Fact: 6, Prob: randomSlowProb(16)}
-	std, err = runDec(decRun{profile: p, graph: g, slow: slow, deadline: p.Deadline[scale], seed: 4})
+	spec := decSpec(p, scale, paperTopology(kind), 4)
+	spec.Hetero = randomSlow()
+	std, err = runSpec(spec)
 	if err != nil {
 		return nil, nil, err
 	}
-	bak, err = runDec(decRun{
-		profile: p, graph: g, slow: slow, deadline: p.Deadline[scale], seed: 4,
-		mutate: func(o *cluster.Options) {
-			o.Core.MaxIG = 4
-			o.Core.Backup = 1
-			o.Core.SendCheck = true
-		},
-	})
+	spec.Protocol = backupProtocol()
+	bak, err = runSpec(spec)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -192,21 +195,20 @@ func Fig16(scale Scale) (*Report, error) {
 func Fig17(scale Scale) (*Report, error) {
 	rep := newReport("fig17", "bounded staleness (s=5) vs backup workers vs standard (CNN)")
 	p := CNNProfile()
-	g := paperGraph("ring-based")
-	slow := hetero.Random{Fact: 6, Prob: randomSlowProb(16)}
-	deadline := p.Deadline[scale]
+	spec := decSpec(p, scale, paperTopology("ring-based"), 5)
+	spec.Hetero = randomSlow()
 
-	std, err := runDec(decRun{profile: p, graph: g, slow: slow, deadline: deadline, seed: 5})
+	std, err := runSpec(spec)
 	if err != nil {
 		return nil, err
 	}
-	bak, err := runDec(decRun{profile: p, graph: g, slow: slow, deadline: deadline, seed: 5,
-		mutate: func(o *cluster.Options) { o.Core.MaxIG = 4; o.Core.Backup = 1; o.Core.SendCheck = true }})
+	spec.Protocol = backupProtocol()
+	bak, err := runSpec(spec)
 	if err != nil {
 		return nil, err
 	}
-	stale, err := runDec(decRun{profile: p, graph: g, slow: slow, deadline: deadline, seed: 5,
-		mutate: func(o *cluster.Options) { o.Core.MaxIG = 8; o.Core.Staleness = 5 }})
+	spec.Protocol = scenario.Protocol{MaxIG: 8, Staleness: 5}
+	stale, err := runSpec(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -227,26 +229,21 @@ func Fig17(scale Scale) (*Report, error) {
 func Fig18(scale Scale) (*Report, error) {
 	rep := newReport("fig18", "skipping iterations: iteration time under one 4x-slow worker (CNN)")
 	p := CNNProfile()
-	g := paperGraph("ring-based")
-	deadline := p.Deadline[scale]
-	slow := hetero.Deterministic{Factors: map[int]float64{0: 4}}
+	spec := decSpec(p, scale, paperTopology("ring-based"), 6)
 
-	base, err := runDec(decRun{profile: p, graph: g, slow: hetero.None{}, deadline: deadline, seed: 6})
+	base, err := runSpec(spec)
 	if err != nil {
 		return nil, err
 	}
-	noskip, err := runDec(decRun{profile: p, graph: g, slow: slow, deadline: deadline, seed: 6,
-		mutate: func(o *cluster.Options) { o.Core.MaxIG = 4; o.Core.Backup = 1; o.Core.SendCheck = true }})
+	spec.Hetero = stragglerSlow()
+	spec.Protocol = backupProtocol()
+	noskip, err := runSpec(spec)
 	if err != nil {
 		return nil, err
 	}
-	skip, err := runDec(decRun{profile: p, graph: g, slow: slow, deadline: deadline, seed: 6,
-		mutate: func(o *cluster.Options) {
-			o.Core.MaxIG = 4
-			o.Core.Backup = 1
-			o.Core.SendCheck = true
-			o.Core.Skip = &core.SkipConfig{MaxJump: 10, TriggerBehind: 2}
-		}})
+	spec.Protocol.SkipMaxJump = 10
+	spec.Protocol.SkipTrigger = 2
+	skip, err := runSpec(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -269,30 +266,20 @@ func Fig18(scale Scale) (*Report, error) {
 func Fig19(scale Scale) (*Report, error) {
 	rep := newReport("fig19", "skipping iterations: loss vs time under one 4x-slow worker")
 	for _, p := range profiles() {
-		g := paperGraph("ring-based")
-		deadline := p.Deadline[scale]
-		slow := hetero.Deterministic{Factors: map[int]float64{0: 4}}
 		configs := []struct {
 			label string
-			mut   func(*cluster.Options)
+			proto scenario.Protocol
 		}{
-			{"standard", nil},
-			{"backup", func(o *cluster.Options) { o.Core.MaxIG = 4; o.Core.Backup = 1; o.Core.SendCheck = true }},
-			{"skip-2", func(o *cluster.Options) {
-				o.Core.MaxIG = 4
-				o.Core.Backup = 1
-				o.Core.SendCheck = true
-				o.Core.Skip = &core.SkipConfig{MaxJump: 2, TriggerBehind: 2}
-			}},
-			{"skip-10", func(o *cluster.Options) {
-				o.Core.MaxIG = 4
-				o.Core.Backup = 1
-				o.Core.SendCheck = true
-				o.Core.Skip = &core.SkipConfig{MaxJump: 10, TriggerBehind: 2}
-			}},
+			{"standard", scenario.Protocol{}},
+			{"backup", backupProtocol()},
+			{"skip-2", scenario.Protocol{MaxIG: 4, Backup: 1, SendCheck: true, SkipMaxJump: 2, SkipTrigger: 2}},
+			{"skip-10", scenario.Protocol{MaxIG: 4, Backup: 1, SendCheck: true, SkipMaxJump: 10, SkipTrigger: 2}},
 		}
 		for _, c := range configs {
-			res, err := runDec(decRun{profile: p, graph: g, slow: slow, deadline: deadline, seed: 7, mutate: c.mut})
+			spec := decSpec(p, scale, paperTopology("ring-based"), 7)
+			spec.Hetero = stragglerSlow()
+			spec.Protocol = c.proto
+			res, err := runSpec(spec)
 			if err != nil {
 				return nil, err
 			}
@@ -316,16 +303,19 @@ func Fig19(scale Scale) (*Report, error) {
 func Fig20(scale Scale) (*Report, error) {
 	rep := newReport("fig20", "topology settings 1-3 in a heterogeneous placement (CNN)")
 	p := CNNProfile()
-	deadline := 4 * p.Deadline[scale]
-	slowNet := netsim.Default1GbE()
-	slowNet.Inter.Bandwidth = 12.5e6 // 100 Mbit/s cross-machine
-	for i, g := range []*graph.Graph{graph.Setting1(), graph.Setting2(), graph.Setting3()} {
-		res, err := runDec(decRun{profile: p, graph: g, slow: hetero.None{}, deadline: deadline, seed: 8,
-			mutate: func(o *cluster.Options) { o.Net = slowNet }})
+	for i := 1; i <= 3; i++ {
+		name := fmt.Sprintf("setting%d", i)
+		spec := decSpec(p, scale, scenario.Topology{Kind: name}, 8)
+		spec.Deadline = scenario.Duration(4 * p.Deadline[scale])
+		spec.Net = scenario.Net{InterBandwidth: 12.5e6} // 100 Mbit/s cross-machine
+		res, err := runSpec(spec)
 		if err != nil {
 			return nil, err
 		}
-		name := fmt.Sprintf("setting%d", i+1)
+		g, err := spec.Topology.Build()
+		if err != nil {
+			return nil, err
+		}
 		gap := graph.SpectralGap(g.MetropolisWeights())
 		summarize(rep, name, res.Metrics, res.Duration, p.TargetLoss)
 		rep.series(key(name, "loss-vs-time"), res.Metrics.Eval)

@@ -8,11 +8,10 @@ import (
 	"time"
 
 	"hop/internal/cluster"
-	"hop/internal/core"
-	"hop/internal/graph"
 	"hop/internal/hetero"
 	"hop/internal/metrics"
 	"hop/internal/ps"
+	"hop/internal/scenario"
 )
 
 // Report is the outcome of one experiment: the rendered text the CLI
@@ -76,45 +75,22 @@ func (r *Report) RenderSeries(w io.Writer) {
 	}
 }
 
-// decRun describes one decentralized cluster run.
-type decRun struct {
-	profile  Profile
-	graph    *graph.Graph
-	slow     hetero.Slowdown
-	mutate   func(*cluster.Options)
-	deadline time.Duration
-	maxIter  int
-	seed     int64
+// decSpec is the standard decentralized scenario every figure starts
+// from: a workload profile on a paper topology at the scale's
+// deadline. Figures customize the returned spec declaratively
+// (protocol, hetero, net) instead of mutating option structs.
+func decSpec(p Profile, scale Scale, topo scenario.Topology, seed int64) scenario.Spec {
+	return scenario.Spec{
+		Workload: p.Name,
+		Topology: topo,
+		Deadline: scenario.Duration(p.Deadline[scale]),
+		Seed:     seed,
+	}
 }
 
-// runDec executes a decentralized configuration and returns its
-// result.
-func runDec(r decRun) (*cluster.Result, error) {
-	opts := cluster.Options{
-		Core: core.Config{
-			Graph:     r.graph,
-			Staleness: -1,
-			MaxIter:   r.maxIter,
-			Seed:      100 + r.seed,
-		},
-		Trainer:      r.profile.NewTrainer(),
-		Compute:      hetero.Compute{Base: r.profile.ComputeBase, Slow: r.slow},
-		PayloadBytes: r.profile.PayloadBytes,
-		Deadline:     r.deadline,
-		EvalEvery:    r.profile.EvalEvery,
-		Seed:         200 + r.seed,
-	}
-	if r.mutate != nil {
-		r.mutate(&opts)
-	}
-	res, err := cluster.Run(opts)
-	if err != nil {
-		return nil, err
-	}
-	if res.Deadlock != nil {
-		return nil, fmt.Errorf("experiment run deadlocked: %w", res.Deadlock)
-	}
-	return res, nil
+// runSpec resolves and executes one scenario on the simulator.
+func runSpec(s scenario.Spec) (*cluster.Result, error) {
+	return s.Run()
 }
 
 // runPSBSP executes the BSP parameter-server baseline with the same

@@ -4,19 +4,28 @@
 // that prints the same rows/series the paper plots plus the summary
 // numbers the tests and EXPERIMENTS.md compare against the paper.
 //
+// Figures are *scenario definitions*: every decentralized run is a
+// declarative scenario.Spec (workload, topology, protocol,
+// heterogeneity, network, seed) resolved and executed by
+// internal/scenario — the same engine the hopsweep command and JSON
+// spec files drive. The package also registers named sweeps (sweeps.go)
+// expanding whole experiment grids from one declaration.
+//
 // Workload profiles substitute the paper's testbed workloads at two
 // levels (DESIGN.md §1): statistical behaviour comes from really
 // training the laptop-scale CNN/SVM on synthetic data; execution
 // behaviour (seconds per iteration, bytes per update) comes from
 // paper-scale constants — VGG11-on-CIFAR compute time and fp32 model
-// size for the CNN, webspam-scale for the SVM.
+// size for the CNN, webspam-scale for the SVM. The constants live in
+// scenario.Workloads; Profile adds the per-scale deadlines figures run
+// with.
 package experiments
 
 import (
 	"time"
 
-	"hop/internal/graph"
 	"hop/internal/model"
+	"hop/internal/scenario"
 )
 
 // Scale selects how long experiments run. Quick keeps the full suite
@@ -56,7 +65,8 @@ func (w Workload) String() string {
 }
 
 // Profile bundles a workload's trainer prototype with its paper-scale
-// cost model.
+// cost model. The cost constants come from the scenario workload
+// definitions; the per-scale deadlines are the experiment suite's own.
 type Profile struct {
 	Workload Workload
 	Name     string
@@ -83,62 +93,57 @@ type Profile struct {
 	TargetLoss float64
 }
 
+// profileFor builds a Profile from the scenario workload of the same
+// name plus the suite's per-scale deadlines.
+func profileFor(w Workload, deadlines map[Scale]time.Duration) Profile {
+	def, err := scenario.WorkloadByName(w.String())
+	if err != nil {
+		panic(err) // the scenario package defines both paper workloads
+	}
+	return Profile{
+		Workload:     w,
+		Name:         def.Name,
+		NewTrainer:   def.NewTrainer,
+		ComputeBase:  def.ComputeBase,
+		PayloadBytes: def.PayloadBytes,
+		Deadline:     deadlines,
+		EvalEvery:    def.EvalEvery,
+		TargetLoss:   def.TargetLoss,
+	}
+}
+
 // CNNProfile returns the image-classification profile.
 func CNNProfile() Profile {
-	return Profile{
-		Workload:     CNN,
-		Name:         "cnn",
-		NewTrainer:   func() model.Trainer { return model.NewCNN(model.DefaultCNNConfig()) },
-		ComputeBase:  4 * time.Second,
-		PayloadBytes: 37 << 20,
-		Deadline: map[Scale]time.Duration{
-			Quick: 500 * time.Second,
-			Full:  1500 * time.Second,
-		},
-		EvalEvery:  5,
-		TargetLoss: 0.9,
-	}
+	return profileFor(CNN, map[Scale]time.Duration{
+		Quick: 500 * time.Second,
+		Full:  1500 * time.Second,
+	})
 }
 
 // SVMProfile returns the sparse linear profile.
 func SVMProfile() Profile {
-	return Profile{
-		Workload:     SVM,
-		Name:         "svm",
-		NewTrainer:   func() model.Trainer { return model.NewSVM(model.DefaultSVMConfig()) },
-		ComputeBase:  100 * time.Millisecond,
-		PayloadBytes: 1400 << 10,
-		Deadline: map[Scale]time.Duration{
-			Quick: 30 * time.Second,
-			Full:  100 * time.Second,
-		},
-		EvalEvery:  10,
-		TargetLoss: 0.6,
-	}
+	return profileFor(SVM, map[Scale]time.Duration{
+		Quick: 30 * time.Second,
+		Full:  100 * time.Second,
+	})
 }
 
 // profiles returns the workload set an experiment sweeps (the paper
 // always evaluates both).
 func profiles() []Profile { return []Profile{CNNProfile(), SVMProfile()} }
 
-// paperGraph builds the 16-worker / 4-machine topologies of Figure 11
-// with the paper's placement (§7.2: 4 machines, 4 workers each).
-func paperGraph(kind string) *graph.Graph {
-	var g *graph.Graph
-	switch kind {
-	case "ring":
-		g = graph.Ring(16)
-	case "ring-based":
-		g = graph.RingBased(16)
-	case "double-ring":
-		g = graph.DoubleRing(16)
-	default:
-		panic("experiments: unknown graph kind " + kind)
-	}
-	graph.EvenPlacement(g, 4)
-	return g
+// paperTopology is the 16-worker / 4-machine scenario topology of
+// Figure 11 with the paper's placement (§7.2: 4 machines, 4 workers
+// each).
+func paperTopology(kind string) scenario.Topology {
+	return scenario.Topology{Kind: kind, Workers: 16, Machines: 4}
 }
 
-// randomSlow is the §7.3.1 heterogeneity model: every worker slowed 6×
-// with probability 1/n per iteration.
-func randomSlowProb(n int) float64 { return 1.0 / float64(n) }
+// randomSlow is the §7.3.1 heterogeneity model in scenario form: every
+// worker slowed 6× with probability 1/n per iteration (the scenario
+// default probability is exactly 1/workers).
+func randomSlow() scenario.Hetero { return scenario.Hetero{Kind: "random", Factor: 6} }
+
+// stragglerSlow is the §7.3.5 model: worker 0 deterministically 4×
+// slower.
+func stragglerSlow() scenario.Hetero { return scenario.Hetero{Kind: "det", Factor: 4} }

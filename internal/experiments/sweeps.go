@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"hop/internal/scenario"
+)
+
+// sweeps.go — named built-in sweeps: whole experiment grids declared
+// as one scenario.Sweep, runnable in parallel via `hopsweep -name` or
+// hop.LookupSweep. They are the sweep-shaped counterpart of the figure
+// registry; new grids belong here (or in a JSON sweep file — the two
+// forms are equivalent).
+
+// patch is a tiny helper for readable inline axis patches.
+func patch(s string) json.RawMessage { return json.RawMessage(s) }
+
+// HetCompSweep is the heterogeneity × compression grid (2×3): does
+// wire compression still pay off when compute heterogeneity, not
+// bandwidth, dominates iteration time? The quadratic workload keeps
+// every cell fast enough for CI; swap "workload" in the base spec for
+// cnn/svm to run it at paper scale.
+func HetCompSweep() scenario.Sweep {
+	return scenario.Sweep{
+		Name: "het-comp",
+		Base: scenario.Spec{
+			Workload:     "quadratic",
+			Topology:     scenario.Topology{Kind: "ring-based", Workers: 8, Machines: 4},
+			PayloadBytes: 8 << 20,
+			Deadline:     scenario.Duration(60 * time.Second),
+			Seed:         1,
+		},
+		Axes: []scenario.Axis{
+			{Name: "hetero", Values: []scenario.AxisValue{
+				{Label: "homo"},
+				{Label: "random6x", Patch: patch(`{"hetero": {"kind": "random", "factor": 6}}`)},
+			}},
+			{Name: "compression", Values: []scenario.AxisValue{
+				{Label: "none"},
+				{Label: "float32", Patch: patch(`{"compression": "float32"}`)},
+				{Label: "topk10", Patch: patch(`{"compression": "topk:0.1"}`)},
+			}},
+		},
+	}
+}
+
+// StragglerTopoSweep crosses the §7.3.5 fixed 4× straggler (and its
+// §5 skipping-iterations mitigation) with topology sparsity — the
+// "stragglers × topology" what-if the scenario engine exists for.
+func StragglerTopoSweep() scenario.Sweep {
+	return scenario.Sweep{
+		Name: "straggler-topo",
+		Base: scenario.Spec{
+			Workload: "quadratic",
+			Topology: scenario.Topology{Kind: "ring", Workers: 8, Machines: 4},
+			Hetero:   scenario.Hetero{Kind: "det", Factor: 4},
+			Deadline: scenario.Duration(60 * time.Second),
+			Seed:     2,
+		},
+		Axes: []scenario.Axis{
+			{Name: "topology", Values: []scenario.AxisValue{
+				{Label: "ring"},
+				{Label: "ring-based", Patch: patch(`{"topology": {"kind": "ring-based", "workers": 8, "machines": 4}}`)},
+				{Label: "complete", Patch: patch(`{"topology": {"kind": "complete", "workers": 8, "machines": 4}}`)},
+			}},
+			{Name: "protocol", Values: []scenario.AxisValue{
+				{Label: "standard"},
+				{Label: "skip-10", Patch: patch(`{"protocol": {"max_ig": 4, "backup": 1, "send_check": true, "skip_max_jump": 10}}`)},
+			}},
+		},
+	}
+}
+
+// SlowLinksSweep crosses the two heterogeneous link classes (one
+// machine's NIC 10× slower; bursty straggler links) with wire
+// compression — slow links × TopK from the issue's motivation.
+func SlowLinksSweep() scenario.Sweep {
+	return scenario.Sweep{
+		Name: "slow-links",
+		Base: scenario.Spec{
+			Workload:     "quadratic",
+			Topology:     scenario.Topology{Kind: "ring-based", Workers: 8, Machines: 4},
+			PayloadBytes: 32 << 20,
+			Deadline:     scenario.Duration(60 * time.Second),
+			Seed:         3,
+		},
+		Axes: []scenario.Axis{
+			{Name: "links", Values: []scenario.AxisValue{
+				{Label: "uniform"},
+				{Label: "slow-machine1", Patch: patch(`{"net": {"machine_bandwidth": [0, 12.5e6]}}`)},
+				{Label: "bursty", Patch: patch(`{"net": {"burst": {"factor": 10, "mean_on": "2s", "mean_off": "6s"}}}`)},
+			}},
+			{Name: "compression", Values: []scenario.AxisValue{
+				{Label: "none"},
+				{Label: "topk10", Patch: patch(`{"compression": "topk:0.1"}`)},
+			}},
+		},
+	}
+}
+
+// Sweeps lists every named built-in sweep.
+func Sweeps() []scenario.Sweep {
+	return []scenario.Sweep{HetCompSweep(), StragglerTopoSweep(), SlowLinksSweep()}
+}
+
+// LookupSweep finds a built-in sweep by name.
+func LookupSweep(name string) (scenario.Sweep, error) {
+	for _, sw := range Sweeps() {
+		if sw.Name == name {
+			return sw, nil
+		}
+	}
+	return scenario.Sweep{}, fmt.Errorf("experiments: unknown sweep %q (known: %v)", name, SweepNames())
+}
+
+// SweepNames returns the sorted built-in sweep names.
+func SweepNames() []string {
+	names := make([]string, 0, len(Sweeps()))
+	for _, sw := range Sweeps() {
+		names = append(names, sw.Name)
+	}
+	sort.Strings(names)
+	return names
+}

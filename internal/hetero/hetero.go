@@ -25,12 +25,15 @@ type None struct{}
 // Factor implements Slowdown.
 func (None) Factor(int, int, *rand.Rand) float64 { return 1 }
 
+// String names the source for experiment labels.
 func (None) String() string { return "none" }
 
 // Random slows a worker by Fact with probability Prob at each
 // iteration (§7.3.1 uses Fact=6, Prob=1/n).
 type Random struct {
+	// Fact is the multiplicative slowdown applied when drawn.
 	Fact float64
+	// Prob is the per-iteration probability of drawing the slowdown.
 	Prob float64
 }
 
@@ -42,11 +45,14 @@ func (r Random) Factor(_, _ int, rng *rand.Rand) float64 {
 	return 1
 }
 
+// String names the source for experiment labels.
 func (r Random) String() string { return fmt.Sprintf("random(%gx,p=%.3f)", r.Fact, r.Prob) }
 
 // Deterministic slows fixed workers by fixed factors (§7.3.5 uses one
 // worker at 4×).
 type Deterministic struct {
+	// Factors maps slowed workers to their multiplicative factors;
+	// workers not present run at full speed.
 	Factors map[int]float64
 }
 
@@ -58,6 +64,7 @@ func (d Deterministic) Factor(w, _ int, _ *rand.Rand) float64 {
 	return 1
 }
 
+// String names the source for experiment labels.
 func (d Deterministic) String() string { return fmt.Sprintf("deterministic(%v)", d.Factors) }
 
 // Combined multiplies several slowdown sources.
@@ -72,12 +79,15 @@ func (c Combined) Factor(w, iter int, rng *rand.Rand) float64 {
 	return f
 }
 
+// String names the source for experiment labels.
 func (c Combined) String() string { return fmt.Sprintf("combined(%d sources)", len(c)) }
 
 // Compute is the per-iteration compute-time model: a homogeneous base
 // duration scaled by the slowdown source.
 type Compute struct {
+	// Base is the homogeneous per-iteration gradient time.
 	Base time.Duration
+	// Slow scales Base per worker and iteration; nil means None.
 	Slow Slowdown
 }
 

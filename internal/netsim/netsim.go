@@ -13,6 +13,13 @@
 //   - intra-machine messages use a fast memory-backed path and do not
 //     occupy the NIC.
 //
+// Two heterogeneous link classes extend the uniform fabric (DESIGN.md
+// §4.3): per-machine NIC bandwidth overrides (a cluster mixing 10GbE
+// and 1GbE machines, or one badly-cabled host) and bursty straggler
+// links (a machine's NIC alternates between full speed and a degraded
+// state on a deterministic, seeded on/off schedule — the network
+// analogue of the paper's §7.3.1 transient compute slowdowns).
+//
 // The fabric keeps resource-availability timestamps per machine
 // instead of simulating queues with processes: when a message is sent
 // at time t, its delivery time is computed in O(1) from the NIC
@@ -21,6 +28,7 @@ package netsim
 
 import (
 	"fmt"
+	"math/rand"
 	"time"
 
 	"hop/internal/sim"
@@ -28,9 +36,41 @@ import (
 
 // LinkParams describe one class of link.
 type LinkParams struct {
-	Latency   time.Duration
-	Bandwidth float64 // bytes per second
+	// Latency is the propagation delay added to every message.
+	Latency time.Duration
+	// Bandwidth is the link speed in bytes per second.
+	Bandwidth float64
 }
+
+// BurstConfig describes bursty straggler links: the NICs of the
+// affected machines alternate between full configured bandwidth and
+// bandwidth divided by Factor. On/off dwell times are drawn from
+// exponential distributions with the given means, from a private RNG
+// seeded by Seed — the schedule is a pure function of the
+// configuration, so simulated runs that share a config regenerate
+// bit-identically (the determinism contract of DESIGN.md §4.4).
+type BurstConfig struct {
+	// Machines lists the affected machines; empty means every machine.
+	Machines []int
+	// Factor divides the machine's NIC bandwidth while a burst is
+	// active (must be > 1 to have any effect).
+	Factor float64
+	// MeanOn is the mean duration of a degraded period. Must be at
+	// least MinBurstDwell.
+	MeanOn time.Duration
+	// MeanOff is the mean duration between degraded periods. Must be
+	// at least MinBurstDwell.
+	MeanOff time.Duration
+	// Seed drives the schedule RNG (one derived stream per machine).
+	Seed int64
+}
+
+// MinBurstDwell is the smallest accepted burst mean dwell. It bounds
+// the window count a schedule can generate per unit of virtual time
+// (windows are retained; see burstState), so a config stating means in
+// the wrong unit — e.g. a bare JSON number parsed as nanoseconds —
+// fails construction instead of grinding through billions of windows.
+const MinBurstDwell = 100 * time.Microsecond
 
 // Config describes the fabric.
 type Config struct {
@@ -39,6 +79,16 @@ type Config struct {
 	// Inter applies to messages crossing machines; these serialize on
 	// the per-machine NICs.
 	Inter LinkParams
+	// MachineBandwidth, when non-nil, overrides Inter.Bandwidth per
+	// machine: entry m (> 0) is machine m's NIC speed in bytes per
+	// second for both egress and ingress; entries ≤ 0 (and machines
+	// past the end of the slice) keep the uniform Inter.Bandwidth.
+	// This is the heterogeneous-bandwidth link class: a transfer is
+	// priced at the source's egress speed on the source NIC and the
+	// destination's ingress speed on the destination NIC.
+	MachineBandwidth []float64
+	// Burst, when non-nil, enables bursty straggler links.
+	Burst *BurstConfig
 }
 
 // Default1GbE mirrors the paper's testbed: 1000 Mbit/s Ethernet
@@ -50,12 +100,47 @@ func Default1GbE() Config {
 	}
 }
 
+// IsZero reports whether the config is entirely unset (callers treat
+// that as "use Default1GbE"). Config is not comparable with == because
+// of the per-machine slice, so the zero check is explicit.
+func (c *Config) IsZero() bool {
+	return c.Intra == (LinkParams{}) && c.Inter == (LinkParams{}) &&
+		c.MachineBandwidth == nil && c.Burst == nil
+}
+
 // Stats aggregates fabric counters.
 type Stats struct {
-	Messages      int
-	Bytes         int64
+	// Messages counts every delivery, intra- or inter-machine.
+	Messages int
+	// Bytes counts every delivered byte.
+	Bytes int64
+	// InterMessages counts deliveries that crossed machines (and
+	// therefore occupied NICs).
 	InterMessages int
-	InterBytes    int64
+	// InterBytes counts the bytes of those cross-machine deliveries.
+	InterBytes int64
+	// BurstMessages counts inter-machine messages whose source or
+	// destination NIC was inside a degraded burst window when the
+	// transfer started.
+	BurstMessages int
+}
+
+// burstWindow is one degraded period [start, end).
+type burstWindow struct {
+	start, end time.Duration
+}
+
+// burstState holds one machine's schedule. Windows are drawn lazily
+// from the RNG but *retained*: the egress and ingress timelines query
+// the same machine at non-monotonic times (a queued reception can look
+// far ahead of the next send), so consuming windows with a single
+// forward cursor would silently skip degraded periods for the
+// earlier-timeline query. Retention keeps the schedule a pure function
+// of the config regardless of traffic interleaving.
+type burstState struct {
+	rng     *rand.Rand
+	windows []burstWindow
+	horizon time.Duration // schedule generated up to here
 }
 
 // Fabric prices and schedules message deliveries.
@@ -66,6 +151,8 @@ type Fabric struct {
 
 	egressFree  []time.Duration // per machine
 	ingressFree []time.Duration
+
+	bursts []*burstState // per machine, nil entries = never bursts
 
 	stats Stats
 }
@@ -86,13 +173,95 @@ func New(k *sim.Kernel, cfg Config, workers int, placement []int) *Fabric {
 			machines = m + 1
 		}
 	}
-	return &Fabric{
+	// Copy the shared/aliased config parts (like placement below) so a
+	// caller reusing or mutating its Config cannot re-price an
+	// in-flight simulation.
+	if cfg.MachineBandwidth != nil {
+		cfg.MachineBandwidth = append([]float64(nil), cfg.MachineBandwidth...)
+	}
+	if cfg.Burst != nil {
+		b := *cfg.Burst
+		b.Machines = append([]int(nil), b.Machines...)
+		cfg.Burst = &b
+	}
+	f := &Fabric{
 		k:           k,
 		cfg:         cfg,
 		placement:   append([]int(nil), placement...),
 		egressFree:  make([]time.Duration, machines),
 		ingressFree: make([]time.Duration, machines),
 	}
+	if b := cfg.Burst; b != nil {
+		// A configured-but-ineffective burst must fail loudly (like the
+		// placement check above), not quietly run a uniform network.
+		if b.Factor <= 1 {
+			panic(fmt.Sprintf("netsim: burst factor must be > 1, got %g", b.Factor))
+		}
+		if b.MeanOn < MinBurstDwell || b.MeanOff < MinBurstDwell {
+			panic(fmt.Sprintf("netsim: burst means must be >= %v, got on=%v off=%v", MinBurstDwell, b.MeanOn, b.MeanOff))
+		}
+		f.bursts = make([]*burstState, machines)
+		affected := func(m int) bool {
+			if len(b.Machines) == 0 {
+				return true
+			}
+			for _, am := range b.Machines {
+				if am == m {
+					return true
+				}
+			}
+			return false
+		}
+		for m := 0; m < machines; m++ {
+			if !affected(m) {
+				continue
+			}
+			f.bursts[m] = &burstState{rng: rand.New(rand.NewSource(b.Seed + int64(m)*15485863 + 7))}
+		}
+	}
+	return f
+}
+
+// bursting reports whether t falls inside a degraded window, drawing
+// new off/on dwell pairs from the machine's RNG as needed. The first
+// window starts after one off-dwell, so runs begin at full speed.
+// Queries may arrive in any time order (see burstState).
+func (s *burstState) bursting(b *BurstConfig, t time.Duration) bool {
+	for s.horizon <= t {
+		off := time.Duration(s.rng.ExpFloat64() * float64(b.MeanOff))
+		on := time.Duration(s.rng.ExpFloat64() * float64(b.MeanOn))
+		w := burstWindow{start: s.horizon + off}
+		w.end = w.start + on
+		s.windows = append(s.windows, w)
+		s.horizon = w.end
+	}
+	// Binary search: first window ending after t.
+	lo, hi := 0, len(s.windows)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s.windows[mid].end <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(s.windows) && t >= s.windows[lo].start
+}
+
+// bandwidthAt returns machine m's NIC bandwidth for a transfer
+// starting at time t, applying the per-machine override and any active
+// burst window, and reports whether a burst degraded it. Bandwidth is
+// sampled at transfer start: a window edge mid-transfer does not
+// re-price the message (DESIGN.md §4.3).
+func (f *Fabric) bandwidthAt(m int, t time.Duration) (bw float64, bursting bool) {
+	bw = f.cfg.Inter.Bandwidth
+	if m < len(f.cfg.MachineBandwidth) && f.cfg.MachineBandwidth[m] > 0 {
+		bw = f.cfg.MachineBandwidth[m]
+	}
+	if f.bursts != nil && f.bursts[m] != nil && f.bursts[m].bursting(f.cfg.Burst, t) {
+		return bw / f.cfg.Burst.Factor, true
+	}
+	return bw, false
 }
 
 // Deliver schedules fn to run when a message of the given size sent
@@ -116,15 +285,25 @@ func (f *Fabric) arrivalTime(src, dst, bytes int) time.Duration {
 	}
 	f.stats.InterMessages++
 	f.stats.InterBytes += int64(bytes)
-	tx := time.Duration(float64(bytes) / f.cfg.Inter.Bandwidth * float64(time.Second))
-	// Serialize on source egress.
+	// Serialize on source egress at the source NIC's speed.
 	egStart := maxDur(now, f.egressFree[ms])
-	f.egressFree[ms] = egStart + tx
+	egBW, egBurst := f.bandwidthAt(ms, egStart)
+	egTx := time.Duration(float64(bytes) / egBW * float64(time.Second))
+	f.egressFree[ms] = egStart + egTx
 	// Bits start arriving after the wire latency; reception serializes
-	// on destination ingress.
+	// on destination ingress at the destination NIC's speed.
 	rxStart := maxDur(egStart+f.cfg.Inter.Latency, f.ingressFree[md])
-	rxEnd := rxStart + tx
+	rxBW, rxBurst := f.bandwidthAt(md, rxStart)
+	rxTx := time.Duration(float64(bytes) / rxBW * float64(time.Second))
+	// Reception cannot finish before the last bit left the source NIC
+	// plus the wire latency — the transfer is bottlenecked by the
+	// slower of the two NICs. (With uniform speeds this term is never
+	// the max, so the homogeneous model is unchanged.)
+	rxEnd := maxDur(rxStart+rxTx, egStart+egTx+f.cfg.Inter.Latency)
 	f.ingressFree[md] = rxEnd
+	if egBurst || rxBurst {
+		f.stats.BurstMessages++
+	}
 	return rxEnd
 }
 

@@ -136,6 +136,193 @@ func TestPlacementLengthChecked(t *testing.T) {
 	New(sim.NewKernel(), cfg(), 3, []int{0})
 }
 
+// TestMachineBandwidthHeterogeneous prices transfers at the slow
+// machine's NIC speed on its side only: a 10x-slower machine 1 affects
+// 0→1 (slow ingress) and 1→2 (slow egress) but not 0→2.
+func TestMachineBandwidthHeterogeneous(t *testing.T) {
+	c := cfg()
+	c.MachineBandwidth = []float64{0, 1e5} // machine 1: 0.1 MB/s; others default 1 MB/s
+	const mb = 1_000_000
+
+	deliver := func(src, dst int) time.Duration {
+		k := sim.NewKernel()
+		f := New(k, c, 3, []int{0, 1, 2})
+		var at time.Duration
+		f.Deliver(src, dst, mb, func() { at = k.Now() })
+		run(t, k, time.Minute)
+		return at
+	}
+
+	fast := 10*time.Millisecond + time.Second
+	slow := 10*time.Millisecond + 10*time.Second
+	if at := deliver(0, 2); at != fast {
+		t.Errorf("0->2 (both fast) delivered at %v, want %v", at, fast)
+	}
+	if at := deliver(0, 1); at != slow {
+		t.Errorf("0->1 (slow ingress) delivered at %v, want %v", at, slow)
+	}
+	if at := deliver(1, 2); at != slow {
+		t.Errorf("1->2 (slow egress) delivered at %v, want %v", at, slow)
+	}
+}
+
+// TestMachineBandwidthOccupiesNIC checks serialization uses the
+// per-machine speed: two messages into the slow machine queue behind
+// its slow ingress.
+func TestMachineBandwidthOccupiesNIC(t *testing.T) {
+	c := cfg()
+	c.MachineBandwidth = []float64{0, 0, 1e5}
+	k := sim.NewKernel()
+	f := New(k, c, 3, []int{0, 1, 2})
+	var t1, t2 time.Duration
+	f.Deliver(0, 2, 1_000_000, func() { t1 = k.Now() })
+	f.Deliver(1, 2, 1_000_000, func() { t2 = k.Now() })
+	run(t, k, time.Minute)
+	if t1 != 10*time.Millisecond+10*time.Second {
+		t.Errorf("first delivery at %v", t1)
+	}
+	if t2 != t1+10*time.Second {
+		t.Errorf("second delivery at %v, want %v (slow ingress serialized)", t2, t1+10*time.Second)
+	}
+}
+
+// TestBurstDeterministic: the burst schedule is a pure function of the
+// config — two fabrics with the same config deliver at identical
+// times, and a different seed yields a different schedule.
+func TestBurstDeterministic(t *testing.T) {
+	burstCfg := func(seed int64) Config {
+		c := cfg()
+		c.Burst = &BurstConfig{Factor: 10, MeanOn: 500 * time.Millisecond, MeanOff: 500 * time.Millisecond, Seed: seed}
+		return c
+	}
+	trace := func(c Config) []time.Duration {
+		k := sim.NewKernel()
+		f := New(k, c, 2, []int{0, 1})
+		var at []time.Duration
+		for i := 0; i < 20; i++ {
+			f.Deliver(0, 1, 100_000, func() { at = append(at, k.Now()) })
+		}
+		run(t, k, time.Hour)
+		return at
+	}
+	a, b := trace(burstCfg(1)), trace(burstCfg(1))
+	if len(a) != 20 || len(b) != 20 {
+		t.Fatalf("deliveries: %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at message %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	other := trace(burstCfg(2))
+	same := true
+	for i := range a {
+		if a[i] != other[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different burst seeds produced identical schedules")
+	}
+}
+
+// TestBurstSlowsTransfers: with bursts enabled, total transfer time
+// grows and burst-degraded messages are counted; machines outside
+// Burst.Machines are untouched.
+func TestBurstSlowsTransfers(t *testing.T) {
+	c := cfg()
+	c.Burst = &BurstConfig{Machines: []int{1}, Factor: 100, MeanOn: 10 * time.Second, MeanOff: time.Millisecond, Seed: 3}
+	k := sim.NewKernel()
+	f := New(k, c, 3, []int{0, 1, 2})
+	var slow, fast time.Duration
+	f.Deliver(0, 1, 1_000_000, func() { slow = k.Now() })
+	f.Deliver(2, 0, 1_000_000, func() { fast = k.Now() })
+	run(t, k, time.Hour)
+	if fast != 10*time.Millisecond+time.Second {
+		t.Errorf("unaffected machine delivered at %v, want 1.01s", fast)
+	}
+	// With MeanOff=1ms and MeanOn=10s, machine 1 is almost surely
+	// degraded when reception starts; 100x slower = ~100s.
+	if slow < 10*time.Second {
+		t.Errorf("burst-degraded delivery at %v, want far beyond 1.01s", slow)
+	}
+	if f.Stats().BurstMessages == 0 {
+		t.Error("no burst-degraded messages counted")
+	}
+}
+
+// TestBurstNonMonotonicQueries: the egress and ingress timelines query
+// the same machine's schedule at out-of-order times; a late query must
+// not consume (and so hide) the degraded windows an earlier-time query
+// falls into.
+func TestBurstNonMonotonicQueries(t *testing.T) {
+	c := cfg()
+	c.Burst = &BurstConfig{Factor: 10, MeanOn: time.Second, MeanOff: time.Second, Seed: 9}
+	k := sim.NewKernel()
+	f := New(k, c, 2, []int{0, 1})
+	st := f.bursts[0]
+
+	// Find a degraded window by scanning, then ask about a far-future
+	// time first and the in-window time second.
+	var inWindow time.Duration = -1
+	for d := time.Duration(0); d < 30*time.Second; d += 10 * time.Millisecond {
+		if st.bursting(c.Burst, d) {
+			inWindow = d
+			break
+		}
+	}
+	if inWindow < 0 {
+		t.Fatal("no degraded window in 30s with mean on/off of 1s")
+	}
+	fresh := New(sim.NewKernel(), c, 2, []int{0, 1})
+	fresh.bursts[0].bursting(c.Burst, time.Hour) // far-future query first
+	if !fresh.bursts[0].bursting(c.Burst, inWindow) {
+		t.Errorf("window at %v disappeared after querying t=1h first", inWindow)
+	}
+}
+
+// TestBurstConfigValidated: an ineffective burst config must panic at
+// construction, not silently run a uniform network.
+func TestBurstConfigValidated(t *testing.T) {
+	build := func(b BurstConfig) (panicked bool) {
+		defer func() { panicked = recover() != nil }()
+		c := cfg()
+		c.Burst = &b
+		New(sim.NewKernel(), c, 2, []int{0, 1})
+		return false
+	}
+	if !build(BurstConfig{Factor: 1, MeanOn: time.Second, MeanOff: time.Second}) {
+		t.Error("factor <= 1 accepted")
+	}
+	if !build(BurstConfig{Factor: 10, MeanOn: 2, MeanOff: 6}) {
+		t.Error("nanosecond-scale means accepted (would generate billions of windows)")
+	}
+	if build(BurstConfig{Factor: 10, MeanOn: time.Second, MeanOff: time.Second}) {
+		t.Error("valid burst config rejected")
+	}
+}
+
+// TestConfigIsZero pins the zero-config check Run paths rely on.
+func TestConfigIsZero(t *testing.T) {
+	var c Config
+	if !c.IsZero() {
+		t.Error("zero Config should be IsZero")
+	}
+	c2 := Default1GbE()
+	if c2.IsZero() {
+		t.Error("Default1GbE should not be IsZero")
+	}
+	c3 := Config{MachineBandwidth: []float64{1}}
+	if c3.IsZero() {
+		t.Error("MachineBandwidth set should not be IsZero")
+	}
+	c4 := Config{Burst: &BurstConfig{}}
+	if c4.IsZero() {
+		t.Error("Burst set should not be IsZero")
+	}
+}
+
 func TestDefault1GbE(t *testing.T) {
 	c := Default1GbE()
 	if c.Inter.Bandwidth != 125e6 {

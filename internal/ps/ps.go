@@ -102,7 +102,7 @@ func Run(opts Options) (*Result, error) {
 	if opts.Mode == SSP && opts.Staleness < 0 {
 		return nil, fmt.Errorf("ps: SSP needs Staleness >= 0")
 	}
-	if opts.Net == (netsim.Config{}) {
+	if opts.Net.IsZero() {
 		opts.Net = netsim.Default1GbE()
 	}
 	if opts.PayloadBytes <= 0 {

@@ -1,0 +1,603 @@
+// Package scenario is the declarative experiment layer: a Spec names
+// every axis of one simulated training run — workload, topology,
+// placement, protocol, heterogeneity profile, network condition,
+// compression, payload size, deadline and seed — as plain data, and
+// Resolve turns it into the cluster.Options the simulator executes.
+//
+// Specs are written as small JSON documents (Parse/JSON round-trip
+// exactly) or composed directly in Go; a Sweep (sweep.go) expands axis
+// grids of partial-Spec patches into scenario sets and runs them in
+// parallel. Every future "what if" — slow links × TopK, stragglers ×
+// topology — is one spec away instead of a code change. The grammar,
+// axis semantics and determinism contract are specified in DESIGN.md
+// §4.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"hop/internal/cluster"
+	"hop/internal/compress"
+	"hop/internal/core"
+	"hop/internal/graph"
+	"hop/internal/hetero"
+	"hop/internal/model"
+	"hop/internal/netsim"
+)
+
+// Duration is a time.Duration that marshals to and from the
+// human-writable Go duration syntax ("500ms", "4s", "2m"); plain JSON
+// numbers are accepted on input as nanoseconds.
+type Duration time.Duration
+
+// MarshalJSON renders the duration as a string ("4s").
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts a duration string or a number of nanoseconds.
+func (d *Duration) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err == nil {
+		v, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("scenario: bad duration %q: %w", s, err)
+		}
+		*d = Duration(v)
+		return nil
+	}
+	var n int64
+	if err := json.Unmarshal(b, &n); err != nil {
+		return fmt.Errorf("scenario: duration must be a string like \"4s\" or nanoseconds, got %s", b)
+	}
+	*d = Duration(n)
+	return nil
+}
+
+// Topology selects the communication graph and worker placement.
+type Topology struct {
+	// Kind names the graph family: ring | ring-based | double-ring |
+	// complete | star | chain | directed-ring build a graph over
+	// Workers nodes; setting1 | setting2 | setting3 are the fixed
+	// Figure 21 graphs (Workers and Machines are ignored for them).
+	Kind string `json:"kind"`
+	// Workers is the node count for parametric kinds; 0 means the
+	// paper's 16.
+	Workers int `json:"workers,omitempty"`
+	// Machines is the number of physical machines workers are placed
+	// on in contiguous blocks; 0 means the paper's 4.
+	Machines int `json:"machines,omitempty"`
+}
+
+// Build constructs the configured graph with its placement.
+func (t Topology) Build() (*graph.Graph, error) {
+	switch t.Kind {
+	case "setting1":
+		return graph.Setting1(), nil
+	case "setting2":
+		return graph.Setting2(), nil
+	case "setting3":
+		return graph.Setting3(), nil
+	}
+	n := t.Workers
+	if n == 0 {
+		n = 16
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("scenario: topology needs >= 1 worker, got %d", n)
+	}
+	m := t.Machines
+	if m == 0 {
+		m = 4
+	}
+	if m < 1 || m > n {
+		return nil, fmt.Errorf("scenario: %d machines for %d workers", m, n)
+	}
+	var g *graph.Graph
+	switch t.Kind {
+	case "", "ring":
+		g = graph.Ring(n)
+	case "ring-based":
+		g = graph.RingBased(n)
+	case "double-ring":
+		g = graph.DoubleRing(n)
+	case "complete":
+		g = graph.Complete(n)
+	case "star":
+		g = graph.Star(n)
+	case "chain":
+		g = graph.Chain(n)
+	case "directed-ring":
+		g = graph.DirectedRing(n)
+	default:
+		return nil, fmt.Errorf("scenario: unknown topology kind %q", t.Kind)
+	}
+	graph.EvenPlacement(g, m)
+	return g, nil
+}
+
+// Protocol selects the coordination settings of core.Config in
+// declarative form.
+type Protocol struct {
+	// Mode is "" | "standard" | "notify-ack".
+	Mode string `json:"mode,omitempty"`
+	// Serial selects the serial computation graph (Fig. 2a).
+	Serial bool `json:"serial,omitempty"`
+	// MaxIG enables token queues with this max adjacent iteration gap
+	// when > 0 (§4.2 of the paper).
+	MaxIG int `json:"max_ig,omitempty"`
+	// Backup is N_buw, the in-updates each worker may miss (§4.3).
+	Backup int `json:"backup,omitempty"`
+	// Staleness is the bound s of §4.4; 0 disables bounded staleness
+	// (the spec form cannot express s=0, which no evaluation uses).
+	Staleness int `json:"staleness,omitempty"`
+	// StaleWeighting is "" | "linear" | "uniform" | "exponential".
+	StaleWeighting string `json:"stale_weighting,omitempty"`
+	// SendCheck enables the §6.2(b) receiver-iteration send check.
+	SendCheck bool `json:"send_check,omitempty"`
+	// SkipMaxJump enables skipping iterations (§5) when > 0, capping
+	// one jump at this many iterations.
+	SkipMaxJump int `json:"skip_max_jump,omitempty"`
+	// SkipTrigger is how many iterations behind its out-neighbors a
+	// worker must fall before jumping; 0 means 2.
+	SkipTrigger int `json:"skip_trigger,omitempty"`
+}
+
+// Hetero selects the compute-heterogeneity profile.
+type Hetero struct {
+	// Kind is "" | "none" | "random" | "det".
+	Kind string `json:"kind,omitempty"`
+	// Factor is the slowdown multiplier; 0 means 6 for random (§7.3.1)
+	// and 4 for det (§7.3.5).
+	Factor float64 `json:"factor,omitempty"`
+	// Prob is the per-iteration slowdown probability for random; 0
+	// means 1/workers, the paper's choice.
+	Prob float64 `json:"prob,omitempty"`
+	// Workers lists the workers a det profile slows; empty means
+	// worker 0.
+	Workers []int `json:"workers,omitempty"`
+}
+
+// Slowdown resolves the profile against a graph of n workers.
+func (h Hetero) Slowdown(n int) (hetero.Slowdown, error) {
+	switch h.Kind {
+	case "", "none":
+		return hetero.None{}, nil
+	case "random":
+		f := h.Factor
+		if f == 0 {
+			f = 6
+		}
+		p := h.Prob
+		if p == 0 {
+			p = 1.0 / float64(n)
+		}
+		return hetero.Random{Fact: f, Prob: p}, nil
+	case "det", "deterministic":
+		f := h.Factor
+		if f == 0 {
+			f = 4
+		}
+		ws := h.Workers
+		if len(ws) == 0 {
+			ws = []int{0}
+		}
+		factors := make(map[int]float64, len(ws))
+		for _, w := range ws {
+			if w < 0 || w >= n {
+				return nil, fmt.Errorf("scenario: det slowdown worker %d out of range [0,%d)", w, n)
+			}
+			factors[w] = f
+		}
+		return hetero.Deterministic{Factors: factors}, nil
+	}
+	return nil, fmt.Errorf("scenario: unknown hetero kind %q", h.Kind)
+}
+
+// Net selects the network condition: a uniform base (the paper's 1GbE
+// testbed unless overridden) plus the heterogeneous link classes of
+// netsim.
+type Net struct {
+	// InterBandwidth overrides the cross-machine NIC speed in bytes
+	// per second (e.g. 12.5e6 for 100 Mbit/s).
+	InterBandwidth float64 `json:"inter_bandwidth,omitempty"`
+	// InterLatency overrides the cross-machine wire latency.
+	InterLatency Duration `json:"inter_latency,omitempty"`
+	// IntraBandwidth overrides the in-machine path speed (bytes/s).
+	IntraBandwidth float64 `json:"intra_bandwidth,omitempty"`
+	// IntraLatency overrides the in-machine latency.
+	IntraLatency Duration `json:"intra_latency,omitempty"`
+	// MachineBandwidth gives individual machines their own NIC speed
+	// (bytes/s); entry m overrides machine m, entries <= 0 keep the
+	// uniform speed. This is the heterogeneous-bandwidth link class.
+	MachineBandwidth []float64 `json:"machine_bandwidth,omitempty"`
+	// Burst enables bursty straggler links (netsim.BurstConfig).
+	Burst *Burst `json:"burst,omitempty"`
+}
+
+// Burst is the declarative form of netsim.BurstConfig: the affected
+// machines' NICs alternate between full speed and speed/Factor on a
+// deterministic seeded schedule.
+type Burst struct {
+	// Machines lists affected machines; empty means all.
+	Machines []int `json:"machines,omitempty"`
+	// Factor divides NIC bandwidth during a burst (> 1).
+	Factor float64 `json:"factor"`
+	// MeanOn is the mean degraded-period duration.
+	MeanOn Duration `json:"mean_on"`
+	// MeanOff is the mean full-speed duration between bursts.
+	MeanOff Duration `json:"mean_off"`
+	// Seed drives the schedule RNG; 0 derives it from the spec seed.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// isZero reports whether no network field is set.
+func (n *Net) isZero() bool {
+	return n.InterBandwidth == 0 && n.InterLatency == 0 &&
+		n.IntraBandwidth == 0 && n.IntraLatency == 0 &&
+		n.MachineBandwidth == nil && n.Burst == nil
+}
+
+// config resolves to a netsim.Config. A fully-unset Net returns the
+// zero config (cluster.Run substitutes Default1GbE); any override
+// starts from Default1GbE.
+func (n *Net) config(specSeed int64) netsim.Config {
+	if n.isZero() {
+		return netsim.Config{}
+	}
+	cfg := netsim.Default1GbE()
+	if n.InterBandwidth > 0 {
+		cfg.Inter.Bandwidth = n.InterBandwidth
+	}
+	if n.InterLatency > 0 {
+		cfg.Inter.Latency = time.Duration(n.InterLatency)
+	}
+	if n.IntraBandwidth > 0 {
+		cfg.Intra.Bandwidth = n.IntraBandwidth
+	}
+	if n.IntraLatency > 0 {
+		cfg.Intra.Latency = time.Duration(n.IntraLatency)
+	}
+	if len(n.MachineBandwidth) > 0 {
+		cfg.MachineBandwidth = append([]float64(nil), n.MachineBandwidth...)
+	}
+	if b := n.Burst; b != nil {
+		seed := b.Seed
+		if seed == 0 {
+			seed = 300 + specSeed
+		}
+		cfg.Burst = &netsim.BurstConfig{
+			Machines: append([]int(nil), b.Machines...),
+			Factor:   b.Factor,
+			MeanOn:   time.Duration(b.MeanOn),
+			MeanOff:  time.Duration(b.MeanOff),
+			Seed:     seed,
+		}
+	}
+	return cfg
+}
+
+// Spec is one declarative scenario: everything a simulated run depends
+// on, as plain data. The zero value of every field means "the
+// workload/paper default"; see DESIGN.md §4.2 for the axis semantics.
+type Spec struct {
+	// Name labels the scenario in reports; sweeps fill it in from the
+	// sweep and cell names.
+	Name string `json:"name,omitempty"`
+	// Workload is "cnn" | "svm" | "quadratic" (see Workloads).
+	Workload string `json:"workload,omitempty"`
+	// Topology selects graph, worker count and machine placement.
+	Topology Topology `json:"topology,omitempty"`
+	// Protocol selects the coordination settings.
+	Protocol Protocol `json:"protocol,omitempty"`
+	// Hetero selects the compute-heterogeneity profile.
+	Hetero Hetero `json:"hetero,omitempty"`
+	// Net selects the network condition.
+	Net Net `json:"net,omitempty"`
+	// Compression is the wire-codec spec ("none", "float32",
+	// "topk[:ratio]"). The simulator models its payload-size effect:
+	// the modeled update size is PayloadBytes scaled by the codec's
+	// nominal wire ratio (DESIGN.md §4.2). It is also carried into
+	// core.Config.Compression for live use of the same spec.
+	Compression string `json:"compression,omitempty"`
+	// PayloadBytes is the modeled uncompressed update size; 0 means
+	// the workload's paper-scale default.
+	PayloadBytes int `json:"payload_bytes,omitempty"`
+	// AckBytes is the modeled ACK size; 0 means 64.
+	AckBytes int `json:"ack_bytes,omitempty"`
+	// ComputeBase is the homogeneous per-iteration gradient time; 0
+	// means the workload default.
+	ComputeBase Duration `json:"compute_base,omitempty"`
+	// Deadline stops the run at this virtual time; 0 means run to
+	// MaxIter (one of the two must be set).
+	Deadline Duration `json:"deadline,omitempty"`
+	// MaxIter stops each worker after this many iterations.
+	MaxIter int `json:"max_iter,omitempty"`
+	// EvalEvery is the held-out evaluation cadence in probe-worker
+	// iterations; 0 means the workload default.
+	EvalEvery int `json:"eval_every,omitempty"`
+	// TargetLoss is the eval-loss level time-to-target metrics use; 0
+	// means the workload default.
+	TargetLoss float64 `json:"target_loss,omitempty"`
+	// Seed is the scenario seed S. Runs derive every RNG stream from
+	// it (mini-batch seed 100+S, slowdown seed 200+S, burst seed
+	// 300+S), matching the experiment registry's historical layering.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Workload bundles a named workload's trainer prototype with its
+// paper-scale cost model (DESIGN.md §1): compute seconds per
+// iteration and wire bytes per update come from paper-scale constants,
+// statistical behaviour from really training the laptop-scale model.
+type Workload struct {
+	// Name is the spec string ("cnn", "svm", "quadratic").
+	Name string
+	// NewTrainer builds the prototype replica (cloned per worker).
+	NewTrainer func() model.Trainer
+	// ComputeBase is the homogeneous per-iteration gradient time.
+	ComputeBase time.Duration
+	// PayloadBytes is the paper-scale uncompressed update size.
+	PayloadBytes int
+	// EvalEvery is the default evaluation cadence.
+	EvalEvery int
+	// TargetLoss is the default time-to-target eval-loss level.
+	TargetLoss float64
+}
+
+// Workloads returns the defined workloads: the paper's two tasks plus
+// the toy quadratic used by quickstarts and fast sweeps.
+func Workloads() []Workload {
+	return []Workload{
+		{
+			Name:         "cnn",
+			NewTrainer:   func() model.Trainer { return model.NewCNN(model.DefaultCNNConfig()) },
+			ComputeBase:  4 * time.Second,
+			PayloadBytes: 37 << 20, // VGG11-CIFAR fp32
+			EvalEvery:    5,
+			TargetLoss:   0.9,
+		},
+		{
+			Name:         "svm",
+			NewTrainer:   func() model.Trainer { return model.NewSVM(model.DefaultSVMConfig()) },
+			ComputeBase:  100 * time.Millisecond,
+			PayloadBytes: 1400 << 10, // webspam-scale dense weights
+			EvalEvery:    10,
+			TargetLoss:   0.6,
+		},
+		{
+			Name: "quadratic",
+			NewTrainer: func() model.Trainer {
+				return model.NewQuadratic([]float64{5, 5, 5, 5}, []float64{1, 2, 0, -1}, 0.2, 0.05)
+			},
+			ComputeBase:  100 * time.Millisecond,
+			PayloadBytes: 1 << 16,
+			EvalEvery:    10,
+			TargetLoss:   0.1,
+		},
+	}
+}
+
+// WorkloadByName resolves a workload spec string ("" means cnn).
+func WorkloadByName(name string) (Workload, error) {
+	if name == "" {
+		name = "cnn"
+	}
+	for _, w := range Workloads() {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	known := make([]string, 0, 3)
+	for _, w := range Workloads() {
+		known = append(known, w.Name)
+	}
+	return Workload{}, fmt.Errorf("scenario: unknown workload %q (known: %s)", name, strings.Join(known, ", "))
+}
+
+// WireRatio returns the nominal on-the-wire size ratio of a
+// compression spec relative to raw float64 coordinates: 1 for none,
+// 0.5 for float32, ~ratio for topk (8 bytes of index+value per kept
+// coordinate vs 8 raw bytes per coordinate). The simulator multiplies
+// the modeled payload by it (DESIGN.md §4.2); live runs realize the
+// same ratio on real sockets.
+func WireRatio(spec compress.Spec) float64 {
+	switch spec.Kind {
+	case compress.Float32:
+		return 0.5
+	case compress.TopK:
+		r := spec.Ratio
+		if r == 0 {
+			r = compress.DefaultTopKRatio
+		}
+		return r
+	}
+	return 1
+}
+
+// strictDecode unmarshals exactly one JSON document into v, rejecting
+// unknown fields and trailing content.
+func strictDecode(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after JSON document")
+	}
+	return nil
+}
+
+// Parse decodes a JSON scenario spec. Unknown fields and trailing
+// content are rejected so a typoed axis name or a mangled file fails
+// loudly instead of silently running the default.
+func Parse(data []byte) (Spec, error) {
+	var s Spec
+	if err := strictDecode(data, &s); err != nil {
+		return Spec{}, fmt.Errorf("scenario: parse: %w", err)
+	}
+	return s, nil
+}
+
+// JSON renders the spec as indented canonical JSON; Parse(s.JSON())
+// round-trips exactly.
+func (s Spec) JSON() ([]byte, error) {
+	return json.MarshalIndent(s, "", "  ")
+}
+
+// Validate resolves the spec without running it and reports the first
+// configuration error. It skips trainer construction, so validating a
+// large grid does not build (and discard) a model per cell.
+func (s Spec) Validate() error {
+	_, err := s.resolve(false)
+	return err
+}
+
+// Resolve turns the spec into runnable cluster options. The returned
+// options carry fresh trainer prototypes; resolving twice yields
+// independent, identically-seeded runs.
+func (s Spec) Resolve() (cluster.Options, error) {
+	return s.resolve(true)
+}
+
+// resolve does the work of Resolve; buildTrainer=false leaves
+// Options.Trainer nil for validation-only callers.
+func (s Spec) resolve(buildTrainer bool) (cluster.Options, error) {
+	var zero cluster.Options
+	w, err := WorkloadByName(s.Workload)
+	if err != nil {
+		return zero, err
+	}
+	g, err := s.Topology.Build()
+	if err != nil {
+		return zero, err
+	}
+	slow, err := s.Hetero.Slowdown(g.N())
+	if err != nil {
+		return zero, err
+	}
+	comp, err := compress.ParseSpec(s.Compression)
+	if err != nil {
+		return zero, fmt.Errorf("scenario: %w", err)
+	}
+	if b := s.Net.Burst; b != nil {
+		// Mirror netsim.New's burst panics as errors so an invalid
+		// spec fails at validation, before any cluster is built.
+		if b.Factor <= 1 {
+			return zero, fmt.Errorf("scenario: burst factor must be > 1, got %g", b.Factor)
+		}
+		if time.Duration(b.MeanOn) < netsim.MinBurstDwell || time.Duration(b.MeanOff) < netsim.MinBurstDwell {
+			return zero, fmt.Errorf("scenario: burst means must be >= %v (did a bare number parse as nanoseconds?), got on=%v off=%v",
+				netsim.MinBurstDwell, time.Duration(b.MeanOn), time.Duration(b.MeanOff))
+		}
+	}
+
+	cfg := core.Config{
+		Graph:       g,
+		Serial:      s.Protocol.Serial,
+		MaxIG:       s.Protocol.MaxIG,
+		Backup:      s.Protocol.Backup,
+		Staleness:   -1,
+		SendCheck:   s.Protocol.SendCheck,
+		Compression: comp,
+		MaxIter:     s.MaxIter,
+		Seed:        100 + s.Seed,
+	}
+	switch s.Protocol.Mode {
+	case "", "standard":
+	case "notify-ack":
+		cfg.Mode = core.ModeNotifyAck
+	default:
+		return zero, fmt.Errorf("scenario: unknown protocol mode %q", s.Protocol.Mode)
+	}
+	if s.Protocol.Staleness > 0 {
+		cfg.Staleness = s.Protocol.Staleness
+	}
+	switch s.Protocol.StaleWeighting {
+	case "", "linear":
+	case "uniform":
+		cfg.StaleWeighting = core.WeightUniform
+	case "exponential":
+		cfg.StaleWeighting = core.WeightExponential
+	default:
+		return zero, fmt.Errorf("scenario: unknown stale weighting %q", s.Protocol.StaleWeighting)
+	}
+	if s.Protocol.SkipMaxJump > 0 {
+		trigger := s.Protocol.SkipTrigger
+		if trigger == 0 {
+			trigger = 2
+		}
+		cfg.Skip = &core.SkipConfig{MaxJump: s.Protocol.SkipMaxJump, TriggerBehind: trigger}
+	}
+
+	base := time.Duration(s.ComputeBase)
+	if base == 0 {
+		base = w.ComputeBase
+	}
+	payload := s.PayloadBytes
+	if payload == 0 {
+		payload = w.PayloadBytes
+	}
+	// The simulator models payload *size*; compression shrinks the
+	// modeled update to its nominal wire ratio (never below one byte).
+	payload = int(math.Ceil(float64(payload) * WireRatio(comp)))
+	if payload < 1 {
+		payload = 1
+	}
+	evalEvery := s.EvalEvery
+	if evalEvery == 0 {
+		evalEvery = w.EvalEvery
+	}
+
+	opts := cluster.Options{
+		Core:         cfg,
+		Compute:      hetero.Compute{Base: base, Slow: slow},
+		Net:          s.Net.config(s.Seed),
+		PayloadBytes: payload,
+		AckBytes:     s.AckBytes,
+		Deadline:     time.Duration(s.Deadline),
+		EvalEvery:    evalEvery,
+		Seed:         200 + s.Seed,
+	}
+	if opts.Deadline == 0 && opts.Core.MaxIter == 0 {
+		return zero, fmt.Errorf("scenario: need deadline or max_iter to terminate")
+	}
+	if buildTrainer {
+		opts.Trainer = w.NewTrainer()
+	}
+	return opts, nil
+}
+
+// ResolvedTargetLoss returns the time-to-target eval-loss level for
+// the spec (its own TargetLoss, or the workload default).
+func (s Spec) ResolvedTargetLoss() float64 {
+	if s.TargetLoss != 0 {
+		return s.TargetLoss
+	}
+	if w, err := WorkloadByName(s.Workload); err == nil {
+		return w.TargetLoss
+	}
+	return 0
+}
+
+// Run resolves and executes the scenario on the deterministic
+// simulator.
+func (s Spec) Run() (*cluster.Result, error) {
+	opts, err := s.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	res, err := cluster.Run(opts)
+	if err != nil {
+		return nil, err
+	}
+	if res.Deadlock != nil {
+		return nil, fmt.Errorf("scenario %q deadlocked: %w", s.Name, res.Deadlock)
+	}
+	return res, nil
+}

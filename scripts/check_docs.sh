@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# check_docs.sh — the docs gate CI runs (see .github/workflows/ci.yml).
+#
+# Checks, over every tracked *.md file:
+#   1. every relative markdown link [text](path) resolves to a file or
+#      directory in the repo (anchors and external http(s)/mailto links
+#      are skipped);
+#   2. every `internal/<pkg>`, `cmd/<name>`, `examples/<name>` or
+#      `scripts/<name>` path mentioned in README.md actually exists, so
+#      the package map cannot rot.
+#
+# Usage: scripts/check_docs.sh    (exits non-zero listing broken refs)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+errors=""
+
+note() {
+    errors="${errors}${1}
+"
+}
+
+# --- 1. relative links in markdown files -----------------------------
+for md in $(git ls-files '*.md'); do
+    case "$md" in
+        # Retrieved reference material, not authored docs: exemplar
+        # snippets quote other repos' markdown verbatim.
+        SNIPPETS.md|PAPERS.md|PAPER.md) continue ;;
+    esac
+    dir=$(dirname "$md")
+    # Extract link targets: [...](target); tolerate several per line.
+    for target in $(grep -oE '\[[^]]*\]\([^) ]+\)' "$md" 2>/dev/null |
+                    sed -E 's/^\[[^]]*\]\(([^)]+)\)$/\1/'); do
+        case "$target" in
+            http://*|https://*|mailto:*) continue ;;
+        esac
+        path="${target%%#*}" # strip anchors
+        [ -z "$path" ] && continue
+        # Relative links resolve from the file's own directory (as
+        # GitHub renders them) — no repo-root fallback, or a broken
+        # subdirectory link that happens to exist at the root passes.
+        if [ ! -e "$dir/$path" ]; then
+            note "BROKEN LINK: $md -> $target"
+        fi
+    done
+done
+
+# --- 2. package-map paths named in README.md -------------------------
+if [ -f README.md ]; then
+    for p in $(grep -oE '(internal|cmd|examples|scripts)/[A-Za-z0-9._-]+' README.md | sort -u); do
+        if [ ! -e "$p" ]; then
+            note "BROKEN PACKAGE REF: README.md names $p which does not exist"
+        fi
+    done
+fi
+
+if [ -n "$errors" ]; then
+    printf '%s' "$errors" >&2
+    echo "docs check failed" >&2
+    exit 1
+fi
+echo "docs check ok"
