@@ -18,6 +18,7 @@ import (
 	"hop/internal/core"
 	"hop/internal/graph"
 	"hop/internal/hetero"
+	"hop/internal/live"
 	"hop/internal/metrics"
 	"hop/internal/model"
 	"hop/internal/nn"
@@ -501,3 +502,56 @@ func BenchmarkClusterIteration(b *testing.B) {
 		}
 	}
 }
+
+// --- Live loopback benchmarks -------------------------------------------
+//
+// One op = one complete live loopback TCP cluster run of a fixed
+// scenario spec (4-worker ring, SVM workload, token queues + backup) —
+// the real-wire counterpart of BenchmarkClusterIteration. Custom
+// metrics report protocol throughput (updates/s across the cluster)
+// and the realized wire cost per update; scripts/bench.sh folds them
+// into BENCH_live.json next to BENCH_gemm.json.
+
+func benchLiveLoopback(b *testing.B, compression string) {
+	spec := hop.Scenario{
+		Workload:    "svm",
+		Topology:    hop.ScenarioTopology{Kind: "ring", Workers: 4, Machines: 1},
+		Protocol:    hop.ScenarioProtocol{MaxIG: 3, Backup: 1, SendCheck: true},
+		Compression: compression,
+		MaxIter:     30,
+		Seed:        17,
+	}
+	var updates, wireBytes, rawBytes int64
+	var elapsed time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := hop.RunScenarioLive(spec, hop.ScenarioLiveOptions{Logger: live.NopLogger()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ws := res.WireStats()
+		if ws.ReadErrors != 0 {
+			b.Fatalf("%d inbound connections dropped", ws.ReadErrors)
+		}
+		updates += ws.UpdatesSent
+		wireBytes += ws.WireUpdateBytesSent
+		rawBytes += ws.RawUpdateBytesSent
+		elapsed += res.Duration
+	}
+	if updates == 0 || elapsed == 0 {
+		b.Fatal("no updates flowed")
+	}
+	b.ReportMetric(float64(updates)/elapsed.Seconds(), "updates/s")
+	b.ReportMetric(float64(wireBytes)/float64(updates), "wireB/update")
+	b.ReportMetric(float64(rawBytes)/float64(wireBytes), "xcomp")
+}
+
+// BenchmarkLiveLoopbackNone measures the lossless baseline.
+func BenchmarkLiveLoopbackNone(b *testing.B) { benchLiveLoopback(b, "none") }
+
+// BenchmarkLiveLoopbackFloat32 measures the 2x truncating codec.
+func BenchmarkLiveLoopbackFloat32(b *testing.B) { benchLiveLoopback(b, "float32") }
+
+// BenchmarkLiveLoopbackTopK10 measures the sparse delta-stream codec
+// at its headline topk:0.1 operating point.
+func BenchmarkLiveLoopbackTopK10(b *testing.B) { benchLiveLoopback(b, "topk:0.1") }

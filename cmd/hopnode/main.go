@@ -1,11 +1,22 @@
 // Command hopnode runs one live Hop worker over TCP. Start one process
 // per worker; each needs the full peer address list.
 //
+// The worker's protocol configuration is a declarative scenario spec —
+// either loaded from a file with -scenario (the same JSON documents
+// hoptrain and hopsweep run on the simulator; DESIGN.md §4) or
+// assembled from the flags. With -scenario, explicitly-set flags
+// override the file's axes, so one committed spec can drive a whole
+// cluster while individual cells tweak, say, the codec.
+//
 // Example (3-worker ring on one host):
 //
 //	hopnode -id 0 -listen :7000 -peers 0=localhost:7000,1=localhost:7001,2=localhost:7002 -graph ring -workers 3 -iters 50 &
 //	hopnode -id 1 -listen :7001 -peers 0=localhost:7000,1=localhost:7001,2=localhost:7002 -graph ring -workers 3 -iters 50 &
 //	hopnode -id 2 -listen :7002 -peers 0=localhost:7000,1=localhost:7001,2=localhost:7002 -graph ring -workers 3 -iters 50
+//
+// The same cluster from a committed spec:
+//
+//	hopnode -id $i -listen :700$i -peers ... -scenario ring3.json
 package main
 
 import (
@@ -17,100 +28,128 @@ import (
 	"time"
 
 	"hop"
-	"hop/internal/core"
-	"hop/internal/live"
 )
 
 func main() {
 	var (
-		id        = flag.Int("id", 0, "this worker's id")
-		listen    = flag.String("listen", ":0", "listen address")
-		peersFlag = flag.String("peers", "", "comma-separated id=host:port list for all workers")
-		graphKind = flag.String("graph", "ring", "ring | ring-based | double-ring | complete")
+		id       = flag.Int("id", 0, "this worker's id")
+		listen   = flag.String("listen", ":0", "listen address")
+		peers    = flag.String("peers", "", "comma-separated id=host:port list for all workers")
+		dialWait = flag.Duration("dial-wait", 30*time.Second, "how long to retry dialing peers")
+		linger   = flag.Duration("linger", 10*time.Second, "after finishing, how long to keep serving slower neighbors before closing")
+		cworkers = flag.Int("compute-workers", 0, "compute-plane width for tensor kernels (0 = GOMAXPROCS)")
+
+		scenarioFile = flag.String("scenario", "", "declarative scenario spec JSON (DESIGN.md §4); protocol flags below override its axes")
+		timeScale    = flag.Float64("time-scale", 1, "scale the spec's injected heterogeneity delay")
+
+		graphKind = flag.String("graph", "ring", "ring | ring-based | double-ring | complete | star | chain | directed-ring")
 		workers   = flag.Int("workers", 4, "worker count")
 		workload  = flag.String("workload", "svm", "cnn | svm | quadratic")
 		maxIG     = flag.Int("maxig", 0, "token-queue max iteration gap")
 		backup    = flag.Int("backup", 0, "backup workers")
-		staleness = flag.Int("staleness", -1, "staleness bound")
+		staleness = flag.Int("staleness", -1, "staleness bound (<=0 disables)")
 		skip      = flag.Bool("skip", false, "enable skipping iterations")
 		maxJump   = flag.Int("max-jump", 10, "max iterations per jump")
 		iters     = flag.Int("iters", 100, "iterations to run")
 		comp      = flag.String("compress", "none", "wire codec for update payloads: none | float32 | topk[:ratio]")
 		chunk     = flag.Int("chunk-bytes", 0, "max wire payload bytes per frame (0 = transport default)")
-		seed      = flag.Int64("seed", 1, "seed")
+		seed      = flag.Int64("seed", 1, "scenario seed")
 		delay     = flag.Duration("delay", 0, "artificial extra compute time per iteration")
-		dialWait  = flag.Duration("dial-wait", 30*time.Second, "how long to retry dialing peers")
-		cworkers  = flag.Int("compute-workers", 0, "compute-plane width for tensor kernels (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	hop.SetComputeWorkers(*cworkers)
 
-	var g *hop.Graph
-	switch *graphKind {
-	case "ring":
-		g = hop.Ring(*workers)
-	case "ring-based":
-		g = hop.RingBased(*workers)
-	case "double-ring":
-		g = hop.DoubleRing(*workers)
-	case "complete":
-		g = hop.Complete(*workers)
-	default:
-		fail(fmt.Errorf("unknown graph %q", *graphKind))
+	// Which flags the user actually set: with -scenario they become
+	// overrides; without, every flag (at its default) shapes the spec.
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	fromFile := *scenarioFile != ""
+	set := func(name string) bool { return !fromFile || explicit[name] }
+
+	var spec hop.Scenario
+	if fromFile {
+		data, err := os.ReadFile(*scenarioFile)
+		if err != nil {
+			fail(err)
+		}
+		if spec, err = hop.ParseScenario(data); err != nil {
+			fail(err)
+		}
+	} else {
+		// Worker placement has no live meaning; 1 machine always
+		// satisfies topology validation.
+		spec.Topology.Machines = 1
+	}
+	if set("graph") {
+		spec.Topology.Kind = *graphKind
+	}
+	if set("workers") {
+		spec.Topology.Workers = *workers
+	}
+	if set("workload") {
+		spec.Workload = *workload
+	}
+	if set("maxig") {
+		spec.Protocol.MaxIG = *maxIG
+	}
+	if set("backup") {
+		spec.Protocol.Backup = *backup
+		spec.Protocol.SendCheck = *backup > 0
+	}
+	if set("staleness") {
+		spec.Protocol.Staleness = 0
+		if *staleness > 0 {
+			spec.Protocol.Staleness = *staleness
+		}
+	}
+	if set("skip") {
+		spec.Protocol.SkipMaxJump = 0
+		if *skip {
+			spec.Protocol.SkipMaxJump = *maxJump
+		}
+	}
+	// -max-jump alone re-caps a spec that already enables skipping; it
+	// never toggles skipping itself.
+	if set("max-jump") && spec.Protocol.SkipMaxJump > 0 {
+		spec.Protocol.SkipMaxJump = *maxJump
+	}
+	if set("iters") {
+		spec.MaxIter = *iters
+	}
+	if set("compress") {
+		spec.Compression = *comp
+	}
+	if set("seed") {
+		spec.Seed = *seed
 	}
 
-	var trainer hop.Trainer
-	switch *workload {
-	case "cnn":
-		trainer = hop.NewCNN(hop.DefaultCNNConfig())
-	case "svm":
-		trainer = hop.NewSVM(hop.DefaultSVMConfig())
-	case "quadratic":
-		trainer = hop.NewQuadratic([]float64{5, 5, 5, 5}, []float64{1, 2, 0, -1}, 0.2, 0.05)
-	default:
-		fail(fmt.Errorf("unknown workload %q", *workload))
+	extra := func(w, iter int) time.Duration {
+		if w == *id {
+			return *delay
+		}
+		return 0
 	}
-
-	addrs, err := parsePeers(*peersFlag)
+	cfg, err := hop.ResolveScenarioLiveWorker(spec, *id, hop.ScenarioLiveOptions{
+		TimeScale:  *timeScale,
+		ExtraDelay: extra,
+	})
 	if err != nil {
 		fail(err)
 	}
-
-	spec, err := hop.ParseCompression(*comp)
-	if err != nil {
-		fail(err)
-	}
-
-	// All protocol knobs go through the shared core.Config; the live
-	// WorkerConfig is derived from it.
-	coreCfg := core.Config{
-		Graph:       g,
-		MaxIG:       *maxIG,
-		Backup:      *backup,
-		Staleness:   *staleness,
-		SendCheck:   *backup > 0,
-		Compression: spec,
-		MaxIter:     *iters,
-		Seed:        *seed,
-	}
-	if *skip {
-		coreCfg.Skip = &core.SkipConfig{MaxJump: *maxJump, TriggerBehind: 2}
-	}
-	cfg := live.NewWorkerConfig(coreCfg, *id)
 	cfg.ListenAddr = *listen
-	cfg.Trainer = trainer
 	cfg.WireChunkBytes = *chunk
-	if *delay > 0 {
-		d := *delay
-		cfg.ComputeDelay = func(int) time.Duration { return d }
-	}
 	cfg.OnIteration = func(iter int, loss float64) {
 		if iter%10 == 0 {
 			fmt.Printf("worker %d: iteration %d, train loss %.4f\n", *id, iter, loss)
 		}
 	}
 
-	w, err := live.NewWorker(cfg)
+	addrs, err := parsePeers(*peers)
+	if err != nil {
+		fail(err)
+	}
+
+	w, err := hop.NewLiveWorker(cfg)
 	if err != nil {
 		fail(err)
 	}
@@ -125,12 +164,21 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
+	// Keep the listener serving until every neighbor's own loop is
+	// observed finishing, so their in-flight final frames do not hit a
+	// closed socket.
+	if !w.WaitPeersDone(*linger) {
+		fmt.Fprintf(os.Stderr, "hopnode: worker %d: neighbors still running after %v linger\n", *id, *linger)
+	}
 	fmt.Printf("worker %d finished %d iterations in %v, final train loss %.4f\n",
-		*id, *iters, time.Since(start).Round(time.Millisecond), loss)
+		*id, cfg.MaxIter, time.Since(start).Round(time.Millisecond), loss)
 	st := w.WireStats()
-	fmt.Printf("worker %d wire: %d updates in %d frames, %s sent (%s recv), update payloads %s vs %s raw (%.1fx, codec %s)\n",
+	ps := w.Stats()
+	fmt.Printf("worker %d wire: %d updates in %d frames, %s sent (%s recv), update payloads %s vs %s raw (%.1fx, codec %s), read errors %d\n",
 		*id, st.UpdatesSent, st.FramesSent, fmtBytes(st.BytesSent), fmtBytes(st.BytesRecv),
-		fmtBytes(st.WireUpdateBytesSent), fmtBytes(st.RawUpdateBytesSent), st.CompressionRatio(), spec)
+		fmtBytes(st.WireUpdateBytesSent), fmtBytes(st.RawUpdateBytesSent), st.CompressionRatio(), cfg.Compression, st.ReadErrors)
+	fmt.Printf("worker %d protocol: jumps=%d skipped=%d suppressed-sends=%d\n",
+		*id, ps.Jumps, ps.IterationsSkipped, ps.SendsSuppressed)
 }
 
 func fmtBytes(n int64) string {

@@ -55,10 +55,15 @@ func main() {
 		series   = flag.Bool("series", false, "print the eval-loss series")
 
 		scenarioFile = flag.String("scenario", "", "run a declarative scenario JSON spec instead of assembling one from flags (DESIGN.md §4)")
+		liveRun      = flag.Bool("live", false, "with -scenario: run the spec as a live loopback TCP cluster instead of simulating it")
+		timeScale    = flag.Float64("time-scale", 1, "with -live: scale the spec's injected heterogeneity delay")
 	)
 	flag.Parse()
 	hop.SetComputeWorkers(*computeWorkers)
 
+	if *liveRun && *scenarioFile == "" {
+		fail(fmt.Errorf("-live requires -scenario (live clusters run declarative specs; see DESIGN.md §5)"))
+	}
 	if *scenarioFile != "" {
 		data, err := os.ReadFile(*scenarioFile)
 		if err != nil {
@@ -67,6 +72,14 @@ func main() {
 		spec, err := hop.ParseScenario(data)
 		if err != nil {
 			fail(err)
+		}
+		if *liveRun {
+			res, err := hop.RunScenarioLive(spec, hop.ScenarioLiveOptions{TimeScale: *timeScale})
+			if err != nil {
+				fail(err)
+			}
+			printLiveResult(res)
+			return
 		}
 		res, err := hop.RunScenario(spec) // resolves, runs, rejects deadlocks
 		if err != nil {
@@ -186,6 +199,28 @@ func printResult(g *hop.Graph, res *hop.Result, series bool) {
 	if series {
 		res.Metrics.Eval.Render(os.Stdout)
 	}
+}
+
+// printLiveResult renders the loopback-cluster run summary.
+func printLiveResult(res *hop.LiveClusterResult) {
+	n := len(res.Workers)
+	fmt.Printf("live loopback cluster: %d workers\n", n)
+	fmt.Printf("wall-clock duration:   %v\n", res.Duration.Round(time.Millisecond))
+	var jumps, skipped int
+	maxLoss := 0.0
+	for _, w := range res.Workers {
+		st := w.Stats()
+		jumps += st.Jumps
+		skipped += st.IterationsSkipped
+		if l := w.Trainer().EvalLoss(); l > maxLoss {
+			maxLoss = l
+		}
+	}
+	fmt.Printf("worst eval loss:       %.4f\n", maxLoss)
+	fmt.Printf("protocol stats:        jumps=%d skipped=%d\n", jumps, skipped)
+	ws := res.WireStats()
+	fmt.Printf("wire:                  %d updates in %d frames, %.1f MB sent (%.1fx payload compression), read errors %d\n",
+		ws.UpdatesSent, ws.FramesSent, float64(ws.BytesSent)/1e6, ws.CompressionRatio(), ws.ReadErrors)
 }
 
 func buildGraph(kind string, workers, machines int) (*hop.Graph, error) {

@@ -1,21 +1,21 @@
 // Live-TCP example: runs a real decentralized training cluster — one
 // goroutine per worker, real binary-framed TCP messages on loopback —
 // using the live runtime (no simulator involved). The same protocol
-// (update queues, token queues, backup workers) that the simulated
-// experiments use drives real sockets here, with float32 wire
-// compression negotiated per connection; cmd/hopnode runs the same
-// worker one-per-process across machines.
+// state machine (update queues, token queues, backup workers;
+// core.Protocol, DESIGN.md §5) that the simulated experiments use
+// drives real sockets here, with float32 wire compression negotiated
+// per connection; cmd/hopnode runs the same worker one-per-process
+// across machines, and hop.RunLiveCluster does the bind/mesh/run/join
+// choreography in one call.
 package main
 
 import (
 	"fmt"
 	"log"
-	"sync"
 	"time"
-
-	"hop"
-	"hop/internal/live"
 )
+
+import "hop"
 
 func main() {
 	const (
@@ -31,11 +31,9 @@ func main() {
 
 	fmt.Printf("starting %d live workers over loopback TCP (ring, backup-1, tokens, %s wire codec)...\n", n, comp)
 
-	workers := make([]*live.Worker, n)
-	addrs := make(map[int]string, n)
+	cfgs := make([]hop.LiveWorkerConfig, n)
 	for i := 0; i < n; i++ {
-		i := i
-		cfg := live.WorkerConfig{
+		cfg := hop.LiveWorkerConfig{
 			ID:         i,
 			Graph:      g,
 			ListenAddr: "127.0.0.1:0",
@@ -54,50 +52,23 @@ func main() {
 			// rest of the ring moving.
 			cfg.ComputeDelay = func(int) time.Duration { return 2 * time.Millisecond }
 		}
-		w, err := live.NewWorker(cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer w.Close()
-		workers[i] = w
-		addrs[i] = w.Addr()
-		fmt.Printf("  worker %d listening on %s\n", i, w.Addr())
+		cfgs[i] = cfg
 	}
 
-	for i, w := range workers {
-		if err := w.Connect(addrs, 5*time.Second); err != nil {
-			log.Fatalf("worker %d connect: %v", i, err)
-		}
+	res, err := hop.RunLiveCluster(cfgs, 5*time.Second)
+	if err != nil {
+		log.Fatal(err)
 	}
-
-	start := time.Now()
-	var wg sync.WaitGroup
-	losses := make([]float64, n)
-	for i, w := range workers {
-		wg.Add(1)
-		go func(i int, w *live.Worker) {
-			defer wg.Done()
-			loss, err := w.Run()
-			if err != nil {
-				log.Fatalf("worker %d: %v", i, err)
-			}
-			losses[i] = loss
-		}(i, w)
-	}
-	wg.Wait()
 
 	fmt.Printf("\nall %d workers completed %d iterations in %v (real time)\n",
-		n, maxIter, time.Since(start).Round(time.Millisecond))
-	var raw, wire int64
-	for i, w := range workers {
+		n, maxIter, res.Duration.Round(time.Millisecond))
+	for i, w := range res.Workers {
 		p := w.Params()
 		fmt.Printf("  worker %d: params=[%.3f %.3f %.3f] last-train-loss=%.4f\n",
-			i, p[0], p[1], p[2], losses[i])
-		st := w.WireStats()
-		raw += st.RawUpdateBytesSent
-		wire += st.WireUpdateBytesSent
+			i, p[0], p[1], p[2], res.Losses[i])
 	}
+	ws := res.WireStats()
 	fmt.Printf("\nwire: update payloads %d bytes compressed vs %d raw (%.1fx saved by %s)\n",
-		wire, raw, float64(raw)/float64(wire), comp)
+		ws.WireUpdateBytesSent, ws.RawUpdateBytesSent, float64(ws.RawUpdateBytesSent)/float64(ws.WireUpdateBytesSent), comp)
 	fmt.Println("replicas converged to the shared optimum over real TCP — no simulator.")
 }

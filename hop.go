@@ -34,6 +34,7 @@ package hop
 
 import (
 	"io"
+	"time"
 
 	"hop/internal/cluster"
 	"hop/internal/compress"
@@ -41,6 +42,7 @@ import (
 	"hop/internal/experiments"
 	"hop/internal/graph"
 	"hop/internal/hetero"
+	"hop/internal/live"
 	"hop/internal/metrics"
 	"hop/internal/model"
 	"hop/internal/netsim"
@@ -268,6 +270,58 @@ func RunScenario(s Scenario) (*Result, error) { return s.Run() }
 // RunSweep expands and executes a sweep, fanning cells out across at
 // most width goroutines (width <= 0 means one per cell).
 func RunSweep(sw Sweep, width int) (*SweepResult, error) { return sw.Run(width) }
+
+// --- Live scenarios -----------------------------------------------------
+
+// ScenarioLiveOptions tune how a Scenario is realized on the live TCP
+// runtime (time scaling of injected heterogeneity, dial timeout,
+// logging, decision tracing).
+type ScenarioLiveOptions = scenario.LiveOptions
+
+// LiveWorkerConfig configures one live TCP worker.
+type LiveWorkerConfig = live.WorkerConfig
+
+// LiveWorker is one live TCP protocol participant, running the same
+// core protocol state machine as the simulator.
+type LiveWorker = live.Worker
+
+// LiveClusterResult carries a live loopback cluster run's workers,
+// final losses and wall-clock duration.
+type LiveClusterResult = live.ClusterResult
+
+// DecisionTrace records one worker's protocol decisions (iteration
+// advances, jumps, stale exclusions); the same spec and seed produce
+// identical traces on the simulator and a live cluster whenever the
+// spec's decisions are timing-forced (DESIGN.md §5).
+type DecisionTrace = core.Trace
+
+// NewLiveWorker validates the configuration, binds the listener and
+// prepares one live TCP worker (Connect, then Run).
+func NewLiveWorker(cfg LiveWorkerConfig) (*LiveWorker, error) { return live.NewWorker(cfg) }
+
+// ResolveScenarioLive turns a scenario into one live worker
+// configuration per graph node (loopback-ephemeral listen addresses).
+func ResolveScenarioLive(s Scenario, o ScenarioLiveOptions) ([]LiveWorkerConfig, error) {
+	return s.ResolveLive(o)
+}
+
+// ResolveScenarioLiveWorker resolves a single worker's configuration —
+// what one hopnode process needs, without building the other replicas.
+func ResolveScenarioLiveWorker(s Scenario, id int, o ScenarioLiveOptions) (LiveWorkerConfig, error) {
+	return s.ResolveLiveWorker(id, o)
+}
+
+// RunScenarioLive executes a scenario as a live loopback TCP cluster:
+// the same declarative spec the simulator runs, on real sockets.
+func RunScenarioLive(s Scenario, o ScenarioLiveOptions) (*LiveClusterResult, error) {
+	return s.RunLive(o)
+}
+
+// RunLiveCluster executes explicitly-built live worker configurations
+// as one in-process cluster (dialTimeout <= 0 uses the default).
+func RunLiveCluster(cfgs []LiveWorkerConfig, dialTimeout time.Duration) (*LiveClusterResult, error) {
+	return live.RunCluster(cfgs, dialTimeout)
+}
 
 // Sweeps lists the named built-in sweeps (hopsweep -list).
 func Sweeps() []Sweep { return experiments.Sweeps() }

@@ -162,11 +162,36 @@ type Config struct {
 	// OnJump, when non-nil, is called when worker w skips from
 	// iteration from to iteration to (§5).
 	OnJump func(w, from, to int, now time.Duration)
+
+	// Tracers, when non-nil, holds one optional decision trace per
+	// worker (entries may be nil); the protocol records iteration
+	// advances, jumps and stale exclusions into it (trace.go). Used by
+	// the sim↔live differential tests.
+	Tracers []*Trace
 }
 
-// Validate checks the configuration for the constraints the paper
-// establishes (e.g. backup workers strictly require token queues).
+// Validate checks the full cluster configuration: the protocol
+// constraints of ValidateProtocol plus one trainer per worker.
 func (c *Config) Validate() error {
+	if err := c.ValidateProtocol(); err != nil {
+		return err
+	}
+	n := c.Graph.N()
+	if len(c.Trainers) != n {
+		return fmt.Errorf("core: %d trainers for %d workers", len(c.Trainers), n)
+	}
+	if c.Tracers != nil && len(c.Tracers) != n {
+		return fmt.Errorf("core: %d tracers for %d workers", len(c.Tracers), n)
+	}
+	return nil
+}
+
+// ValidateProtocol checks the constraints the paper establishes on the
+// protocol knobs themselves (e.g. backup workers strictly require
+// token queues), ignoring Trainers — the check a single-worker runtime
+// (one live process) can apply without materializing the whole
+// cluster's replicas.
+func (c *Config) ValidateProtocol() error {
 	if c.Graph == nil {
 		return fmt.Errorf("core: config has no graph")
 	}
@@ -174,9 +199,6 @@ func (c *Config) Validate() error {
 		return err
 	}
 	n := c.Graph.N()
-	if len(c.Trainers) != n {
-		return fmt.Errorf("core: %d trainers for %d workers", len(c.Trainers), n)
-	}
 	if c.Backup > 0 {
 		if c.MaxIG <= 0 {
 			return fmt.Errorf("core: backup workers make the iteration gap unbounded; token queues (MaxIG>0) are required (§3.4)")

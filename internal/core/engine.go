@@ -1,55 +1,26 @@
 package core
 
-// This file implements the worker engine: the per-iteration protocol
-// of Figures 4 and 7-9 plus skipping iterations (§5) and the
-// NOTIFY-ACK baseline, in one loop parameterized by Config.
-//
-// Token accounting. The engine folds Fig. 7's "insert at iteration
-// start / remove at iteration end" into a single advance step: moving
-// from iteration k to iteration next (normally next = k+1; a §5 jump
-// makes next larger) takes (next−k) tokens from every out-going
-// neighbor's queue and puts (next−k) tokens into every local queue.
-// With queues initialized to max_ig this preserves the Theorem 2
-// invariant TokenQ(i→j).size() = Iter(i) − Iter(j) + max_ig, where
-// Iter(·) is the iteration a worker is currently executing, and makes
-// the jump bookkeeping of §5 exactly the same operation as a normal
-// advance.
-//
-// Bounded staleness. Fig. 9's pseudocode dequeues at least one update
-// from every in-neighbor per iteration, which would contradict the
-// §3.5/Fig. 3(b) behaviour it illustrates (a worker advancing several
-// iterations on a neighbor's old update). The engine follows the
-// paper's prose: drain what is available, remember the newest
-// iteration ever received per sender (iter_rcv), and block only while
-// iter_rcv < k−s. See DESIGN.md.
+// The Engine is the simulator-side shell around the runtime-agnostic
+// Protocol state machine (protocol.go): it builds one Protocol per
+// worker, adapts the simulation Host to the per-worker Runtime
+// interface, and keeps the cluster-wide observability the experiments
+// read (gap tracker, aggregated stats, Table 1 bounds). All protocol
+// logic — iteration modes, Recv/Reduce semantics, skipping, token
+// accounting — lives in protocol.go and is shared verbatim with the
+// live TCP runtime (internal/live).
 
-import (
-	"math/rand"
+import "time"
 
-	"hop/internal/tensor"
-)
-
-// Engine wires queues, token queues and trainers for one cluster and
-// exposes the per-worker protocol loop.
+// Engine wires per-worker protocol instances and trainers for one
+// simulated cluster and exposes the per-worker protocol loop.
 type Engine struct {
 	cfg  Config
 	host Host
 	mon  Monitor
 
-	n      int
-	queues []*UpdateQueue
-	acks   []*AckTracker
-	// tokens[i][j] is TokenQ(i→j): stored at worker i, consumed by
-	// in-neighbor j. nil when the edge does not exist or MaxIG == 0.
-	tokens [][]*TokenQueue
-	gaps   *GapTracker
-
-	// iterRecv[i][j]: iteration of the most recent u_{j→i} ever
-	// received (staleness bookkeeping, Fig. 9); owned by worker i's
-	// loop.
-	iterRecv [][]int
-
-	stats Stats
+	n       int
+	workers []*Protocol
+	gaps    *GapTracker
 }
 
 // NewEngine validates cfg and builds the cluster state. The host is
@@ -62,56 +33,85 @@ func NewEngine(cfg Config, host Host, mon Monitor) (*Engine, error) {
 	}
 	n := cfg.Graph.N()
 	e := &Engine{cfg: cfg, host: host, mon: mon, n: n}
-	slots := cfg.numSlots()
-	e.queues = make([]*UpdateQueue, n)
-	e.acks = make([]*AckTracker, n)
-	e.iterRecv = make([][]int, n)
-	for i := 0; i < n; i++ {
-		e.queues[i] = NewUpdateQueue(mon, slots)
-		e.acks[i] = NewAckTracker(mon)
-		e.iterRecv[i] = make([]int, n)
-		for j := range e.iterRecv[i] {
-			e.iterRecv[i][j] = -1
-		}
-	}
-	if cfg.MaxIG > 0 {
-		e.tokens = make([][]*TokenQueue, n)
-		for i := 0; i < n; i++ {
-			e.tokens[i] = make([]*TokenQueue, n)
-			for _, j := range cfg.Graph.In(i) {
-				e.tokens[i][j] = NewTokenQueue(mon, cfg.MaxIG)
-			}
-		}
-	}
 	e.gaps = NewGapTracker(mon, n)
+	e.workers = make([]*Protocol, n)
+	for w := 0; w < n; w++ {
+		var tr *Trace
+		if cfg.Tracers != nil {
+			tr = cfg.Tracers[w]
+		}
+		p, err := NewProtocol(cfg, w, cfg.Trainers[w], mon, &engineRuntime{e: e, w: w}, tr)
+		if err != nil {
+			return nil, err
+		}
+		e.workers[w] = p
+	}
 	return e, nil
 }
 
+// engineRuntime adapts the cluster-wide Host to one worker's Runtime.
+// Token grants short-circuit into the consumer's local counter — in
+// shared memory the paper's TokenQ(i→j) and the consumer-side counter
+// are literally the same object, so no fabric round-trip is modeled
+// (token messages are metadata-sized next to parameter updates).
+type engineRuntime struct {
+	e *Engine
+	w int
+}
+
+func (r *engineRuntime) Now() time.Duration { return r.e.host.Now() }
+
+func (r *engineRuntime) Compute(iter int, fn func()) time.Duration {
+	return r.e.host.Compute(r.w, iter, fn)
+}
+
+func (r *engineRuntime) SleepUntil(t time.Duration) { r.e.host.SleepUntil(r.w, t) }
+
+func (r *engineRuntime) Send(dst int, u Update) { r.e.host.Send(r.w, dst, u) }
+
+func (r *engineRuntime) SendAck(dst, iter int) { r.e.host.SendAck(r.w, dst, iter) }
+
+func (r *engineRuntime) GrantTokens(dst, iter, count int) {
+	r.e.workers[dst].DeliverTokens(r.w, count)
+}
+
+// PeerIter is exact in simulation: the global gap tracker knows every
+// worker's current iteration (the §6.2(b) check's best case).
+func (r *engineRuntime) PeerIter(peer int) int { return r.e.gaps.Iter(peer) }
+
+func (r *engineRuntime) ObserveAdvance(iter int) { r.e.gaps.Advance(r.w, iter) }
+
 // Deliver enqueues a network-delivered update at worker dst.
-func (e *Engine) Deliver(dst int, u Update) { e.queues[dst].Enqueue(u) }
+func (e *Engine) Deliver(dst int, u Update) { e.workers[dst].Deliver(u) }
 
 // DeliverAck records a network-delivered NOTIFY-ACK at worker dst.
-func (e *Engine) DeliverAck(dst, iter int) { e.acks[dst].Deliver(iter) }
+func (e *Engine) DeliverAck(dst, iter int) { e.workers[dst].DeliverAck(iter) }
+
+// Worker returns worker w's protocol instance.
+func (e *Engine) Worker(w int) *Protocol { return e.workers[w] }
 
 // Queue returns worker w's update queue (tests and hosts).
-func (e *Engine) Queue(w int) *UpdateQueue { return e.queues[w] }
+func (e *Engine) Queue(w int) *UpdateQueue { return e.workers[w].Queue() }
 
-// TokenQ returns TokenQ(i→j), or nil if absent.
-func (e *Engine) TokenQ(i, j int) *TokenQueue {
-	if e.tokens == nil {
-		return nil
-	}
-	return e.tokens[i][j]
-}
+// TokenQ returns TokenQ(i→j), or nil if absent. The queue is held by
+// its consumer j (see protocol.go); the paper's owner-side naming is
+// preserved here for the Theorem 2 assertions.
+func (e *Engine) TokenQ(i, j int) *TokenQueue { return e.workers[j].TokenIn(i) }
 
 // Gaps returns the iteration-gap tracker.
 func (e *Engine) Gaps() *GapTracker { return e.gaps }
 
-// Stats returns a snapshot of the engine counters.
+// Stats returns the engine counters aggregated over all workers.
 func (e *Engine) Stats() Stats {
-	e.mon.Lock()
-	defer e.mon.Unlock()
-	return e.stats
+	var total Stats
+	for _, p := range e.workers {
+		s := p.Stats()
+		total.SendsSuppressed += s.SendsSuppressed
+		total.StaleDiscarded += s.StaleDiscarded
+		total.Jumps += s.Jumps
+		total.IterationsSkipped += s.IterationsSkipped
+	}
+	return total
 }
 
 // Bounds returns the Table 1 bound calculator for this configuration.
@@ -119,326 +119,7 @@ func (e *Engine) Bounds() *Bounds { return NewBounds(e.cfg) }
 
 // RunWorker executes worker w's training loop until MaxIter (or until
 // the host kills the process at its deadline). It must run on the
-// process/goroutine the host associates with w.
-func (e *Engine) RunWorker(w int) {
-	cfg := &e.cfg
-	t := cfg.Trainers[w]
-	rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919 + 1))
-	in := cfg.Graph.In(w)
-	out := cfg.Graph.Out(w)
-
-	k := 0
-	for cfg.MaxIter == 0 || k < cfg.MaxIter {
-		switch {
-		case cfg.Mode == ModeNotifyAck:
-			e.iterNotifyAck(w, k, t, rng, in, out)
-		case cfg.Serial:
-			e.iterSerial(w, k, t, rng, in, out)
-		default:
-			e.iterParallel(w, k, t, rng, in, out)
-		}
-
-		next := k + 1
-		if cfg.Skip != nil {
-			next = e.jumpTarget(w, k, out)
-			if next > k+1 {
-				e.renewParams(w, next-1, t, in)
-				t.ResetOptimizer()
-				e.mon.Lock()
-				e.stats.Jumps++
-				e.stats.IterationsSkipped += next - k - 1
-				e.mon.Unlock()
-				if cfg.OnJump != nil {
-					cfg.OnJump(w, k, next, e.host.Now())
-				}
-			}
-		}
-		if cfg.MaxIG > 0 {
-			delta := next - k
-			for _, j := range out {
-				e.tokens[j][w].Take(delta)
-			}
-			for _, j := range in {
-				e.tokens[w][j].Put(delta)
-			}
-		}
-		k = next
-	}
-}
-
-// iterParallel is the parallel computation graph of Fig. 2(b): Send
-// and Compute proceed together, overlapping the blocking Recv;
-// gradients computed on x_k are applied after the Reduce.
-func (e *Engine) iterParallel(w, k int, t trainerLike, rng *rand.Rand, in, out []int) {
-	e.gaps.Advance(w, k)
-	x := t.Params()
-
-	// 1. Send x_k (self-loop delivered locally for free, §3.1).
-	snap := tensor.Clone(x)
-	e.queues[w].Enqueue(Update{Params: snap, Iter: k, From: w})
-	e.sendAll(w, k, snap, out)
-
-	// 2. Compute gradients on x_k; the host returns the modeled
-	// duration so the engine can overlap it with Recv below.
-	start := e.host.Now()
-	var grads []float64
-	var loss float64
-	d := e.host.Compute(w, k, func() { grads, loss = t.ComputeGrad(rng) })
-
-	// 3+4. Recv and Reduce (mode-dependent).
-	reduced := e.recvReduce(w, k, in)
-
-	// The iteration ends no earlier than the compute does.
-	e.host.SleepUntil(w, start+d)
-
-	// 5. Apply gradients to the reduced parameters.
-	tensor.Copy(x, reduced)
-	t.Apply(grads)
-
-	if e.cfg.OnIteration != nil {
-		e.cfg.OnIteration(w, k, loss, e.host.Now())
-	}
-}
-
-// iterSerial is the serial computation graph of Fig. 2(a): compute and
-// apply on the same parameters, then send, then reduce. Fewer, longer
-// iterations; exact gradients (§3.2).
-func (e *Engine) iterSerial(w, k int, t trainerLike, rng *rand.Rand, in, out []int) {
-	e.gaps.Advance(w, k)
-	x := t.Params()
-
-	start := e.host.Now()
-	var grads []float64
-	var loss float64
-	d := e.host.Compute(w, k, func() { grads, loss = t.ComputeGrad(rng) })
-	e.host.SleepUntil(w, start+d)
-	t.Apply(grads)
-
-	snap := tensor.Clone(x)
-	e.queues[w].Enqueue(Update{Params: snap, Iter: k, From: w})
-	e.sendAll(w, k, snap, out)
-
-	reduced := e.recvReduce(w, k, in)
-	tensor.Copy(x, reduced)
-
-	if e.cfg.OnIteration != nil {
-		e.cfg.OnIteration(w, k, loss, e.host.Now())
-	}
-}
-
-// iterNotifyAck is the NOTIFY-ACK baseline (§3.3, Fig. 2(a)): serial
-// computation graph; Send(k) waits for ACK(k−1) from every out-going
-// neighbor; after the Reduce the worker ACKs its in-coming neighbors.
-func (e *Engine) iterNotifyAck(w, k int, t trainerLike, rng *rand.Rand, in, out []int) {
-	e.gaps.Advance(w, k)
-	x := t.Params()
-
-	start := e.host.Now()
-	var grads []float64
-	var loss float64
-	d := e.host.Compute(w, k, func() { grads, loss = t.ComputeGrad(rng) })
-	e.host.SleepUntil(w, start+d)
-	t.Apply(grads)
-
-	// Send(k) is gated on the previous iteration's ACKs.
-	e.acks[w].WaitFor(k-1, len(out))
-	snap := tensor.Clone(x)
-	e.queues[w].Enqueue(Update{Params: snap, Iter: k, From: w})
-	for _, j := range out {
-		e.host.Send(w, j, Update{Params: snap, Iter: k, From: w})
-	}
-
-	ups := e.queues[w].DequeueIterAtLeast(len(in)+1, k)
-	reduced := meanParams(ups)
-	tensor.Copy(x, reduced)
-
-	for _, j := range in {
-		e.host.SendAck(w, j, k)
-	}
-
-	if e.cfg.OnIteration != nil {
-		e.cfg.OnIteration(w, k, loss, e.host.Now())
-	}
-}
-
-// sendAll sends the iteration-k snapshot to all out-going neighbors,
-// applying the §6.2(b) receiver-iteration check when configured.
-func (e *Engine) sendAll(w, k int, snap []float64, out []int) {
-	for _, j := range out {
-		if e.cfg.SendCheck && e.gaps.Iter(j) > k {
-			e.mon.Lock()
-			e.stats.SendsSuppressed++
-			e.mon.Unlock()
-			continue
-		}
-		e.host.Send(w, j, Update{Params: snap, Iter: k, From: w})
-	}
-}
-
-// recvReduce performs the mode-appropriate Recv + Reduce for iteration
-// k and returns the reduced parameter vector.
-func (e *Engine) recvReduce(w, k int, in []int) []float64 {
-	if e.cfg.Staleness >= 0 {
-		return e.recvReduceStale(w, k, in)
-	}
-	need := len(in) + 1 - e.cfg.Backup // self included (§3.1)
-	ups := e.queues[w].DequeueIterAtLeast(need, k)
-	return meanParams(ups)
-}
-
-// recvReduceStale implements §4.4: keep the newest update per
-// in-neighbor, require it to be at most s iterations old (blocking for
-// a fresh one otherwise), and aggregate with the Eq. 2 iteration-based
-// weights.
-func (e *Engine) recvReduceStale(w, k int, in []int) []float64 {
-	s := e.cfg.Staleness
-	minIter := k - s
-	var vecs [][]float64
-	var weights []float64
-	recv := e.iterRecv[w]
-	for _, j := range append(append(make([]int, 0, len(in)+1), in...), w) {
-		newest := Update{Iter: -1}
-		consider := func(ups []Update) {
-			for _, u := range ups {
-				if u.Iter > newest.Iter {
-					newest = u
-				}
-			}
-			if newest.Iter > recv[j] {
-				recv[j] = newest.Iter
-			}
-		}
-		consider(e.queues[w].DrainFrom(j))
-		for recv[j] < minIter {
-			consider(e.queues[w].WaitFrom(j))
-		}
-		// Include j only if an update actually arrived this iteration
-		// and is within the bound; j's older information is already
-		// folded into x by earlier reduces (§4.4).
-		if newest.Params != nil && newest.Iter >= minIter {
-			vecs = append(vecs, newest.Params)
-			weights = append(weights, e.cfg.StaleWeighting.weight(newest.Iter-minIter+1))
-		}
-	}
-	// The self update sent this iteration always satisfies the bound,
-	// so vecs is never empty.
-	reduced := make([]float64, len(vecs[0]))
-	tensor.WeightedMean(reduced, vecs, weights)
-	return reduced
-}
-
-// jumpTarget implements the §5 trigger: at the end of iteration k,
-// read the token counts toward this worker in all out-going neighbors;
-// their minimum equals min_j Iter(j) − k + max_ig. If the worker is at
-// least TriggerBehind iterations behind all out-going neighbors, jump
-// forward, bounded by MaxJump and by not surpassing any out-going
-// neighbor (§5's "intuitive upper-bound" max_jump − max_ig).
-func (e *Engine) jumpTarget(w, k int, out []int) int {
-	sc := e.cfg.Skip
-	if len(out) == 0 {
-		return k + 1
-	}
-	minTok := int(^uint(0) >> 1)
-	for _, j := range out {
-		if s := e.tokens[j][w].Size(); s < minTok {
-			minTok = s
-		}
-	}
-	behind := minTok - e.cfg.MaxIG // = min_j Iter(j) − Iter(w)
-	trigger := sc.TriggerBehind
-	if trigger < 2 {
-		trigger = 2 // a jump below 2 is just the normal advance
-	}
-	if behind < trigger {
-		return k + 1
-	}
-	delta := behind
-	if delta > sc.MaxJump {
-		delta = sc.MaxJump
-	}
-	if delta < 1 {
-		delta = 1
-	}
-	next := k + delta
-	if e.cfg.MaxIter > 0 && next > e.cfg.MaxIter {
-		next = e.cfg.MaxIter
-	}
-	if next <= k {
-		return k + 1
-	}
-	return next
-}
-
-// renewParams implements the pre-jump refresh of §5: Recv(kr) with the
-// active mode's semantics, reduced together with the worker's own
-// current parameters, so the post-jump model is not stale.
-func (e *Engine) renewParams(w, kr int, t trainerLike, in []int) {
-	x := t.Params()
-	if e.cfg.Staleness >= 0 {
-		s := e.cfg.Staleness
-		minIter := kr - s
-		vecs := [][]float64{x}
-		weights := []float64{1} // own params: oldest admissible weight
-		recv := e.iterRecv[w]
-		for _, j := range in {
-			newest := Update{Iter: -1}
-			consider := func(ups []Update) {
-				for _, u := range ups {
-					if u.Iter > newest.Iter {
-						newest = u
-					}
-				}
-				if newest.Iter > recv[j] {
-					recv[j] = newest.Iter
-				}
-			}
-			consider(e.queues[w].DrainFrom(j))
-			for recv[j] < minIter {
-				consider(e.queues[w].WaitFrom(j))
-			}
-			if newest.Params != nil && newest.Iter >= minIter {
-				vecs = append(vecs, newest.Params)
-				weights = append(weights, e.cfg.StaleWeighting.weight(newest.Iter-minIter+1))
-			}
-		}
-		reduced := make([]float64, len(x))
-		tensor.WeightedMean(reduced, vecs, weights)
-		tensor.Copy(x, reduced)
-		return
-	}
-	need := len(in) - e.cfg.Backup
-	if need < 0 {
-		need = 0
-	}
-	ups := e.queues[w].DequeueIterAtLeast(need, kr)
-	vecs := make([][]float64, 0, len(ups)+1)
-	vecs = append(vecs, x)
-	for _, u := range ups {
-		vecs = append(vecs, u.Params)
-	}
-	reduced := make([]float64, len(x))
-	tensor.Mean(reduced, vecs)
-	tensor.Copy(x, reduced)
-}
-
-func meanParams(ups []Update) []float64 {
-	if len(ups) == 0 {
-		panic("core: Reduce over zero updates")
-	}
-	vecs := make([][]float64, len(ups))
-	for i, u := range ups {
-		vecs[i] = u.Params
-	}
-	out := make([]float64, len(vecs[0]))
-	tensor.Mean(out, vecs)
-	return out
-}
-
-// trainerLike is the subset of model.Trainer the engine uses; declared
-// locally to keep the dependency explicit in one place.
-type trainerLike interface {
-	Params() []float64
-	ComputeGrad(rng *rand.Rand) ([]float64, float64)
-	Apply(grads []float64)
-	ResetOptimizer()
-}
+// process/goroutine the host associates with w. The simulator never
+// aborts protocols (the kernel kills processes at its deadline
+// instead), so the abort error cannot occur here.
+func (e *Engine) RunWorker(w int) { _ = e.workers[w].Run() }

@@ -21,6 +21,13 @@ package core
 
 import "fmt"
 
+// errAborted unwinds a worker loop blocked on (or about to block on) a
+// closed queue; Protocol.Abort closes a worker's queues and the
+// runtime shell recovers the panic (live.Worker.Run). The simulator
+// never closes queues — its kernel kills processes at the deadline
+// instead.
+type errAborted struct{}
+
 // UpdateQueue is the update queue UpdateQ(i) of one worker.
 type UpdateQueue struct {
 	mon  Monitor
@@ -33,6 +40,7 @@ type UpdateQueue struct {
 	highWater int // maximum total occupancy ever observed
 	slotHigh  int // maximum single-slot occupancy ever observed
 	stale     int // stale entries discarded at dequeue
+	closed    bool
 }
 
 // NewUpdateQueue creates an update queue with the given number of
@@ -103,6 +111,9 @@ func (q *UpdateQueue) DequeueIterAtLeast(need, iter int) []Update {
 	q.mon.Lock()
 	defer q.mon.Unlock()
 	for q.countIterLocked(iter) < need {
+		if q.closed {
+			panic(errAborted{})
+		}
 		q.cond.Wait()
 	}
 	s := q.slotOf(iter)
@@ -155,8 +166,28 @@ func (q *UpdateQueue) WaitFrom(wid int) []Update {
 		if out := q.drainFromLocked(wid); len(out) > 0 {
 			return out
 		}
+		if q.closed {
+			panic(errAborted{})
+		}
 		q.cond.Wait()
 	}
+}
+
+// close marks the queue aborted: blocked and future waiters unwind
+// with errAborted. Enqueue remains harmless.
+func (q *UpdateQueue) close() {
+	q.mon.Lock()
+	defer q.mon.Unlock()
+	q.closed = true
+	q.cond.Broadcast()
+}
+
+// isClosed reports whether close was called (the worker loop checks it
+// between iterations so an abort lands even when nothing blocks).
+func (q *UpdateQueue) isClosed() bool {
+	q.mon.Lock()
+	defer q.mon.Unlock()
+	return q.closed
 }
 
 // Size returns the total number of queued entries (the q.size() of
@@ -213,6 +244,7 @@ type TokenQueue struct {
 
 	tokens    int
 	highWater int
+	closed    bool
 }
 
 // NewTokenQueue creates a token queue holding initial tokens.
@@ -241,9 +273,20 @@ func (t *TokenQueue) Take(n int) {
 	t.mon.Lock()
 	defer t.mon.Unlock()
 	for t.tokens < n {
+		if t.closed {
+			panic(errAborted{})
+		}
 		t.cond.Wait()
 	}
 	t.tokens -= n
+}
+
+// close marks the queue aborted (see UpdateQueue.close).
+func (t *TokenQueue) close() {
+	t.mon.Lock()
+	defer t.mon.Unlock()
+	t.closed = true
+	t.cond.Broadcast()
 }
 
 // Size returns the current token count: Iter(owner) − Iter(consumer) +
@@ -272,7 +315,8 @@ type AckTracker struct {
 	mon  Monitor
 	cond Cond
 
-	acks map[int]int
+	acks   map[int]int
+	closed bool
 }
 
 // NewAckTracker creates an empty tracker.
@@ -298,7 +342,18 @@ func (a *AckTracker) WaitFor(iter, want int) {
 	a.mon.Lock()
 	defer a.mon.Unlock()
 	for a.acks[iter] < want {
+		if a.closed {
+			panic(errAborted{})
+		}
 		a.cond.Wait()
 	}
 	delete(a.acks, iter)
+}
+
+// close marks the tracker aborted (see UpdateQueue.close).
+func (a *AckTracker) close() {
+	a.mon.Lock()
+	defer a.mon.Unlock()
+	a.closed = true
+	a.cond.Broadcast()
 }

@@ -1,0 +1,123 @@
+package core
+
+// Decision tracing: an optional, runtime-agnostic record of every
+// protocol-level decision one worker makes — iteration advances, §5
+// jumps, and bounded-staleness exclusions. Because the Protocol makes
+// these decisions exclusively through queue state and the Runtime
+// interface, a spec whose decisions are forced (full-participation
+// reduces, or a straggler slow enough that its neighbors always reach
+// the token bound first) produces the *same* trace on the simulator
+// and on a real TCP cluster — the differential-test contract of
+// DESIGN.md §5.
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// TraceKind discriminates decision-trace events.
+type TraceKind uint8
+
+// Decision kinds.
+const (
+	// TraceAdvance records the worker entering an iteration.
+	TraceAdvance TraceKind = iota
+	// TraceJump records a §5 skip from iteration From to Iter.
+	TraceJump
+	// TraceStaleSkip records a bounded-staleness Reduce at iteration
+	// Iter excluding sender From (no fresh-enough update arrived this
+	// iteration).
+	TraceStaleSkip
+)
+
+func (k TraceKind) String() string {
+	switch k {
+	case TraceAdvance:
+		return "advance"
+	case TraceJump:
+		return "jump"
+	case TraceStaleSkip:
+		return "stale-skip"
+	}
+	return fmt.Sprintf("trace(%d)", uint8(k))
+}
+
+// TraceEvent is one protocol decision.
+type TraceEvent struct {
+	Kind TraceKind
+	// Iter is the iteration entered (advance, jump) or the iteration
+	// whose Reduce excluded a sender (stale-skip).
+	Iter int
+	// From is the jump's origin iteration, or the excluded sender's
+	// worker id; 0 otherwise.
+	From int
+}
+
+func (e TraceEvent) String() string {
+	switch e.Kind {
+	case TraceAdvance:
+		return fmt.Sprintf("+%d", e.Iter)
+	case TraceJump:
+		return fmt.Sprintf("J%d>%d", e.From, e.Iter)
+	case TraceStaleSkip:
+		return fmt.Sprintf("S%d@%d", e.From, e.Iter)
+	}
+	return fmt.Sprintf("?%d", e.Iter)
+}
+
+// Trace accumulates one worker's decision events in program order. It
+// has its own lock (not the cluster Monitor) so it can be read safely
+// after a run from any goroutine; a nil *Trace is a valid no-op
+// receiver, so tracing costs nothing when disabled.
+type Trace struct {
+	mu     sync.Mutex
+	events []TraceEvent
+}
+
+// NewTrace returns an empty decision trace.
+func NewTrace() *Trace { return &Trace{} }
+
+func (t *Trace) record(e TraceEvent) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.events = append(t.events, e)
+	t.mu.Unlock()
+}
+
+func (t *Trace) advance(iter int)   { t.record(TraceEvent{Kind: TraceAdvance, Iter: iter}) }
+func (t *Trace) jump(from, to int)  { t.record(TraceEvent{Kind: TraceJump, Iter: to, From: from}) }
+func (t *Trace) staleSkip(k, j int) { t.record(TraceEvent{Kind: TraceStaleSkip, Iter: k, From: j}) }
+
+// Events returns a copy of the recorded decisions.
+func (t *Trace) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TraceEvent(nil), t.events...)
+}
+
+// Len returns the number of recorded decisions.
+func (t *Trace) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// String renders the trace canonically ("+0 +1 J1>4 +4 ..."), the form
+// differential tests compare across runtimes.
+func (t *Trace) String() string {
+	evs := t.Events()
+	parts := make([]string, len(evs))
+	for i, e := range evs {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, " ")
+}

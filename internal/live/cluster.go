@@ -1,0 +1,147 @@
+package live
+
+// Loopback (and generally single-process) cluster orchestration: spawn
+// one Worker per graph node, mesh the neighbor connections, run every
+// worker to MaxIter, and collect results. This is the live plane's
+// counterpart of cluster.Run — the unit the scenario engine's live
+// execution and the differential sim↔live tests are built from.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"hop/internal/core"
+	"hop/internal/transport"
+)
+
+// DefaultDialTimeout is how long cluster workers retry dialing their
+// neighbors before giving up.
+const DefaultDialTimeout = 10 * time.Second
+
+// ClusterResult is everything a live cluster run produced.
+type ClusterResult struct {
+	// Workers holds the participants (closed by RunCluster; their
+	// trainers, stats and traces remain readable).
+	Workers []*Worker
+	// Losses is each worker's final training loss.
+	Losses []float64
+	// Duration is the wall-clock time from first Run to last return.
+	Duration time.Duration
+}
+
+// WireStats sums the per-worker transport counters.
+func (r *ClusterResult) WireStats() transport.Stats {
+	var total transport.Stats
+	for _, w := range r.Workers {
+		s := w.WireStats()
+		total.FramesSent += s.FramesSent
+		total.FramesRecv += s.FramesRecv
+		total.BytesSent += s.BytesSent
+		total.BytesRecv += s.BytesRecv
+		total.UpdatesSent += s.UpdatesSent
+		total.UpdatesRecv += s.UpdatesRecv
+		total.RawUpdateBytesSent += s.RawUpdateBytesSent
+		total.WireUpdateBytesSent += s.WireUpdateBytesSent
+		total.ReadErrors += s.ReadErrors
+	}
+	return total
+}
+
+// RunCluster executes one complete live cluster in-process: it binds
+// every configured worker (ListenAddr defaults to "127.0.0.1:0"),
+// meshes the neighbor connections, runs all workers concurrently to
+// MaxIter and closes them. cfgs must hold one WorkerConfig per graph
+// node, in id order with cfg.ID == index (RunCluster fills zero IDs
+// in). dialTimeout <= 0 means DefaultDialTimeout.
+func RunCluster(cfgs []WorkerConfig, dialTimeout time.Duration) (*ClusterResult, error) {
+	n := len(cfgs)
+	if n == 0 {
+		return nil, fmt.Errorf("live: cluster has no workers")
+	}
+	if g := cfgs[0].Graph; g == nil || g.N() != n {
+		return nil, fmt.Errorf("live: cluster needs one config per graph node")
+	}
+	if dialTimeout <= 0 {
+		dialTimeout = DefaultDialTimeout
+	}
+
+	workers := make([]*Worker, n)
+	addrs := make(map[int]string, n)
+	closeAll := func() {
+		for _, w := range workers {
+			if w != nil {
+				w.Close()
+			}
+		}
+	}
+	for i := range cfgs {
+		cfg := cfgs[i]
+		if cfg.ID == 0 {
+			cfg.ID = i
+		}
+		if cfg.ID != i {
+			closeAll()
+			return nil, fmt.Errorf("live: config %d has worker id %d", i, cfg.ID)
+		}
+		if cfg.ListenAddr == "" {
+			cfg.ListenAddr = "127.0.0.1:0"
+		}
+		w, err := NewWorker(cfg)
+		if err != nil {
+			closeAll()
+			return nil, fmt.Errorf("live: worker %d: %w", i, err)
+		}
+		workers[i] = w
+		addrs[i] = w.Addr()
+	}
+	defer closeAll()
+	for i, w := range workers {
+		if err := w.Connect(addrs, dialTimeout); err != nil {
+			return nil, fmt.Errorf("live: connect worker %d: %w", i, err)
+		}
+	}
+
+	start := time.Now()
+	losses := make([]float64, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	// A failed worker stops sending, leaving its neighbors blocked in
+	// Recv with nothing to wake them; the first failure aborts every
+	// other worker so the join below always completes.
+	var abortOnce sync.Once
+	abortRest := func() {
+		for _, w := range workers {
+			w.Abort()
+		}
+	}
+	for i, w := range workers {
+		wg.Add(1)
+		go func(i int, w *Worker) {
+			defer wg.Done()
+			var err error
+			losses[i], err = w.Run()
+			if err != nil {
+				errs[i] = fmt.Errorf("live: worker %d: %w", i, err)
+				abortOnce.Do(abortRest)
+			}
+		}(i, w)
+	}
+	wg.Wait()
+	// Report the originating failures; cascade-abort errors are only
+	// interesting when nothing else explains the teardown.
+	var real []error
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, core.ErrAborted) {
+			real = append(real, err)
+		}
+	}
+	if len(real) > 0 {
+		return nil, errors.Join(real...)
+	}
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return &ClusterResult{Workers: workers, Losses: losses, Duration: time.Since(start)}, nil
+}

@@ -1,16 +1,20 @@
 // Package live is the real-time, real-network runtime of the Hop
 // protocol: one Worker per process (or goroutine), communicating over
 // TCP through internal/transport. It demonstrates that the protocol is
-// not simulator-bound.
+// not simulator-bound: the Worker is a thin shell that adapts sockets
+// and wall-clock time to the core.Runtime interface and lets the
+// shared core.Protocol state machine (internal/core/protocol.go) make
+// every decision. The full protocol surface — standard, serial and
+// NOTIFY-ACK modes, token queues, backup workers, bounded staleness
+// with configurable weighting, skipping iterations — runs here
+// verbatim from the same code the deterministic simulator executes.
 //
-// Queue placement differs from the shared-memory engine in one
-// mechanical way, with identical semantics: token queues live at their
-// consumer. In the paper, TokenQ(i→j) is stored at worker i and
-// consumed by in-neighbor j; across machines, worker i instead sends
-// token-grant messages when it advances and worker j counts them
-// locally (initialized to max_ig). The Theorem 2 invariant — count =
-// Iter(i) − Iter(j) + max_ig — is preserved exactly; grants in flight
-// only delay j, never violate the bound.
+// Queue placement follows the protocol core's consumer-side
+// convention: TokenQ(i→j) is a counter at worker j (initialized to
+// max_ig) that worker i feeds with token-grant messages as it
+// advances. The Theorem 2 invariant — count = Iter(i) − Iter(j) +
+// max_ig — is preserved exactly; grants in flight only delay j, never
+// violate the bound.
 //
 // The send-side iteration check of §6.2(b) uses the last iteration
 // observed on any message from the receiver; it is a heuristic there
@@ -20,16 +24,30 @@ package live
 import (
 	"fmt"
 	"log"
-	"math/rand"
+	"sync"
 	"time"
 
 	"hop/internal/compress"
 	"hop/internal/core"
 	"hop/internal/graph"
 	"hop/internal/model"
-	"hop/internal/tensor"
 	"hop/internal/transport"
 )
+
+// Logger is the printf-style sink live workers report through
+// (*log.Logger satisfies it). WorkerConfig.Logger defaults to the
+// standard library's default logger; tests inject NopLogger to run
+// quiet.
+type Logger interface {
+	Printf(format string, v ...any)
+}
+
+type nopLogger struct{}
+
+func (nopLogger) Printf(string, ...any) {}
+
+// NopLogger returns a Logger that discards everything.
+func NopLogger() Logger { return nopLogger{} }
 
 // WorkerConfig configures one live worker.
 type WorkerConfig struct {
@@ -42,11 +60,14 @@ type WorkerConfig struct {
 	Trainer model.Trainer
 
 	// Protocol knobs, matching core.Config semantics.
-	MaxIG     int
-	Backup    int
-	Staleness int // -1 disables
-	SendCheck bool
-	Skip      *core.SkipConfig
+	Mode           core.Mode
+	Serial         bool
+	MaxIG          int
+	Backup         int
+	Staleness      int // -1 disables
+	StaleWeighting core.StaleWeighting
+	SendCheck      bool
+	Skip           *core.SkipConfig
 
 	// Compression selects the wire codec for outgoing update payloads
 	// (negotiated per connection at Dial; see internal/transport). The
@@ -67,26 +88,41 @@ type WorkerConfig struct {
 
 	// OnIteration, when non-nil, runs after each completed iteration.
 	OnIteration func(iter int, loss float64)
+
+	// OnJump, when non-nil, runs when this worker skips from iteration
+	// from to iteration to (§5).
+	OnJump func(from, to int)
+
+	// Logger receives the worker's diagnostics (dropped in-neighbor
+	// connections, ...). nil means the standard library logger.
+	Logger Logger
+
+	// Trace, when non-nil, records this worker's protocol decisions
+	// (core.Trace) — the live half of the sim↔live differential tests.
+	Trace *core.Trace
 }
 
 // NewWorkerConfig seeds a live WorkerConfig for worker id from the
 // shared protocol configuration — the one place core.Config knobs
-// (token queues, backup, staleness, skipping, wire compression) cross
-// into the live runtime. The trainer is taken from c.Trainers when
-// present; the caller fills the live-only fields (ListenAddr,
+// (modes, token queues, backup, staleness, skipping, wire compression)
+// cross into the live runtime. The trainer is taken from c.Trainers
+// when present; the caller fills the live-only fields (ListenAddr,
 // ComputeDelay, OnIteration, ...) before NewWorker.
 func NewWorkerConfig(c core.Config, id int) WorkerConfig {
 	cfg := WorkerConfig{
-		ID:          id,
-		Graph:       c.Graph,
-		MaxIG:       c.MaxIG,
-		Backup:      c.Backup,
-		Staleness:   c.Staleness,
-		SendCheck:   c.SendCheck,
-		Skip:        c.Skip,
-		Compression: c.Compression,
-		MaxIter:     c.MaxIter,
-		Seed:        c.Seed,
+		ID:             id,
+		Graph:          c.Graph,
+		Mode:           c.Mode,
+		Serial:         c.Serial,
+		MaxIG:          c.MaxIG,
+		Backup:         c.Backup,
+		Staleness:      c.Staleness,
+		StaleWeighting: c.StaleWeighting,
+		SendCheck:      c.SendCheck,
+		Skip:           c.Skip,
+		Compression:    c.Compression,
+		MaxIter:        c.MaxIter,
+		Seed:           c.Seed,
 	}
 	if id >= 0 && id < len(c.Trainers) {
 		cfg.Trainer = c.Trainers[id]
@@ -94,33 +130,47 @@ func NewWorkerConfig(c core.Config, id int) WorkerConfig {
 	return cfg
 }
 
-// Worker is one live protocol participant.
-type Worker struct {
-	cfg  WorkerConfig
-	node *transport.Node
-	mon  core.Monitor
-
-	uq     *core.UpdateQueue
-	tokens map[int]*core.TokenQueue // out-neighbor → local grant count
-	acks   *core.AckTracker
-
-	// peerIter tracks the newest iteration observed per peer (for the
-	// §6.2(b) send check). Guarded by mon.
-	peerIter map[int]int
-
-	staleRecv map[int]int // staleness bookkeeping (worker-loop owned)
-
-	// maxStale is the largest (k − update.Iter) actually aggregated by
-	// a bounded-staleness Reduce — the observable Fig. 9 quantity.
-	// Guarded by mon.
-	maxStale int
-
-	rng *rand.Rand
+// coreConfig expands the live worker configuration back into the
+// shared protocol configuration the state machine is built from.
+func (cfg WorkerConfig) coreConfig() core.Config {
+	return core.Config{
+		Graph:          cfg.Graph,
+		Mode:           cfg.Mode,
+		Serial:         cfg.Serial,
+		MaxIG:          cfg.MaxIG,
+		Backup:         cfg.Backup,
+		Staleness:      cfg.Staleness,
+		StaleWeighting: cfg.StaleWeighting,
+		SendCheck:      cfg.SendCheck,
+		Compression:    cfg.Compression,
+		Skip:           cfg.Skip,
+		MaxIter:        cfg.MaxIter,
+		Seed:           cfg.Seed,
+	}
 }
 
+// Worker is one live protocol participant: transport shell + shared
+// protocol state machine.
+type Worker struct {
+	cfg   WorkerConfig
+	node  *transport.Node
+	mon   core.Monitor
+	proto *core.Protocol
+	start time.Time
+
+	// mu guards peerIter (the §6.2(b) observation) and lastLoss.
+	mu       sync.Mutex
+	peerIter map[int]int
+	lastLoss float64
+}
+
+// sendFailure aborts the protocol loop when the transport fails; Run
+// recovers it into its error return.
+type sendFailure struct{ err error }
+
 // NewWorker validates the configuration, binds the listener and
-// prepares the queues. Call Addr to learn the bound address, Connect
-// to dial the out-neighbors, then Run.
+// prepares the protocol state. Call Addr to learn the bound address,
+// Connect to dial the neighbors, then Run.
 func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if cfg.Graph == nil {
 		return nil, fmt.Errorf("live: no graph")
@@ -137,52 +187,47 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if cfg.MaxIter <= 0 {
 		return nil, fmt.Errorf("live: MaxIter must be positive")
 	}
-	if cfg.Backup > 0 && cfg.MaxIG <= 0 {
-		return nil, fmt.Errorf("live: backup workers require token queues (MaxIG>0)")
-	}
-	if cfg.Skip != nil && cfg.MaxIG <= 0 {
-		return nil, fmt.Errorf("live: skipping requires token queues (MaxIG>0)")
-	}
-	if err := cfg.Compression.Validate(); err != nil {
-		return nil, fmt.Errorf("live: %w", err)
-	}
-	mon := core.NewSyncMonitor()
-	slots := cfg.MaxIG + 1
-	if cfg.MaxIG <= 0 {
-		d := cfg.Graph.Diameter()
-		if cfg.Staleness >= 0 {
-			slots = (cfg.Staleness+1)*d + 1
-		} else {
-			slots = d + 1
-		}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = log.Default()
 	}
 	w := &Worker{
-		cfg:       cfg,
-		mon:       mon,
-		uq:        core.NewUpdateQueue(mon, slots),
-		tokens:    make(map[int]*core.TokenQueue),
-		acks:      core.NewAckTracker(mon),
-		peerIter:  make(map[int]int),
-		staleRecv: make(map[int]int),
-		rng:       rand.New(rand.NewSource(cfg.Seed + int64(cfg.ID)*7919 + 1)),
+		cfg:      cfg,
+		mon:      core.NewSyncMonitor(),
+		peerIter: make(map[int]int),
+		start:    time.Now(),
 	}
+	coreCfg := cfg.coreConfig()
+	coreCfg.OnIteration = func(_, iter int, loss float64, _ time.Duration) {
+		w.mu.Lock()
+		w.lastLoss = loss
+		w.mu.Unlock()
+		if cfg.OnIteration != nil {
+			cfg.OnIteration(iter, loss)
+		}
+	}
+	if cfg.OnJump != nil {
+		coreCfg.OnJump = func(_, from, to int, _ time.Duration) { cfg.OnJump(from, to) }
+	}
+	proto, err := core.NewProtocol(coreCfg, cfg.ID, cfg.Trainer, w.mon, &liveRuntime{w: w}, cfg.Trace)
+	if err != nil {
+		return nil, fmt.Errorf("live: %w", err)
+	}
+	w.proto = proto
 	for _, j := range cfg.Graph.Out(cfg.ID) {
-		w.tokens[j] = core.NewTokenQueue(mon, cfg.MaxIG)
 		w.peerIter[j] = -1
 	}
 	for _, j := range cfg.Graph.In(cfg.ID) {
-		w.staleRecv[j] = -1
 		w.peerIter[j] = -1
 	}
-	w.staleRecv[cfg.ID] = -1
 	node, err := transport.ListenConfig(cfg.ID, cfg.ListenAddr, w.handle, transport.Config{
 		Compressor: cfg.Compression.New(),
 		MaxChunk:   cfg.WireChunkBytes,
 		// A dropped in-neighbor otherwise manifests only as a silent
-		// hang in recvReduce; log the diagnosis (also counted in
+		// hang in the Recv; log the diagnosis (also counted in
 		// WireStats().ReadErrors).
 		OnReadError: func(err error) {
-			log.Printf("hop/live: worker %d: %v", cfg.ID, err)
+			logger.Printf("hop/live: worker %d: %v", cfg.ID, err)
 		},
 	})
 	if err != nil {
@@ -191,6 +236,71 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	w.node = node
 	return w, nil
 }
+
+// liveRuntime adapts sockets and wall-clock time to core.Runtime. The
+// protocol loop calls these from the worker's Run goroutine; inbound
+// deliveries arrive through Worker.handle on transport reader
+// goroutines, synchronized by the worker's monitor inside the protocol
+// queues.
+type liveRuntime struct{ w *Worker }
+
+func (r *liveRuntime) Now() time.Duration { return time.Since(r.w.start) }
+
+// Compute runs the gradient step for real; its cost is its real
+// duration plus any injected heterogeneity delay.
+func (r *liveRuntime) Compute(iter int, fn func()) time.Duration {
+	t0 := time.Now()
+	fn()
+	if d := r.w.cfg.ComputeDelay; d != nil {
+		if dd := d(iter); dd > 0 {
+			time.Sleep(dd)
+		}
+	}
+	return time.Since(t0)
+}
+
+// SleepUntil realizes the parallel computation graph's "iteration ends
+// no earlier than the compute" rule. Live compute already took its
+// real time before Recv, so this is effectively a no-op; it is kept
+// faithful for completeness.
+func (r *liveRuntime) SleepUntil(t time.Duration) {
+	if d := t - time.Since(r.w.start); d > 0 {
+		time.Sleep(d)
+	}
+}
+
+func (r *liveRuntime) Send(dst int, u core.Update) {
+	err := r.w.node.Send(dst, transport.Message{Kind: transport.KindUpdate, Iter: u.Iter, Params: u.Params})
+	if err != nil {
+		panic(sendFailure{err})
+	}
+}
+
+func (r *liveRuntime) SendAck(dst, iter int) {
+	if err := r.w.node.Send(dst, transport.Message{Kind: transport.KindAck, Iter: iter}); err != nil {
+		panic(sendFailure{err})
+	}
+}
+
+func (r *liveRuntime) GrantTokens(dst, iter, count int) {
+	err := r.w.node.Send(dst, transport.Message{Kind: transport.KindToken, Iter: iter, Count: count})
+	if err != nil {
+		panic(sendFailure{err})
+	}
+}
+
+// PeerIter is the §6.2(b) observation: the newest iteration seen on
+// any message from the peer (a heuristic, unlike the simulator's exact
+// global view).
+func (r *liveRuntime) PeerIter(peer int) int {
+	r.w.mu.Lock()
+	defer r.w.mu.Unlock()
+	return r.w.peerIter[peer]
+}
+
+// ObserveAdvance is a no-op live: there is no global gap tracker on a
+// real cluster. Peers learn this worker's iteration from its messages.
+func (r *liveRuntime) ObserveAdvance(int) {}
 
 // Addr returns the bound listen address.
 func (w *Worker) Addr() string { return w.node.Addr() }
@@ -221,236 +331,144 @@ func (w *Worker) Connect(addrs map[int]string, timeout time.Duration) error {
 // Close shuts down the transport.
 func (w *Worker) Close() { w.node.Close() }
 
-// handle is the transport inbound path.
+// handle is the transport inbound path: observe the sender's iteration
+// and deliver into the shared protocol state.
 func (w *Worker) handle(m transport.Message) {
 	w.observeIter(m.From, m.Iter)
 	switch m.Kind {
 	case transport.KindUpdate:
-		w.uq.Enqueue(core.Update{Params: m.Params, Iter: m.Iter, From: m.From, Codec: m.Codec})
+		w.proto.Deliver(core.Update{Params: m.Params, Iter: m.Iter, From: m.From, Codec: m.Codec})
 	case transport.KindToken:
-		if tq, ok := w.tokens[m.From]; ok {
-			tq.Put(m.Count)
-		}
+		w.proto.DeliverTokens(m.From, m.Count)
 	case transport.KindAck:
-		w.acks.Deliver(m.Iter)
+		w.proto.DeliverAck(m.Iter)
 	}
 }
 
 func (w *Worker) observeIter(peer, iter int) {
-	w.mon.Lock()
+	w.mu.Lock()
 	if cur, ok := w.peerIter[peer]; ok && iter > cur {
 		w.peerIter[peer] = iter
 	}
-	w.mon.Unlock()
-}
-
-func (w *Worker) lastIter(peer int) int {
-	w.mon.Lock()
-	defer w.mon.Unlock()
-	return w.peerIter[peer]
+	w.mu.Unlock()
 }
 
 // Params returns the trainer's parameter vector.
 func (w *Worker) Params() []float64 { return w.cfg.Trainer.Params() }
 
-// Run executes the training loop for MaxIter iterations (the parallel
-// computation graph of Fig. 2(b)). It returns the final training loss.
-func (w *Worker) Run() (float64, error) {
-	cfg := w.cfg
-	t := cfg.Trainer
-	id := cfg.ID
-	in := cfg.Graph.In(id)
-	out := cfg.Graph.Out(id)
-	lastLoss := 0.0
+// Trainer returns this worker's model replica.
+func (w *Worker) Trainer() model.Trainer { return w.cfg.Trainer }
 
-	k := 0
-	for k < cfg.MaxIter {
-		// Send x_k (self delivered locally).
-		x := t.Params()
-		snap := tensor.Clone(x)
-		w.uq.Enqueue(core.Update{Params: snap, Iter: k, From: id})
-		for _, j := range out {
-			if cfg.SendCheck && w.lastIter(j) > k {
-				continue
-			}
-			if err := w.node.Send(j, transport.Message{Kind: transport.KindUpdate, Iter: k, Params: snap}); err != nil {
-				return lastLoss, err
-			}
-		}
+// Trace returns the decision trace configured for this worker, or nil.
+func (w *Worker) Trace() *core.Trace { return w.cfg.Trace }
 
-		// Compute (real time, plus optional injected delay).
-		grads, loss := t.ComputeGrad(w.rng)
-		lastLoss = loss
-		if cfg.ComputeDelay != nil {
-			if d := cfg.ComputeDelay(k); d > 0 {
-				time.Sleep(d)
+// Run executes the training loop for MaxIter iterations under the
+// configured protocol mode. It returns the final training loss.
+func (w *Worker) Run() (loss float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			f, ok := r.(sendFailure)
+			if !ok {
+				panic(r)
 			}
+			loss, err = w.LastLoss(), f.err
 		}
-
-		// Recv + Reduce + Apply.
-		reduced := w.recvReduce(k, in)
-		tensor.Copy(x, reduced)
-		t.Apply(grads)
-
-		if cfg.OnIteration != nil {
-			cfg.OnIteration(k, loss)
-		}
-
-		// Advance (with optional jump), preserving the token
-		// invariant: take delta from each out-neighbor's local grant
-		// count, grant delta to each in-neighbor.
-		next := k + 1
-		if cfg.Skip != nil {
-			next = w.jumpTarget(k, out)
-			if next > k+1 {
-				w.renewParams(next-1, in)
-				t.ResetOptimizer()
-			}
-		}
-		if cfg.MaxIG > 0 {
-			delta := next - k
-			for _, j := range out {
-				w.tokens[j].Take(delta)
-			}
-			for _, j := range in {
-				if err := w.node.Send(j, transport.Message{Kind: transport.KindToken, Iter: next, Count: delta}); err != nil {
-					return lastLoss, err
-				}
-			}
-		}
-		k = next
+	}()
+	if err := w.proto.Run(); err != nil {
+		return w.LastLoss(), err // core.ErrAborted via Abort
 	}
-	return lastLoss, nil
+	return w.LastLoss(), nil
 }
 
-// recvReduce mirrors the engine's mode dispatch.
-func (w *Worker) recvReduce(k int, in []int) []float64 {
-	if w.cfg.Staleness >= 0 {
-		return w.recvReduceStale(k, in)
+// Abort unblocks and unwinds a running Run (which then returns
+// core.ErrAborted). Live cluster teardown uses it so a failed worker
+// does not leave its neighbors blocked in Recv forever.
+func (w *Worker) Abort() { w.proto.Abort() }
+
+// WaitPeersDone blocks after Run until every neighbor has been
+// observed at its own final protocol message, or until timeout; it
+// returns whether all neighbors were seen finishing. A worker that
+// closes its listener the moment its own loop ends tears down sockets
+// its slower neighbors are still sending protocol frames to (their
+// final updates, token grants or ACKs) — killing *their* runs with
+// broken pipes. One process per worker should therefore Run, then
+// WaitPeersDone, then Close; the in-process orchestrator (RunCluster)
+// joins all loops before closing and does not need it.
+//
+// "Finished" is read off the peer-iteration observations: an
+// in-neighbor's last update is tagged MaxIter−1 (or as low as
+// MaxIter−MaxJump when §5 skipping lets it jump over the tail), an
+// out-neighbor's last token grant is tagged exactly MaxIter, and a
+// NOTIFY-ACK out-neighbor's last ACK is tagged MaxIter−1. Out-neighbors
+// that never send this worker anything (no token queues, standard
+// mode, not also in-neighbors) are not waited on. On directed
+// topologies the §6.2(b) send check can suppress an in-only neighbor's
+// final update; the timeout is the backstop there.
+func (w *Worker) WaitPeersDone(timeout time.Duration) bool {
+	need := map[int]int{}
+	for _, j := range w.cfg.Graph.In(w.cfg.ID) {
+		need[j] = w.cfg.MaxIter - 1
+		if sc := w.cfg.Skip; sc != nil && sc.MaxJump > 1 {
+			need[j] = w.cfg.MaxIter - sc.MaxJump
+		}
 	}
-	need := len(in) + 1 - w.cfg.Backup
-	ups := w.uq.DequeueIterAtLeast(need, k)
-	vecs := make([][]float64, len(ups))
-	for i, u := range ups {
-		vecs[i] = u.Params
+	for _, j := range w.cfg.Graph.Out(w.cfg.ID) {
+		switch {
+		case w.cfg.MaxIG > 0:
+			need[j] = w.cfg.MaxIter
+		case w.cfg.Mode == core.ModeNotifyAck:
+			if need[j] < w.cfg.MaxIter-1 {
+				need[j] = w.cfg.MaxIter - 1
+			}
+		}
 	}
-	out := make([]float64, len(vecs[0]))
-	tensor.Mean(out, vecs)
-	return out
+	deadline := time.Now().Add(timeout)
+	for {
+		done := true
+		w.mu.Lock()
+		for j, min := range need {
+			if w.peerIter[j] < min {
+				done = false
+				break
+			}
+		}
+		w.mu.Unlock()
+		if done {
+			return true
+		}
+		if time.Now().After(deadline) {
+			return false
+		}
+		time.Sleep(time.Millisecond)
+	}
 }
 
-// recvReduceStale is §4.4 with Eq. 2 weights (see core/engine.go for
-// the shared-memory variant and the pseudocode note).
-func (w *Worker) recvReduceStale(k int, in []int) []float64 {
-	s := w.cfg.Staleness
-	minIter := k - s
-	var vecs [][]float64
-	var weights []float64
-	senders := append(append(make([]int, 0, len(in)+1), in...), w.cfg.ID)
-	for _, j := range senders {
-		newest := core.Update{Iter: -1}
-		consider := func(ups []core.Update) {
-			for _, u := range ups {
-				if u.Iter > newest.Iter {
-					newest = u
-				}
-			}
-			if newest.Iter > w.staleRecv[j] {
-				w.staleRecv[j] = newest.Iter
-			}
-		}
-		consider(w.uq.DrainFrom(j))
-		for w.staleRecv[j] < minIter {
-			consider(w.uq.WaitFrom(j))
-		}
-		if newest.Params != nil && newest.Iter >= minIter {
-			wt := newest.Iter - minIter + 1
-			if wt < 1 {
-				wt = 1
-			}
-			vecs = append(vecs, newest.Params)
-			weights = append(weights, float64(wt))
-			w.noteStaleness(k - newest.Iter)
-		}
-	}
-	out := make([]float64, len(vecs[0]))
-	tensor.WeightedMean(out, vecs, weights)
-	return out
+// LastLoss returns the most recent completed iteration's training
+// loss.
+func (w *Worker) LastLoss() float64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.lastLoss
 }
 
-// jumpTarget mirrors the engine's §5 trigger using the local grant
-// counts (count = Iter(j) − Iter(me) + max_ig).
-func (w *Worker) jumpTarget(k int, out []int) int {
-	sc := w.cfg.Skip
-	if len(out) == 0 {
-		return k + 1
-	}
-	minTok := int(^uint(0) >> 1)
-	for _, j := range out {
-		if s := w.tokens[j].Size(); s < minTok {
-			minTok = s
-		}
-	}
-	behind := minTok - w.cfg.MaxIG
-	trigger := sc.TriggerBehind
-	if trigger < 2 {
-		trigger = 2
-	}
-	if behind < trigger {
-		return k + 1
-	}
-	delta := behind
-	if delta > sc.MaxJump {
-		delta = sc.MaxJump
-	}
-	next := k + delta
-	if next > w.cfg.MaxIter {
-		next = w.cfg.MaxIter
-	}
-	if next <= k {
-		return k + 1
-	}
-	return next
-}
-
-// renewParams is the pre-jump refresh (§5).
-func (w *Worker) renewParams(kr int, in []int) {
-	x := w.cfg.Trainer.Params()
-	need := len(in) - w.cfg.Backup
-	if need < 0 {
-		need = 0
-	}
-	ups := w.uq.DequeueIterAtLeast(need, kr)
-	vecs := [][]float64{x}
-	for _, u := range ups {
-		vecs = append(vecs, u.Params)
-	}
-	reduced := make([]float64, len(x))
-	tensor.Mean(reduced, vecs)
-	tensor.Copy(x, reduced)
-}
+// Stats snapshots this worker's protocol counters (jumps, skipped
+// iterations, suppressed sends) — the same counters the simulated
+// engine aggregates.
+func (w *Worker) Stats() core.Stats { return w.proto.Stats() }
 
 // QueueSize reports the update-queue occupancy (diagnostics).
-func (w *Worker) QueueSize() int { return w.uq.Size() }
+func (w *Worker) QueueSize() int { return w.proto.Queue().Size() }
 
-func (w *Worker) noteStaleness(age int) {
-	w.mon.Lock()
-	if age > w.maxStale {
-		w.maxStale = age
-	}
-	w.mon.Unlock()
-}
+// TokenIn returns the local counter for TokenQ(j→me) (diagnostics and
+// the Theorem 2 conservation tests), or nil.
+func (w *Worker) TokenIn(j int) *core.TokenQueue { return w.proto.TokenIn(j) }
 
 // MaxObservedStaleness reports the largest k − iter over all updates a
 // bounded-staleness Reduce actually aggregated: Fig. 9 guarantees it
 // never exceeds the configured bound, however updates arrive
 // (compressed, chunked, out of order relative to tokens). It is 0 when
 // bounded staleness is disabled.
-func (w *Worker) MaxObservedStaleness() int {
-	w.mon.Lock()
-	defer w.mon.Unlock()
-	return w.maxStale
-}
+func (w *Worker) MaxObservedStaleness() int { return w.proto.MaxObservedStaleness() }
 
 // WireStats snapshots the transport's byte/frame counters (see
 // transport.Stats); feed them to metrics.Recorder.RecordWire to fold

@@ -256,7 +256,8 @@ func TestLiveStalenessBoundWithCompressedChunkedUpdates(t *testing.T) {
 			// max_ig.
 			deadline := time.Now().Add(5 * time.Second)
 			for i, w := range workers {
-				for j, tq := range w.tokens {
+				for _, j := range g.Out(i) {
+					tq := w.TokenIn(j)
 					for tq.Size() < maxIG && time.Now().Before(deadline) {
 						time.Sleep(time.Millisecond) // grants may still be in flight
 					}

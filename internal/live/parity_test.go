@@ -1,0 +1,233 @@
+package live
+
+// Protocol-parity regressions: configurations that before the
+// protocol-core extraction existed only as sim-plane tests
+// (internal/cluster, internal/core) now run on real loopback TCP —
+// NOTIFY-ACK, the serial computation graph, configurable stale
+// weighting, and the stale-weighting × skip × compression cross. All
+// run under -race in CI.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"hop/internal/compress"
+	"hop/internal/core"
+	"hop/internal/graph"
+	"hop/internal/model"
+)
+
+// TestLiveNotifyAck: the §3.3 baseline on real sockets — Send(k) gated
+// on ACK(k−1) from every out-neighbor, ACKs sent after each Reduce.
+// Formerly the live plane had no NotifyAck at all.
+func TestLiveNotifyAck(t *testing.T) {
+	g := graph.Ring(4)
+	workers := launch(t, g, func(i int) WorkerConfig {
+		return WorkerConfig{
+			Trainer: quadStart(i), Mode: core.ModeNotifyAck, Staleness: -1,
+			MaxIter: 30, Seed: 21, Logger: NopLogger(),
+		}
+	})
+	for i, w := range workers {
+		if loss := w.Trainer().EvalLoss(); loss > 0.3 {
+			t.Errorf("worker %d loss %g", i, loss)
+		}
+		st := w.WireStats()
+		// Every iteration sends one update and one ACK per out/in
+		// neighbor: frames must exceed update frames by the ACK volume.
+		if st.FramesSent < 2*st.UpdatesSent {
+			t.Errorf("worker %d: %d frames for %d updates — ACKs never flowed", i, st.FramesSent, st.UpdatesSent)
+		}
+	}
+}
+
+// TestLiveSerialGraph: the Fig. 2(a) serial computation graph
+// (compute→apply→send→reduce, exact gradients) live.
+func TestLiveSerialGraph(t *testing.T) {
+	g := graph.Ring(4)
+	workers := launch(t, g, func(i int) WorkerConfig {
+		return WorkerConfig{
+			Trainer: quadStart(i), Serial: true, Staleness: -1,
+			MaxIter: 30, Seed: 22, Logger: NopLogger(),
+		}
+	})
+	for i, w := range workers {
+		if loss := w.Trainer().EvalLoss(); loss > 0.3 {
+			t.Errorf("worker %d loss %g", i, loss)
+		}
+	}
+}
+
+// TestLiveStaleWeightingSkipCompressionMatrix crosses the three axes
+// that interact in the bounded-staleness Reduce: the §4.4 weighting
+// (linear Eq. 2, uniform, exponential), §5 skipping under a real
+// straggler, and the negotiated wire codec. Every cell must converge,
+// respect the staleness bound however updates arrive, and drop no
+// connections.
+func TestLiveStaleWeightingSkipCompressionMatrix(t *testing.T) {
+	const s = 2
+	weightings := []core.StaleWeighting{core.WeightLinear, core.WeightUniform, core.WeightExponential}
+	comps := []string{"none", "topk:0.5"}
+	for _, sw := range weightings {
+		for _, skip := range []bool{false, true} {
+			for _, cs := range comps {
+				sw, skip, cs := sw, skip, cs
+				t.Run(fmt.Sprintf("%v-skip=%v-%s", sw, skip, cs), func(t *testing.T) {
+					t.Parallel()
+					comp, err := compress.ParseSpec(cs)
+					if err != nil {
+						t.Fatal(err)
+					}
+					// 64-dim replicas so the sparse codec's realized
+					// wire ratio is not swamped by frame overhead.
+					const dim = 64
+					start := func(i int) model.Trainer {
+						x0 := make([]float64, dim)
+						target := make([]float64, dim)
+						for d := range x0 {
+							x0[d] = float64(i%3) + 0.5
+							target[d] = float64(d%5) / 5
+						}
+						return model.NewQuadratic(x0, target, 0.2, 0.02)
+					}
+					g := graph.Ring(4)
+					jumps := 0
+					var mu sync.Mutex
+					workers := launch(t, g, func(i int) WorkerConfig {
+						cfg := WorkerConfig{
+							Trainer:        start(i),
+							Staleness:      s,
+							StaleWeighting: sw,
+							MaxIG:          6,
+							Compression:    comp,
+							MaxIter:        30,
+							Seed:           int64(23 + i),
+							Logger:         NopLogger(),
+						}
+						if skip {
+							cfg.Skip = &core.SkipConfig{MaxJump: 4, TriggerBehind: 2}
+							if i == 0 {
+								cfg.ComputeDelay = func(int) time.Duration { return 4 * time.Millisecond }
+								cfg.OnJump = func(from, to int) {
+									mu.Lock()
+									jumps++
+									mu.Unlock()
+								}
+							}
+						}
+						return cfg
+					})
+					for i, w := range workers {
+						if loss := w.Trainer().EvalLoss(); loss > 0.5 {
+							t.Errorf("worker %d loss %g", i, loss)
+						}
+						if got := w.MaxObservedStaleness(); got > s {
+							t.Errorf("worker %d aggregated an update %d iterations old, bound %d", i, got, s)
+						}
+						st := w.WireStats()
+						if st.ReadErrors != 0 {
+							t.Errorf("worker %d: %d inbound connections dropped", i, st.ReadErrors)
+						}
+						if comp.Kind == compress.TopK && st.CompressionRatio() < 1.5 {
+							t.Errorf("worker %d: topk:0.5 realized only %.2fx on the wire", i, st.CompressionRatio())
+						}
+					}
+					if skip {
+						mu.Lock()
+						j := jumps
+						mu.Unlock()
+						stats := workers[0].Stats()
+						if stats.Jumps != j {
+							t.Errorf("straggler protocol stats report %d jumps, OnJump saw %d", stats.Jumps, j)
+						}
+						if j == 0 {
+							t.Log("straggler never jumped (timing-dependent); acceptable but unusual")
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestLiveAbortUnblocksWorkers: when one worker dies mid-run (its
+// transport fails), its neighbors block in Recv with nothing to wake
+// them; Abort must unwind their loops with core.ErrAborted instead of
+// leaving them hung — the mechanism RunCluster uses so a single
+// worker failure surfaces as an error, not a deadlock.
+func TestLiveAbortUnblocksWorkers(t *testing.T) {
+	g := graph.Ring(3)
+	n := g.N()
+	workers := make([]*Worker, n)
+	addrs := map[int]string{}
+	for i := 0; i < n; i++ {
+		w, err := NewWorker(WorkerConfig{
+			ID: i, Graph: g, ListenAddr: "127.0.0.1:0",
+			Trainer: quadStart(i), Staleness: -1,
+			MaxIter: 1 << 20, // far beyond what this test lets run
+			Seed:    31, Logger: NopLogger(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer w.Close()
+		workers[i] = w
+		addrs[i] = w.Addr()
+	}
+	for i, w := range workers {
+		if err := w.Connect(addrs, 5*time.Second); err != nil {
+			t.Fatalf("connect %d: %v", i, err)
+		}
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i, w := range workers {
+		wg.Add(1)
+		go func(i int, w *Worker) {
+			defer wg.Done()
+			_, errs[i] = w.Run()
+		}(i, w)
+	}
+	time.Sleep(50 * time.Millisecond)
+	workers[2].Close() // kill worker 2's transport mid-run
+	time.Sleep(50 * time.Millisecond)
+	for _, w := range workers {
+		w.Abort() // what RunCluster does on the first worker failure
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("cluster did not unwind after Abort")
+	}
+	// Nobody can have completed 1<<20 iterations: every worker must
+	// report either its own transport failure or the abort.
+	for i, err := range errs {
+		if err == nil {
+			t.Errorf("worker %d returned no error", i)
+		}
+	}
+}
+
+// TestLiveAbortBeforeRun: aborting an idle worker makes a later Run
+// return immediately.
+func TestLiveAbortBeforeRun(t *testing.T) {
+	g := graph.Ring(3)
+	w, err := NewWorker(WorkerConfig{
+		ID: 0, Graph: g, ListenAddr: "127.0.0.1:0",
+		Trainer: quadStart(0), Staleness: -1, MaxIter: 100,
+		Seed: 32, Logger: NopLogger(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	w.Abort()
+	if _, err := w.Run(); !errors.Is(err, core.ErrAborted) {
+		t.Errorf("err %v, want core.ErrAborted", err)
+	}
+}

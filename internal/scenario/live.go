@@ -1,0 +1,163 @@
+package scenario
+
+// Live execution: resolve a Spec to one live.WorkerConfig per graph
+// node and run it as a loopback TCP cluster (live.RunCluster). The
+// same declarative document that drives the deterministic simulator
+// drives real sockets — the protocol knobs, workload, topology,
+// compression and seed layering carry over verbatim, because both
+// planes execute the same core.Protocol state machine (DESIGN.md §5).
+//
+// Axes that model the environment rather than configure the protocol
+// translate differently:
+//
+//   - Hetero: the simulator replaces compute time with the modeled
+//     IterTime; live workers really compute, so only the heterogeneity
+//     surplus (factor−1)·base is injected as a real sleep, scaled by
+//     LiveOptions.TimeScale. Per-worker RNG streams use the cluster
+//     runner's exact seed layering, so a random profile slows the same
+//     (worker, iteration) pairs in both planes.
+//   - Net: link classes shape the simulated fabric only; live traffic
+//     rides the real network (loopback here).
+//   - PayloadBytes: the simulator models update size; live updates are
+//     the model's real parameter vector, compressed by the real codec.
+//   - Deadline: virtual-time only. Live execution requires MaxIter.
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"hop/internal/cluster"
+	"hop/internal/core"
+	"hop/internal/hetero"
+	"hop/internal/live"
+	"hop/internal/model"
+)
+
+// LiveOptions tune how a Spec is realized on the live runtime.
+type LiveOptions struct {
+	// TimeScale scales the injected heterogeneity delay (see package
+	// comment); 0 means 1. Tests use small scales to run straggler
+	// scenarios in milliseconds.
+	TimeScale float64
+	// DialTimeout bounds neighbor dialing; 0 means
+	// live.DefaultDialTimeout.
+	DialTimeout time.Duration
+	// Logger receives worker diagnostics; nil means the standard
+	// library logger (live.NopLogger runs quiet).
+	Logger live.Logger
+	// Trace attaches a core.Trace decision trace to every worker
+	// (read back via Worker.Trace).
+	Trace bool
+	// ExtraDelay, when non-nil, adds artificial per-iteration compute
+	// time on top of the heterogeneity surplus for worker w — the
+	// -delay knob of cmd/hopnode.
+	ExtraDelay func(w, iter int) time.Duration
+}
+
+// ResolveLive turns the spec into one live worker configuration per
+// graph node, ListenAddr defaulting to loopback-ephemeral. All
+// replicas are clones of one prototype, exactly like the simulated
+// cluster's trainer layout.
+func (s Spec) ResolveLive(o LiveOptions) ([]live.WorkerConfig, error) {
+	opts, err := s.resolveLiveOptions()
+	if err != nil {
+		return nil, err
+	}
+	n := opts.Core.Graph.N()
+	cfgs := make([]live.WorkerConfig, n)
+	for i := 0; i < n; i++ {
+		cfgs[i] = liveWorkerConfig(opts, i, o, opts.Trainer.Clone())
+	}
+	return cfgs, nil
+}
+
+// ResolveLiveWorker resolves only worker id's configuration — what one
+// hopnode process needs, without materializing the other n−1 model
+// replicas.
+func (s Spec) ResolveLiveWorker(id int, o LiveOptions) (live.WorkerConfig, error) {
+	opts, err := s.resolveLiveOptions()
+	if err != nil {
+		return live.WorkerConfig{}, err
+	}
+	if n := opts.Core.Graph.N(); id < 0 || id >= n {
+		return live.WorkerConfig{}, fmt.Errorf("scenario: worker id %d out of range for %d-worker scenario", id, n)
+	}
+	// The fresh prototype Resolve built is this worker's replica.
+	return liveWorkerConfig(opts, id, o, opts.Trainer), nil
+}
+
+// resolveLiveOptions resolves the spec and applies the live-execution
+// constraints.
+func (s Spec) resolveLiveOptions() (cluster.Options, error) {
+	opts, err := s.Resolve()
+	if err != nil {
+		return cluster.Options{}, err
+	}
+	if opts.Core.MaxIter <= 0 {
+		return cluster.Options{}, fmt.Errorf("scenario: live execution needs max_iter (deadline is virtual-time only)")
+	}
+	return opts, nil
+}
+
+// liveWorkerConfig builds worker i's live configuration from resolved
+// cluster options.
+func liveWorkerConfig(opts cluster.Options, i int, o LiveOptions, t model.Trainer) live.WorkerConfig {
+	scale := o.TimeScale
+	if scale <= 0 {
+		scale = 1
+	}
+	cfg := live.NewWorkerConfig(opts.Core, i)
+	cfg.Trainer = t
+	cfg.ListenAddr = "127.0.0.1:0"
+	cfg.Logger = o.Logger
+	if o.Trace {
+		cfg.Trace = core.NewTrace()
+	}
+	cfg.ComputeDelay = liveComputeDelay(i, opts.Compute, opts.Seed, scale, o.ExtraDelay)
+	return cfg
+}
+
+// liveComputeDelay builds worker w's injected per-iteration delay: the
+// heterogeneity surplus over the homogeneous base (the real gradient
+// computation stands in for the base itself), scaled, plus any extra.
+// Returns nil when nothing would ever be injected.
+func liveComputeDelay(w int, c hetero.Compute, seed int64, scale float64, extra func(w, iter int) time.Duration) func(int) time.Duration {
+	_, homogeneous := c.Slow.(hetero.None)
+	if c.Slow == nil {
+		homogeneous = true
+	}
+	if homogeneous && extra == nil {
+		return nil
+	}
+	// The cluster runner's slowdown seed layering, so random profiles
+	// draw identical factor sequences in both planes.
+	rng := rand.New(rand.NewSource(seed + int64(w)*104729 + 11))
+	return func(iter int) time.Duration {
+		var d time.Duration
+		if !homogeneous {
+			if surplus := c.IterTime(w, iter, rng) - c.Base; surplus > 0 {
+				d = time.Duration(float64(surplus) * scale)
+			}
+		}
+		if extra != nil {
+			d += extra(w, iter)
+		}
+		return d
+	}
+}
+
+// RunLive resolves the spec and executes it as a live loopback TCP
+// cluster. Decision traces (when LiveOptions.Trace is set) are read
+// back from result.Workers[i].Trace().
+func (s Spec) RunLive(o LiveOptions) (*live.ClusterResult, error) {
+	cfgs, err := s.ResolveLive(o)
+	if err != nil {
+		return nil, err
+	}
+	res, err := live.RunCluster(cfgs, o.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	return res, nil
+}

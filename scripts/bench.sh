@@ -1,16 +1,20 @@
 #!/usr/bin/env bash
-# bench.sh — run the compute-plane benchmark trajectory and write the
-# machine-readable result file (BENCH_gemm.json). See BENCH.md.
+# bench.sh — run the benchmark trajectory and write the
+# machine-readable result files (BENCH_gemm.json for the compute
+# plane, BENCH_live.json for the live loopback wire plane). See
+# BENCH.md.
 #
 # Usage:
-#   scripts/bench.sh                 # GEMM + codec microbenchmarks -> BENCH_gemm.json
+#   scripts/bench.sh                 # GEMM + codec micro -> BENCH_gemm.json,
+#                                    # live loopback      -> BENCH_live.json
 #   scripts/bench.sh --figures       # also smoke the figure benchmarks (benchtime=1x)
-#   BENCH_OUT=custom.json scripts/bench.sh
+#   BENCH_OUT=custom.json BENCH_LIVE_OUT=live.json scripts/bench.sh
 #
-# The JSON is a flat array of {bench, ns_per_op, allocs_per_op,
+# Each JSON is a flat array of {bench, ns_per_op, allocs_per_op,
 # bytes_per_op, mb_per_s, extra{...}} objects plus a header record with
 # host metadata, so successive runs can be diffed or plotted as a
-# trajectory.
+# trajectory. Custom go-bench metrics (updates/s, wireB/update, ...)
+# land in extra{}.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -18,13 +22,14 @@ cd "$(dirname "$0")/.."
 OUT="${BENCH_OUT:-BENCH_gemm.json}"
 BENCHTIME="${BENCH_TIME:-200x}"
 PATTERN="${BENCH_PATTERN:-Gemm|Delta|WireCompress|WireDecode|ParallelOverhead}"
-RAW="$(mktemp)"
-trap 'rm -f "$RAW"' EXIT
+LIVE_OUT="${BENCH_LIVE_OUT:-BENCH_live.json}"
+LIVE_BENCHTIME="${BENCH_LIVE_TIME:-3x}"
+LIVE_PATTERN="${BENCH_LIVE_PATTERN:-LiveLoopback}"
 
-echo "running: go test -run '^$' -bench '$PATTERN' -benchmem -benchtime=$BENCHTIME ./ ./internal/tensor/" >&2
-go test -run '^$' -bench "$PATTERN" -benchmem -benchtime="$BENCHTIME" -count=1 ./ ./internal/tensor/ | tee "$RAW" >&2
-
-awk -v out="$OUT" '
+# bench_to_json RAWFILE OUTFILE — fold `go test -bench` output into the
+# hop-bench/v1 trajectory schema.
+bench_to_json() {
+    awk -v out="$2" '
 BEGIN {
     n = 0
 }
@@ -64,9 +69,22 @@ END {
     for (i = 0; i < n; i++) printf "%s%s\n", recs[i], (i < n-1 ? "," : "") >> out
     printf "  ]\n}\n" >> out
 }
-' "$RAW"
+' "$1"
+}
 
+RAW="$(mktemp)"
+LIVE_RAW="$(mktemp)"
+trap 'rm -f "$RAW" "$LIVE_RAW"' EXIT
+
+echo "running: go test -run '^$' -bench '$PATTERN' -benchmem -benchtime=$BENCHTIME ./ ./internal/tensor/" >&2
+go test -run '^$' -bench "$PATTERN" -benchmem -benchtime="$BENCHTIME" -count=1 ./ ./internal/tensor/ | tee "$RAW" >&2
+bench_to_json "$RAW" "$OUT"
 echo "wrote $OUT" >&2
+
+echo "running: go test -run '^$' -bench '$LIVE_PATTERN' -benchtime=$LIVE_BENCHTIME ./" >&2
+go test -run '^$' -bench "$LIVE_PATTERN" -benchtime="$LIVE_BENCHTIME" -count=1 ./ | tee "$LIVE_RAW" >&2
+bench_to_json "$LIVE_RAW" "$LIVE_OUT"
+echo "wrote $LIVE_OUT" >&2
 
 if [ "${1:-}" = "--figures" ]; then
     echo "running figure smoke benchmarks (one full reproduction each)" >&2

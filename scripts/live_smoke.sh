@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# live_smoke.sh — loopback cluster smoke test: N hopnode processes on
+# 127.0.0.1, all driven by one committed scenario spec, exactly as a
+# real multi-machine deployment would be (one process per worker,
+# explicit peer list). Asserts every worker exits cleanly, reports a
+# converged final training loss, and drops no inbound connections.
+#
+# Usage:
+#   scripts/live_smoke.sh
+#   SMOKE_SPEC=path.json SMOKE_PORT_BASE=29800 scripts/live_smoke.sh
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SPEC="${SMOKE_SPEC:-examples/scenarios/smoke-ring4.json}"
+PORT_BASE="${SMOKE_PORT_BASE:-29750}"
+N="${SMOKE_WORKERS:-4}"
+LOSS_MAX="${SMOKE_LOSS_MAX:-0.5}"
+
+WORKDIR="$(mktemp -d)"
+cleanup() {
+    # shellcheck disable=SC2046
+    kill $(jobs -p) 2>/dev/null || true
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+echo "building hopnode" >&2
+go build -o "$WORKDIR/hopnode" ./cmd/hopnode
+
+PEERS=""
+for i in $(seq 0 $((N - 1))); do
+    PEERS="${PEERS}${PEERS:+,}$i=127.0.0.1:$((PORT_BASE + i))"
+done
+
+echo "launching $N workers from $SPEC (peers $PEERS)" >&2
+pids=()
+for i in $(seq 0 $((N - 1))); do
+    "$WORKDIR/hopnode" -scenario "$SPEC" -id "$i" \
+        -listen "127.0.0.1:$((PORT_BASE + i))" -peers "$PEERS" \
+        > "$WORKDIR/worker$i.log" 2>&1 &
+    pids+=($!)
+done
+
+fail=0
+for i in "${!pids[@]}"; do
+    if ! wait "${pids[$i]}"; then
+        echo "FAIL: worker $i exited non-zero" >&2
+        fail=1
+    fi
+done
+
+for i in $(seq 0 $((N - 1))); do
+    log="$WORKDIR/worker$i.log"
+    if ! grep -q "finished" "$log"; then
+        echo "FAIL: worker $i never finished" >&2
+        fail=1
+        continue
+    fi
+    loss=$(awk '/final train loss/ { print $NF }' "$log")
+    ok=$(awk -v l="$loss" -v max="$LOSS_MAX" 'BEGIN { print (l+0 <= max+0) ? 1 : 0 }')
+    if [ "$ok" != 1 ]; then
+        echo "FAIL: worker $i final train loss $loss > $LOSS_MAX" >&2
+        fail=1
+    fi
+    readerrs=$(awk '/read errors/ { sub(/.*read errors /, ""); print $1 }' "$log")
+    if [ "${readerrs:-missing}" != 0 ]; then
+        echo "FAIL: worker $i read errors: ${readerrs:-missing}" >&2
+        fail=1
+    fi
+done
+
+if [ "$fail" != 0 ]; then
+    echo "--- worker logs ---" >&2
+    cat "$WORKDIR"/worker*.log >&2
+    exit 1
+fi
+echo "live smoke OK: $N workers converged, zero read errors" >&2
