@@ -20,6 +20,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -55,6 +56,7 @@ func main() {
 		chunk     = flag.Int("chunk-bytes", 0, "max wire payload bytes per frame (0 = transport default)")
 		seed      = flag.Int64("seed", 1, "scenario seed")
 		delay     = flag.Duration("delay", 0, "artificial extra compute time per iteration")
+		rejoin    = flag.Bool("rejoin", false, "rejoin a running cluster as a restarted worker (clears this worker's own crash schedule)")
 	)
 	flag.Parse()
 	hop.SetComputeWorkers(*cworkers)
@@ -138,6 +140,11 @@ func main() {
 	}
 	cfg.ListenAddr = *listen
 	cfg.WireChunkBytes = *chunk
+	if *rejoin {
+		cfg.Rejoin = true
+		cfg.CrashIter = 0
+		cfg.RestartAfter = 0
+	}
 	cfg.OnIteration = func(iter int, loss float64) {
 		if iter%10 == 0 {
 			fmt.Printf("worker %d: iteration %d, train loss %.4f\n", *id, iter, loss)
@@ -161,6 +168,13 @@ func main() {
 	}
 	start := time.Now()
 	loss, err := w.Run()
+	if errors.Is(err, hop.ErrCrashed) {
+		// A scheduled fault is an intentional outcome: exit cleanly so
+		// the deferred Close announces the death to the neighbors, which
+		// reform the graph and keep training.
+		fmt.Printf("worker %d halted by scheduled fault at iteration %d\n", *id, cfg.CrashIter)
+		return
+	}
 	if err != nil {
 		fail(err)
 	}

@@ -133,6 +133,11 @@ func NewBounds(cfg Config) *Bounds { return core.NewBounds(cfg) }
 // Unbounded marks an infinite Table 1 bound.
 const Unbounded = core.Unbounded
 
+// ErrCrashed reports a worker halted by its scheduled fault
+// (Config.Faults / a scenario's fault axis) — an intentional outcome
+// under fault tolerance, not a failure.
+var ErrCrashed = core.ErrCrashed
+
 // CompressionSpec selects the live runtime's wire codec for update
 // payloads ("none", "float32", "topk[:ratio]"); see ParseCompression.
 type CompressionSpec = compress.Spec

@@ -10,11 +10,13 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
 
 	"hop/internal/core"
+	"hop/internal/graph"
 	"hop/internal/hetero"
 	"hop/internal/metrics"
 	"hop/internal/model"
@@ -70,6 +72,20 @@ type Result struct {
 	Deadlock error
 }
 
+// graphNeighbors returns w's graph neighbors (in ∪ out) in
+// deterministic order — the recipients of w's death notice.
+func graphNeighbors(g *graph.Graph, w int) []int {
+	seen := make(map[int]bool)
+	var out []int
+	for _, j := range append(append([]int(nil), g.In(w)...), g.Out(w)...) {
+		if !seen[j] {
+			seen[j] = true
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
 // monitor adapts the sim kernel to core.Monitor: the kernel runs one
 // process at a time, so Lock/Unlock are no-ops and condition variables
 // are kernel conds.
@@ -114,7 +130,7 @@ func (h *host) Send(src, dst int, u core.Update) {
 }
 
 func (h *host) SendAck(src, dst, iter int) {
-	h.fabric.Deliver(src, dst, h.ack, func() { h.engine.DeliverAck(dst, iter) })
+	h.fabric.Deliver(src, dst, h.ack, func() { h.engine.DeliverAck(dst, src, iter) })
 }
 
 // Run executes the configured cluster and returns its results.
@@ -195,11 +211,52 @@ func Run(opts Options) (*Result, error) {
 	}
 	h.engine = eng
 
-	for w := 0; w < n; w++ {
-		w := w
-		h.procs[w] = k.Spawn(fmt.Sprintf("worker-%d", w), func(p *sim.Proc) {
-			eng.RunWorker(w)
+	// dead tracks currently-crashed workers, so a restarted worker can
+	// be told about peers that died before it existed. Kernel callbacks
+	// run single-threaded, so no locking.
+	dead := make(map[int]bool)
+	var spawnWorker func(w int, rejoined bool)
+	spawnWorker = func(w int, rejoined bool) {
+		name := fmt.Sprintf("worker-%d", w)
+		if rejoined {
+			name = fmt.Sprintf("worker-%d-rejoin", w)
+		}
+		h.procs[w] = k.Spawn(name, func(p *sim.Proc) {
+			err := eng.RunWorker(w)
+			if err == nil || !errors.Is(err, core.ErrCrashed) || !cfg.FaultTolerance {
+				// Without FaultTolerance a crash simply wedges the
+				// neighbors — the kernel's deadlock detector reports it,
+				// reproducing the pre-fault fail-stop model.
+				return
+			}
+			dead[w] = true
+			// Death notices ride the fabric to every graph neighbor as
+			// metadata-sized frames: per-(src,dst) arrival order is
+			// monotone, so the notice lands after everything the worker
+			// sent before dying.
+			for _, j := range graphNeighbors(cfg.Graph, w) {
+				j := j
+				fabric.Deliver(w, j, opts.AckBytes, func() { eng.Worker(j).DeclarePeerDead(w) })
+			}
+			if f := cfg.Faults[w]; f.RestartAfter > 0 {
+				k.After(f.RestartAfter, func() {
+					if err := eng.RestartWorker(w); err != nil {
+						panic(fmt.Sprintf("cluster: restart worker %d: %v", w, err))
+					}
+					delete(dead, w)
+					// Peers that died before this worker restarted are
+					// unknown to the fresh instance; tell it directly so
+					// its rejoin handshake skips them.
+					for d := range dead {
+						eng.Worker(w).DeclarePeerDead(d)
+					}
+					spawnWorker(w, true)
+				})
+			}
 		})
+	}
+	for w := 0; w < n; w++ {
+		spawnWorker(w, false)
 	}
 
 	runErr := k.RunUntil(opts.Deadline)

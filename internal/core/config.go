@@ -84,6 +84,17 @@ func (sw StaleWeighting) weight(fresh int) float64 {
 	}
 }
 
+// FaultSchedule is one worker's scheduled fault (DESIGN.md §6).
+type FaultSchedule struct {
+	// CrashIter halts the worker at the start of this iteration
+	// (before any send or compute); 0 means the worker never crashes.
+	CrashIter int
+	// RestartAfter, when > 0, restarts the crashed worker as a fresh
+	// rejoining participant this long after the crash. Requires
+	// CrashIter > 0 and FaultTolerance.
+	RestartAfter time.Duration
+}
+
 // SkipConfig enables skipping iterations (§5) for deterministic
 // stragglers.
 type SkipConfig struct {
@@ -145,6 +156,39 @@ type Config struct {
 	// MaxIter stops each worker after this many iterations; 0 means
 	// run until the host's deadline.
 	MaxIter int
+
+	// FaultTolerance makes worker death survivable: when a peer is
+	// declared dead (DeclarePeerDead), the protocol reforms its
+	// iteration graph around the departed peer instead of blocking
+	// forever — it drops the peer from the in/out-neighbor sets,
+	// releases the peer's token queue and pending NOTIFY-ACK edges,
+	// and records a membership event in the decision trace
+	// (DESIGN.md §6). Off, a dead peer wedges its neighbors — the
+	// pre-fault fail-stop model.
+	FaultTolerance bool
+
+	// Faults, when non-nil, holds one scheduled fault per worker
+	// (len = n; the zero FaultSchedule means no fault). Crashes fire
+	// without FaultTolerance too — the run then fails rather than
+	// reforms — which is how the abort-path regression tests drive a
+	// real mid-run death.
+	Faults []FaultSchedule
+
+	// Rejoin marks this protocol instance a restarted worker: before
+	// its first iteration it announces itself to its neighbors,
+	// observes their current iterations, and fast-forwards to one past
+	// the newest (DESIGN.md §6.3). Requires FaultTolerance. Meaningful
+	// per instance, not per cluster — a restart constructs a new
+	// Protocol with Rejoin set.
+	Rejoin bool
+
+	// OnMembership, when non-nil, is called when worker w applies a
+	// membership change: ev.Kind is TraceDeath or TraceJoin, ev.From
+	// the peer, ev.Iter the worker's current iteration. Called with
+	// the cluster monitor held — it must not block or re-enter the
+	// protocol (spawn a goroutine for real work, as the live runtime
+	// does to redial a rejoined peer).
+	OnMembership func(w int, ev TraceEvent)
 
 	// Trainers holds one model replica per worker. All replicas must
 	// start from identical parameters (x0,i = p0, Fig. 4).
@@ -225,6 +269,26 @@ func (c *Config) ValidateProtocol() error {
 	}
 	if c.Mode == ModeNotifyAck && (c.MaxIG > 0 || c.Backup > 0 || c.Staleness >= 0 || c.Skip != nil) {
 		return fmt.Errorf("core: NOTIFY-ACK is the fixed-gap baseline; token queues, backup workers, staleness and skipping do not compose with it (§3.4-3.5)")
+	}
+	if c.Faults != nil && len(c.Faults) != n {
+		return fmt.Errorf("core: %d fault schedules for %d workers", len(c.Faults), n)
+	}
+	for i, f := range c.Faults {
+		if f.CrashIter < 0 {
+			return fmt.Errorf("core: worker %d has negative crash iteration %d", i, f.CrashIter)
+		}
+		if f.RestartAfter < 0 {
+			return fmt.Errorf("core: worker %d has negative restart delay %v", i, f.RestartAfter)
+		}
+		if f.RestartAfter > 0 && f.CrashIter == 0 {
+			return fmt.Errorf("core: worker %d has a restart delay but no crash iteration", i)
+		}
+		if f.RestartAfter > 0 && !c.FaultTolerance {
+			return fmt.Errorf("core: worker %d restarts, which requires FaultTolerance (rejoin needs elastic membership)", i)
+		}
+	}
+	if c.Rejoin && !c.FaultTolerance {
+		return fmt.Errorf("core: Rejoin requires FaultTolerance")
 	}
 	return nil
 }

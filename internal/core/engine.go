@@ -84,8 +84,9 @@ func (r *engineRuntime) ObserveAdvance(iter int) { r.e.gaps.Advance(r.w, iter) }
 // Deliver enqueues a network-delivered update at worker dst.
 func (e *Engine) Deliver(dst int, u Update) { e.workers[dst].Deliver(u) }
 
-// DeliverAck records a network-delivered NOTIFY-ACK at worker dst.
-func (e *Engine) DeliverAck(dst, iter int) { e.workers[dst].DeliverAck(iter) }
+// DeliverAck records a network-delivered NOTIFY-ACK from sender from
+// at worker dst.
+func (e *Engine) DeliverAck(dst, from, iter int) { e.workers[dst].DeliverAck(from, iter) }
 
 // Worker returns worker w's protocol instance.
 func (e *Engine) Worker(w int) *Protocol { return e.workers[w] }
@@ -110,6 +111,8 @@ func (e *Engine) Stats() Stats {
 		total.StaleDiscarded += s.StaleDiscarded
 		total.Jumps += s.Jumps
 		total.IterationsSkipped += s.IterationsSkipped
+		total.PeersLost += s.PeersLost
+		total.PeersJoined += s.PeersJoined
 	}
 	return total
 }
@@ -121,5 +124,28 @@ func (e *Engine) Bounds() *Bounds { return NewBounds(e.cfg) }
 // the host kills the process at its deadline). It must run on the
 // process/goroutine the host associates with w. The simulator never
 // aborts protocols (the kernel kills processes at its deadline
-// instead), so the abort error cannot occur here.
-func (e *Engine) RunWorker(w int) { _ = e.workers[w].Run() }
+// instead), so the only error here is ErrCrashed from a scheduled
+// fault — the host's cue to issue death notices (and maybe a restart).
+func (e *Engine) RunWorker(w int) error { return e.workers[w].Run() }
+
+// RestartWorker replaces worker w's protocol instance with a fresh
+// rejoining participant: same trainer (parameters as of the crash),
+// same decision trace, fresh queues, Config.Rejoin set and the crash
+// schedule cleared. The host then runs RunWorker(w) again on a new
+// process; in-flight deliveries resolve the worker at delivery time,
+// so they land on the new instance.
+func (e *Engine) RestartWorker(w int) error {
+	cfg := e.cfg
+	cfg.Rejoin = true
+	cfg.Faults = nil
+	var tr *Trace
+	if cfg.Tracers != nil {
+		tr = cfg.Tracers[w]
+	}
+	p, err := NewProtocol(cfg, w, e.cfg.Trainers[w], e.mon, &engineRuntime{e: e, w: w}, tr)
+	if err != nil {
+		return err
+	}
+	e.workers[w] = p
+	return nil
+}

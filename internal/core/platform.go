@@ -107,4 +107,6 @@ type Stats struct {
 	StaleDiscarded    int // stale updates dropped at dequeue (§6.1/§6.2)
 	Jumps             int // skip-iteration jumps executed (§5)
 	IterationsSkipped int // total iterations jumped over
+	PeersLost         int // peers removed from the iteration graph (DESIGN.md §6)
+	PeersJoined       int // peers re-admitted after a restart
 }

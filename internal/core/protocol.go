@@ -114,9 +114,29 @@ type Protocol struct {
 	// (staleness bookkeeping, Fig. 9); owned by the Run loop.
 	iterRecv []int
 
-	in, out []int
-	rng     *rand.Rand
-	trace   *Trace
+	// in and out are the live neighbor views the iteration loop reads.
+	// Without fault tolerance they alias the immutable graph sets gin
+	// and gout; membership changes (membership.go) replace them with
+	// fresh filtered slices — only ever on the Run goroutine, under mon
+	// — so the graph's shared adjacency slices are never mutated.
+	in, out   []int
+	gin, gout []int
+	gnbrs     []int // gin ∪ gout, deterministic order
+
+	rng   *rand.Rand
+	trace *Trace
+
+	// crashIter is this worker's scheduled halt (0 = none).
+	crashIter int
+
+	// Elastic-membership state (membership.go); guarded by mon, nil
+	// maps when fault tolerance is off.
+	deadIn, deadOut map[int]bool
+	pendingDead     map[int]bool
+	pendingJoin     map[int]bool
+	joinFirst       map[int]int
+	joinLogged      map[int]bool
+	curIter         int
 
 	// stats and maxStale are guarded by mon.
 	stats    Stats
@@ -148,6 +168,9 @@ func NewProtocol(cfg Config, id int, t model.Trainer, mon Monitor, rt Runtime, t
 		rng:     rand.New(rand.NewSource(cfg.Seed + int64(id)*7919 + 1)),
 		trace:   tr,
 	}
+	p.gin, p.gout = p.in, p.out
+	p.gnbrs = append(append(make([]int, 0, len(p.gin)+len(p.gout)), p.gin...), p.gout...)
+	p.gnbrs = dedupInts(p.gnbrs)
 	p.iterRecv = make([]int, n)
 	for j := range p.iterRecv {
 		p.iterRecv[j] = -1
@@ -158,7 +181,31 @@ func NewProtocol(cfg Config, id int, t model.Trainer, mon Monitor, rt Runtime, t
 			p.tokens[j] = NewTokenQueue(mon, cfg.MaxIG)
 		}
 	}
+	if cfg.Faults != nil {
+		p.crashIter = cfg.Faults[id].CrashIter
+	}
+	if cfg.FaultTolerance {
+		p.deadIn = make(map[int]bool)
+		p.deadOut = make(map[int]bool)
+		p.pendingDead = make(map[int]bool)
+		p.pendingJoin = make(map[int]bool)
+		p.joinFirst = make(map[int]int)
+		p.joinLogged = make(map[int]bool)
+	}
 	return p, nil
+}
+
+// dedupInts removes duplicates preserving first-occurrence order.
+func dedupInts(xs []int) []int {
+	seen := make(map[int]bool, len(xs))
+	out := xs[:0]
+	for _, x := range xs {
+		if !seen[x] {
+			seen[x] = true
+			out = append(out, x)
+		}
+	}
+	return out
 }
 
 // ID returns the worker id this protocol instance runs as.
@@ -179,16 +226,24 @@ func (p *Protocol) Abort() {
 }
 
 // Deliver enqueues a network-delivered update.
-func (p *Protocol) Deliver(u Update) { p.queue.Enqueue(u) }
+func (p *Protocol) Deliver(u Update) {
+	p.noteAlive(u.From, u.Iter, true)
+	p.queue.Enqueue(u)
+}
 
-// DeliverAck records a network-delivered NOTIFY-ACK for iter.
-func (p *Protocol) DeliverAck(iter int) { p.acks.Deliver(iter) }
+// DeliverAck records a network-delivered NOTIFY-ACK from sender from
+// for iter.
+func (p *Protocol) DeliverAck(from, iter int) {
+	p.noteAlive(from, 0, false)
+	p.acks.Deliver(from, iter)
+}
 
 // DeliverTokens feeds count tokens granted by out-going neighbor from
 // into the local TokenQ(from→me) counter. Grants from workers this
 // protocol holds no queue for are ignored (the live wire may present
 // them; the simulator never does).
 func (p *Protocol) DeliverTokens(from, count int) {
+	p.noteAlive(from, 0, false)
 	if tq, ok := p.tokens[from]; ok {
 		tq.Put(count)
 	}
@@ -221,10 +276,15 @@ func (p *Protocol) MaxObservedStaleness() int {
 // ErrAborted is returned by Run when Abort tore the worker down.
 var ErrAborted = errors.New("core: protocol run aborted")
 
+// ErrCrashed is returned by Run when a scheduled fault (Config.Faults)
+// halted this worker mid-run.
+var ErrCrashed = errors.New("core: worker halted by scheduled fault")
+
 // Run executes the training loop until MaxIter (or until the runtime
 // kills the worker at its deadline), returning ErrAborted if Abort
-// unwound it. It must run on the process/goroutine the runtime
-// associates with this worker.
+// unwound it and ErrCrashed if a scheduled fault halted it. It must
+// run on the process/goroutine the runtime associates with this
+// worker.
 func (p *Protocol) Run() (err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -235,17 +295,28 @@ func (p *Protocol) Run() (err error) {
 			panic(r) // runtime shells' own sentinels (and real bugs)
 		}
 	}()
-	p.run()
-	return nil
+	return p.run()
 }
 
-func (p *Protocol) run() {
+func (p *Protocol) run() error {
 	cfg := &p.cfg
 	k := 0
+	if cfg.Rejoin {
+		k = p.joinSync()
+	}
 	for cfg.MaxIter == 0 || k < cfg.MaxIter {
 		if p.queue.isClosed() {
 			panic(errAborted{})
 		}
+		if p.crashIter > 0 && k >= p.crashIter {
+			// The scheduled halt lands at the top of the iteration —
+			// before any send or compute — so the final update the
+			// crashed worker contributed is tagged crashIter−1 on both
+			// planes: a deterministic cut.
+			p.trace.crash(k)
+			return ErrCrashed
+		}
+		p.applyMembership(k)
 		p.rt.ObserveAdvance(k)
 		p.trace.advance(k)
 		switch {
@@ -275,8 +346,8 @@ func (p *Protocol) run() {
 		}
 		if cfg.MaxIG > 0 {
 			delta := next - k
-			for _, j := range p.out {
-				p.tokens[j].Take(delta)
+			for _, j := range p.outSnapshot() {
+				p.tokens[j].takeOr(delta, p.tokenBlockHook(j))
 			}
 			for _, j := range p.in {
 				p.rt.GrantTokens(j, next, delta)
@@ -284,6 +355,7 @@ func (p *Protocol) run() {
 		}
 		k = next
 	}
+	return nil
 }
 
 // iterParallel is the parallel computation graph of Fig. 2(b): Send
@@ -360,15 +432,16 @@ func (p *Protocol) iterNotifyAck(k int) {
 	p.rt.SleepUntil(start + d)
 	t.Apply(grads)
 
-	// Send(k) is gated on the previous iteration's ACKs.
-	p.acks.WaitFor(k-1, len(p.out))
+	// Send(k) is gated on the previous iteration's ACKs; a dead
+	// neighbor's pending edge is released rather than waited on.
+	p.acks.waitForOr(k-1, func() []int { return p.out }, p.ackBlockHook(k-1))
 	snap := tensor.Clone(x)
 	p.queue.Enqueue(Update{Params: snap, Iter: k, From: p.id})
 	for _, j := range p.out {
 		p.rt.Send(j, Update{Params: snap, Iter: k, From: p.id})
 	}
 
-	ups := p.queue.DequeueIterAtLeast(len(p.in)+1, k)
+	ups := p.queue.dequeueIterOr(k, func() int { return len(p.in) + 1 }, p.reduceBlockHook(k))
 	reduced := meanParams(ups)
 	tensor.Copy(x, reduced)
 
@@ -401,8 +474,17 @@ func (p *Protocol) recvReduce(k int) []float64 {
 	if p.cfg.Staleness >= 0 {
 		return p.recvReduceStale(k)
 	}
-	need := len(p.in) + 1 - p.cfg.Backup // self included (§3.1)
-	ups := p.queue.DequeueIterAtLeast(need, k)
+	need := func() int {
+		// Self included (§3.1); re-evaluated per pass because a peer
+		// death shrinks the in-set mid-wait. The floor keeps a worker
+		// whose every in-neighbor died training solo on its own update.
+		n := len(p.in) + 1 - p.cfg.Backup
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	ups := p.queue.dequeueIterOr(k, need, p.reduceBlockHook(k))
 	return meanParams(ups)
 }
 
@@ -437,7 +519,8 @@ func (p *Protocol) recvReduceStale(k int) []float64 {
 
 // newestFrom drains sender j's queued updates, keeps the newest, and
 // blocks until the newest iteration ever received from j reaches
-// minIter (the Fig. 9 staleness gate).
+// minIter (the Fig. 9 staleness gate). If j dies mid-wait the wait is
+// abandoned and whatever was drained is returned.
 func (p *Protocol) newestFrom(j, minIter int) Update {
 	newest := Update{Iter: -1}
 	consider := func(ups []Update) {
@@ -452,7 +535,11 @@ func (p *Protocol) newestFrom(j, minIter int) Update {
 	}
 	consider(p.queue.DrainFrom(j))
 	for p.iterRecv[j] < minIter {
-		consider(p.queue.WaitFrom(j))
+		ups, ok := p.queue.waitFromOr(j, p.senderGoneHook(j))
+		if !ok {
+			break
+		}
+		consider(ups)
 	}
 	return newest
 }
@@ -521,11 +608,14 @@ func (p *Protocol) renewParams(kr int) {
 		tensor.Copy(x, reduced)
 		return
 	}
-	need := len(p.in) - p.cfg.Backup
-	if need < 0 {
-		need = 0
+	need := func() int {
+		n := len(p.in) - p.cfg.Backup
+		if n < 0 {
+			n = 0
+		}
+		return n
 	}
-	ups := p.queue.DequeueIterAtLeast(need, kr)
+	ups := p.queue.dequeueIterOr(kr, need, p.reduceBlockHook(kr))
 	vecs := make([][]float64, 0, len(ups)+1)
 	vecs = append(vecs, x)
 	for _, u := range ups {

@@ -108,11 +108,23 @@ func (q *UpdateQueue) countIterLocked(iter int) int {
 // composition of the two dequeues in the backup-worker Recv (Fig. 8):
 // the needed updates plus any extras already available.
 func (q *UpdateQueue) DequeueIterAtLeast(need, iter int) []Update {
+	return q.dequeueIterOr(iter, func() int { return need }, nil)
+}
+
+// dequeueIterOr is DequeueIterAtLeast with membership hooks: need is
+// re-evaluated every pass (a peer death shrinks the requirement), and
+// onBlock — called with the monitor held just before the wait would
+// block — may change queue or membership state; returning true
+// re-evaluates immediately instead of waiting.
+func (q *UpdateQueue) dequeueIterOr(iter int, need func() int, onBlock func() bool) []Update {
 	q.mon.Lock()
 	defer q.mon.Unlock()
-	for q.countIterLocked(iter) < need {
+	for q.countIterLocked(iter) < need() {
 		if q.closed {
 			panic(errAborted{})
+		}
+		if onBlock != nil && onBlock() {
+			continue
 		}
 		q.cond.Wait()
 	}
@@ -160,17 +172,40 @@ func (q *UpdateQueue) drainFromLocked(wid int) []Update {
 // WaitFrom blocks until at least one entry from sender w_id is
 // present, then drains and returns all of them.
 func (q *UpdateQueue) WaitFrom(wid int) []Update {
+	out, _ := q.waitFromOr(wid, nil)
+	return out
+}
+
+// waitFromOr is WaitFrom with a give-up hook, called with the monitor
+// held before each wait; returning true abandons the wait (nil, false)
+// — the sender is gone and no more data is coming.
+func (q *UpdateQueue) waitFromOr(wid int, giveUp func() bool) ([]Update, bool) {
 	q.mon.Lock()
 	defer q.mon.Unlock()
 	for {
 		if out := q.drainFromLocked(wid); len(out) > 0 {
-			return out
+			return out, true
 		}
 		if q.closed {
 			panic(errAborted{})
 		}
+		if giveUp != nil && giveUp() {
+			return nil, false
+		}
 		q.cond.Wait()
 	}
+}
+
+// hasIterFromLocked reports whether an entry tagged exactly iter from
+// sender wid is queued — the guard that keeps a peer's already-arrived
+// final update consumable after its death notice lands (DESIGN.md §6).
+func (q *UpdateQueue) hasIterFromLocked(wid, iter int) bool {
+	for _, u := range q.slots[q.slotOf(iter)] {
+		if u.From == wid && u.Iter == iter {
+			return true
+		}
+	}
+	return false
 }
 
 // close marks the queue aborted: blocked and future waiters unwind
@@ -244,6 +279,7 @@ type TokenQueue struct {
 
 	tokens    int
 	highWater int
+	released  bool // owner left the graph: takes pass freely
 	closed    bool
 }
 
@@ -268,17 +304,55 @@ func (t *TokenQueue) Put(n int) {
 }
 
 // Take removes n tokens, blocking until they are available (the
-// in-neighbor does this to advance).
+// in-neighbor does this to advance). A released queue — its owner left
+// the graph — admits any take without blocking or counting.
 func (t *TokenQueue) Take(n int) {
+	t.takeOr(n, nil)
+}
+
+// takeOr is Take with an onBlock hook, called with the monitor held
+// just before the wait would block; returning true re-evaluates
+// immediately (the hook may have released this queue).
+func (t *TokenQueue) takeOr(n int, onBlock func() bool) {
 	t.mon.Lock()
 	defer t.mon.Unlock()
-	for t.tokens < n {
+	for !t.released && t.tokens < n {
 		if t.closed {
 			panic(errAborted{})
 		}
+		if onBlock != nil && onBlock() {
+			continue
+		}
 		t.cond.Wait()
 	}
+	if t.released {
+		return
+	}
 	t.tokens -= n
+}
+
+// releaseLocked marks the owner dead: current and future takes return
+// immediately — the Theorem 2 invariant is dissolved for this edge and
+// re-established over the surviving set (DESIGN.md §6). Caller holds
+// the monitor.
+func (t *TokenQueue) releaseLocked() {
+	t.released = true
+	t.cond.Broadcast()
+}
+
+// resetLocked rearms a released queue with a fresh initial count when
+// its owner rejoins. Caller holds the monitor.
+func (t *TokenQueue) resetLocked(initial int) {
+	t.released = false
+	t.tokens = initial
+	t.cond.Broadcast()
+}
+
+// Released reports whether the queue's owner left the graph.
+func (t *TokenQueue) Released() bool {
+	t.mon.Lock()
+	defer t.mon.Unlock()
+	return t.released
 }
 
 // close marks the queue aborted (see UpdateQueue.close).
@@ -308,46 +382,79 @@ func (t *TokenQueue) HighWater() int {
 
 // --- AckTracker --------------------------------------------------------
 
-// AckTracker counts NOTIFY-ACK acknowledgments per iteration for one
+// AckTracker records NOTIFY-ACK acknowledgments per iteration for one
 // worker (§3.3): a worker may not Send(k) until it holds ACK(k-1) from
-// all out-going neighbors.
+// all out-going neighbors. Acks are tracked per sender so a dead
+// neighbor's pending edge can be released without miscounting.
 type AckTracker struct {
 	mon  Monitor
 	cond Cond
 
-	acks   map[int]int
+	acks   map[int]map[int]bool // iter → set of acked senders
 	closed bool
 }
 
 // NewAckTracker creates an empty tracker.
 func NewAckTracker(mon Monitor) *AckTracker {
-	return &AckTracker{mon: mon, cond: mon.NewCond(), acks: make(map[int]int)}
+	return &AckTracker{mon: mon, cond: mon.NewCond(), acks: make(map[int]map[int]bool)}
 }
 
-// Deliver records one ACK for iteration iter.
-func (a *AckTracker) Deliver(iter int) {
+// Deliver records sender from's ACK for iteration iter.
+func (a *AckTracker) Deliver(from, iter int) {
 	a.mon.Lock()
 	defer a.mon.Unlock()
-	a.acks[iter]++
+	set := a.acks[iter]
+	if set == nil {
+		set = make(map[int]bool)
+		a.acks[iter] = set
+	}
+	set[from] = true
 	a.cond.Broadcast()
 }
 
-// WaitFor blocks until want ACKs for iteration iter have arrived, then
-// forgets the iteration. Iterations below zero return immediately
+// WaitFor blocks until every worker in want has acked iteration iter,
+// then forgets the iteration. Iterations below zero return immediately
 // (there is nothing to acknowledge before the first Send).
-func (a *AckTracker) WaitFor(iter, want int) {
-	if iter < 0 || want == 0 {
+func (a *AckTracker) WaitFor(iter int, want []int) {
+	a.waitForOr(iter, func() []int { return want }, nil)
+}
+
+// waitForOr is WaitFor with membership hooks: want is re-evaluated
+// every pass (a peer death releases its pending edge), and onBlock —
+// called with the monitor held before the wait would block — may
+// change membership; returning true re-evaluates immediately.
+func (a *AckTracker) waitForOr(iter int, want func() []int, onBlock func() bool) {
+	if iter < 0 {
 		return
 	}
 	a.mon.Lock()
 	defer a.mon.Unlock()
-	for a.acks[iter] < want {
+	for {
+		missing := false
+		for _, j := range want() {
+			if !a.acks[iter][j] {
+				missing = true
+				break
+			}
+		}
+		if !missing {
+			delete(a.acks, iter)
+			return
+		}
 		if a.closed {
 			panic(errAborted{})
 		}
+		if onBlock != nil && onBlock() {
+			continue
+		}
 		a.cond.Wait()
 	}
-	delete(a.acks, iter)
+}
+
+// hasLocked reports whether sender from has acked iteration iter.
+// Caller holds the monitor.
+func (a *AckTracker) hasLocked(iter, from int) bool {
+	return a.acks[iter][from]
 }
 
 // close marks the tracker aborted (see UpdateQueue.close).

@@ -167,16 +167,22 @@ func TestTokenQueueTakeBlocks(t *testing.T) {
 
 func TestAckTracker(t *testing.T) {
 	a := NewAckTracker(NewSyncMonitor())
-	a.WaitFor(-1, 3) // nothing to wait for before iteration 0
-	a.Deliver(0)
+	a.WaitFor(-1, []int{1, 2, 3}) // nothing to wait for before iteration 0
+	a.Deliver(1, 0)
 	done := make(chan struct{})
-	go func() { a.WaitFor(0, 2); close(done) }()
+	go func() { a.WaitFor(0, []int{1, 2}); close(done) }()
 	select {
 	case <-done:
 		t.Fatal("WaitFor returned with 1 of 2 acks")
 	case <-time.After(20 * time.Millisecond):
 	}
-	a.Deliver(0)
+	a.Deliver(1, 0) // duplicate from the same sender must not satisfy it
+	select {
+	case <-done:
+		t.Fatal("WaitFor satisfied by duplicate ack")
+	case <-time.After(20 * time.Millisecond):
+	}
+	a.Deliver(2, 0)
 	select {
 	case <-done:
 	case <-time.After(time.Second):

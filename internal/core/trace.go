@@ -29,6 +29,18 @@ const (
 	// Iter excluding sender From (no fresh-enough update arrived this
 	// iteration).
 	TraceStaleSkip
+	// TraceCrash records this worker halting at iteration Iter under a
+	// scheduled fault (Config.Faults).
+	TraceCrash
+	// TraceDeath records peer From being removed from the iteration
+	// graph while this worker was at iteration Iter (DESIGN.md §6).
+	TraceDeath
+	// TraceJoin records peer From being re-admitted to the iteration
+	// graph at iteration Iter.
+	TraceJoin
+	// TraceRejoin records this worker rejoining the cluster at
+	// iteration Iter after a restart (Config.Rejoin).
+	TraceRejoin
 )
 
 func (k TraceKind) String() string {
@@ -39,6 +51,14 @@ func (k TraceKind) String() string {
 		return "jump"
 	case TraceStaleSkip:
 		return "stale-skip"
+	case TraceCrash:
+		return "crash"
+	case TraceDeath:
+		return "death"
+	case TraceJoin:
+		return "join"
+	case TraceRejoin:
+		return "rejoin"
 	}
 	return fmt.Sprintf("trace(%d)", uint8(k))
 }
@@ -62,6 +82,14 @@ func (e TraceEvent) String() string {
 		return fmt.Sprintf("J%d>%d", e.From, e.Iter)
 	case TraceStaleSkip:
 		return fmt.Sprintf("S%d@%d", e.From, e.Iter)
+	case TraceCrash:
+		return fmt.Sprintf("X@%d", e.Iter)
+	case TraceDeath:
+		return fmt.Sprintf("D%d@%d", e.From, e.Iter)
+	case TraceJoin:
+		return fmt.Sprintf("R%d@%d", e.From, e.Iter)
+	case TraceRejoin:
+		return fmt.Sprintf("B@%d", e.Iter)
 	}
 	return fmt.Sprintf("?%d", e.Iter)
 }
@@ -90,6 +118,10 @@ func (t *Trace) record(e TraceEvent) {
 func (t *Trace) advance(iter int)   { t.record(TraceEvent{Kind: TraceAdvance, Iter: iter}) }
 func (t *Trace) jump(from, to int)  { t.record(TraceEvent{Kind: TraceJump, Iter: to, From: from}) }
 func (t *Trace) staleSkip(k, j int) { t.record(TraceEvent{Kind: TraceStaleSkip, Iter: k, From: j}) }
+func (t *Trace) crash(iter int)     { t.record(TraceEvent{Kind: TraceCrash, Iter: iter}) }
+func (t *Trace) death(peer, k int)  { t.record(TraceEvent{Kind: TraceDeath, Iter: k, From: peer}) }
+func (t *Trace) join(peer, k int)   { t.record(TraceEvent{Kind: TraceJoin, Iter: k, From: peer}) }
+func (t *Trace) rejoin(iter int)    { t.record(TraceEvent{Kind: TraceRejoin, Iter: iter}) }
 
 // Events returns a copy of the recorded decisions.
 func (t *Trace) Events() []TraceEvent {
@@ -115,6 +147,32 @@ func (t *Trace) Len() int {
 // differential tests compare across runtimes.
 func (t *Trace) String() string {
 	evs := t.Events()
+	parts := make([]string, len(evs))
+	for i, e := range evs {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Memberships returns only the membership events — crashes, peer
+// deaths, peer joins, and rejoins — in program order. These are the
+// events the sim↔live differential contract pins for fault scenarios
+// (DESIGN.md §6).
+func (t *Trace) Memberships() []TraceEvent {
+	var out []TraceEvent
+	for _, e := range t.Events() {
+		switch e.Kind {
+		case TraceCrash, TraceDeath, TraceJoin, TraceRejoin:
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// MembershipString renders Memberships canonically ("X@10", "D3@10
+// R3@14 ...").
+func (t *Trace) MembershipString() string {
+	evs := t.Memberships()
 	parts := make([]string, len(evs))
 	for i, e := range evs {
 		parts[i] = e.String()

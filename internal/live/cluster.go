@@ -53,8 +53,17 @@ func (r *ClusterResult) WireStats() transport.Stats {
 // every configured worker (ListenAddr defaults to "127.0.0.1:0"),
 // meshes the neighbor connections, runs all workers concurrently to
 // MaxIter and closes them. cfgs must hold one WorkerConfig per graph
-// node, in id order with cfg.ID == index (RunCluster fills zero IDs
-// in). dialTimeout <= 0 means DefaultDialTimeout.
+// node, in worker-id order with cfg.ID == index — RunCluster never
+// renumbers a config, because a config built for worker i carries
+// worker i's fault schedule, trainer shard and trace, and silently
+// reassigning it would corrupt the run. dialTimeout <= 0 means
+// DefaultDialTimeout.
+//
+// With FaultTolerance on, a worker whose Run ends in core.ErrCrashed
+// is treated as a scheduled fault rather than a failure: the worker is
+// closed (the goodbye tells its neighbors to reform the graph) and, if
+// its RestartAfter is positive, a fresh Worker is rebuilt on the same
+// listen address after that delay and rejoins the cluster.
 func RunCluster(cfgs []WorkerConfig, dialTimeout time.Duration) (*ClusterResult, error) {
 	n := len(cfgs)
 	if n == 0 {
@@ -69,7 +78,13 @@ func RunCluster(cfgs []WorkerConfig, dialTimeout time.Duration) (*ClusterResult,
 
 	workers := make([]*Worker, n)
 	addrs := make(map[int]string, n)
+	// wmu guards workers: restart goroutines swap a crashed worker's
+	// slot for its rejoined replacement while closeAll/abort may walk
+	// the slice.
+	var wmu sync.Mutex
 	closeAll := func() {
+		wmu.Lock()
+		defer wmu.Unlock()
 		for _, w := range workers {
 			if w != nil {
 				w.Close()
@@ -78,12 +93,9 @@ func RunCluster(cfgs []WorkerConfig, dialTimeout time.Duration) (*ClusterResult,
 	}
 	for i := range cfgs {
 		cfg := cfgs[i]
-		if cfg.ID == 0 {
-			cfg.ID = i
-		}
 		if cfg.ID != i {
 			closeAll()
-			return nil, fmt.Errorf("live: config %d has worker id %d", i, cfg.ID)
+			return nil, fmt.Errorf("live: config at index %d has worker id %d (configs must be in worker-id order)", i, cfg.ID)
 		}
 		if cfg.ListenAddr == "" {
 			cfg.ListenAddr = "127.0.0.1:0"
@@ -112,21 +124,67 @@ func RunCluster(cfgs []WorkerConfig, dialTimeout time.Duration) (*ClusterResult,
 	// other worker so the join below always completes.
 	var abortOnce sync.Once
 	abortRest := func() {
+		wmu.Lock()
+		defer wmu.Unlock()
 		for _, w := range workers {
 			w.Abort()
 		}
 	}
+	var runWorker func(i int, w *Worker)
+	runWorker = func(i int, w *Worker) {
+		defer wg.Done()
+		loss, err := w.Run()
+		losses[i] = loss
+		if err == nil {
+			if cfgs[i].FaultTolerance {
+				// Announce completion now rather than at cluster teardown:
+				// the goodbye (or, for a later rejoiner, the dead listener)
+				// tells fault-tolerant peers this worker sends nothing
+				// more, so nobody waits on it — notably a rejoiner whose
+				// neighbors all finished during its downtime.
+				w.Close()
+			}
+			return
+		}
+		if errors.Is(err, core.ErrCrashed) && cfgs[i].FaultTolerance {
+			// Scheduled fault: close so the goodbye reaches every
+			// neighbor (they reform the graph around this worker), then
+			// optionally restart on the original address so survivors
+			// can redial it when it announces itself.
+			addr := w.Addr()
+			w.Close()
+			if cfgs[i].RestartAfter <= 0 {
+				return
+			}
+			time.Sleep(cfgs[i].RestartAfter)
+			cfg := cfgs[i]
+			cfg.ListenAddr = addr
+			cfg.CrashIter = 0
+			cfg.Rejoin = true
+			nw, nerr := NewWorker(cfg)
+			if nerr != nil {
+				errs[i] = fmt.Errorf("live: restart worker %d: %w", i, nerr)
+				abortOnce.Do(abortRest)
+				return
+			}
+			wmu.Lock()
+			workers[i] = nw
+			wmu.Unlock()
+			if cerr := nw.Connect(addrs, dialTimeout); cerr != nil {
+				errs[i] = fmt.Errorf("live: reconnect worker %d: %w", i, cerr)
+				abortOnce.Do(abortRest)
+				return
+			}
+			wg.Add(1)
+			go runWorker(i, nw)
+			return
+		}
+		errs[i] = fmt.Errorf("live: worker %d: %w", i, err)
+		abortOnce.Do(abortRest)
+	}
 	for i, w := range workers {
 		wg.Add(1)
-		go func(i int, w *Worker) {
-			defer wg.Done()
-			var err error
-			losses[i], err = w.Run()
-			if err != nil {
-				errs[i] = fmt.Errorf("live: worker %d: %w", i, err)
-				abortOnce.Do(abortRest)
-			}
-		}(i, w)
+		go runWorker(i, w)
 	}
 	wg.Wait()
 	// Report the originating failures; cascade-abort errors are only

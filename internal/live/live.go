@@ -82,6 +82,24 @@ type WorkerConfig struct {
 	MaxIter int
 	Seed    int64
 
+	// FaultTolerance makes peer death survivable (core.Config
+	// semantics): a peer whose connection drops, or whose sends fail,
+	// is declared dead and the protocol reforms its iteration graph
+	// around it instead of aborting the run.
+	FaultTolerance bool
+
+	// CrashIter, when > 0, schedules this worker to halt at the start
+	// of that iteration (Run returns core.ErrCrashed). RestartAfter,
+	// when also > 0, tells the cluster orchestrator (RunCluster) to
+	// restart the worker that long after the crash.
+	CrashIter    int
+	RestartAfter time.Duration
+
+	// Rejoin marks this worker a restarted participant: it announces
+	// itself to its neighbors and fast-forwards to one past their
+	// newest observed iteration before training (core.Config.Rejoin).
+	Rejoin bool
+
 	// ComputeDelay, when non-nil, injects artificial per-iteration
 	// compute time (for demonstrating heterogeneity on real clusters).
 	ComputeDelay func(iter int) time.Duration
@@ -123,6 +141,12 @@ func NewWorkerConfig(c core.Config, id int) WorkerConfig {
 		Compression:    c.Compression,
 		MaxIter:        c.MaxIter,
 		Seed:           c.Seed,
+		FaultTolerance: c.FaultTolerance,
+		Rejoin:         c.Rejoin,
+	}
+	if id >= 0 && id < len(c.Faults) {
+		cfg.CrashIter = c.Faults[id].CrashIter
+		cfg.RestartAfter = c.Faults[id].RestartAfter
 	}
 	if id >= 0 && id < len(c.Trainers) {
 		cfg.Trainer = c.Trainers[id]
@@ -133,7 +157,7 @@ func NewWorkerConfig(c core.Config, id int) WorkerConfig {
 // coreConfig expands the live worker configuration back into the
 // shared protocol configuration the state machine is built from.
 func (cfg WorkerConfig) coreConfig() core.Config {
-	return core.Config{
+	c := core.Config{
 		Graph:          cfg.Graph,
 		Mode:           cfg.Mode,
 		Serial:         cfg.Serial,
@@ -146,22 +170,35 @@ func (cfg WorkerConfig) coreConfig() core.Config {
 		Skip:           cfg.Skip,
 		MaxIter:        cfg.MaxIter,
 		Seed:           cfg.Seed,
+		FaultTolerance: cfg.FaultTolerance,
+		Rejoin:         cfg.Rejoin,
 	}
+	// One process holds one worker's view: only its own fault schedule
+	// crosses back into the shared configuration.
+	if cfg.CrashIter > 0 && cfg.Graph != nil {
+		faults := make([]core.FaultSchedule, cfg.Graph.N())
+		faults[cfg.ID] = core.FaultSchedule{CrashIter: cfg.CrashIter, RestartAfter: cfg.RestartAfter}
+		c.Faults = faults
+	}
+	return c
 }
 
 // Worker is one live protocol participant: transport shell + shared
 // protocol state machine.
 type Worker struct {
-	cfg   WorkerConfig
-	node  *transport.Node
-	mon   core.Monitor
-	proto *core.Protocol
-	start time.Time
+	cfg    WorkerConfig
+	node   *transport.Node
+	mon    core.Monitor
+	proto  *core.Protocol
+	start  time.Time
+	logger Logger
 
-	// mu guards peerIter (the §6.2(b) observation) and lastLoss.
+	// mu guards peerIter (the §6.2(b) observation), lastLoss, and
+	// addrs (stored at Connect for rejoin redials).
 	mu       sync.Mutex
 	peerIter map[int]int
 	lastLoss float64
+	addrs    map[int]string
 }
 
 // sendFailure aborts the protocol loop when the transport fails; Run
@@ -196,8 +233,19 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 		mon:      core.NewSyncMonitor(),
 		peerIter: make(map[int]int),
 		start:    time.Now(),
+		logger:   logger,
 	}
 	coreCfg := cfg.coreConfig()
+	if cfg.FaultTolerance {
+		// A rejoined peer needs a fresh outbound connection before the
+		// protocol's next send to it; the membership callback runs
+		// under the monitor, so the redial happens off to the side.
+		coreCfg.OnMembership = func(_ int, ev core.TraceEvent) {
+			if ev.Kind == core.TraceJoin {
+				go w.redialPeer(ev.From)
+			}
+		}
+	}
 	coreCfg.OnIteration = func(_, iter int, loss float64, _ time.Duration) {
 		w.mu.Lock()
 		w.lastLoss = loss
@@ -228,6 +276,19 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 		// WireStats().ReadErrors).
 		OnReadError: func(err error) {
 			logger.Printf("hop/live: worker %d: %v", cfg.ID, err)
+		},
+		// A handshake-pinned inbound connection ending — goodbye or
+		// not — is the live plane's death detection: the per-connection
+		// frame stream is sequential, so everything the peer sent
+		// before dying has already been delivered.
+		OnPeerDown: func(peer int, err error) {
+			if !cfg.FaultTolerance {
+				return
+			}
+			if err != nil {
+				logger.Printf("hop/live: worker %d: peer %d down: %v", cfg.ID, peer, err)
+			}
+			w.proto.DeclarePeerDead(peer)
 		},
 	})
 	if err != nil {
@@ -272,21 +333,32 @@ func (r *liveRuntime) SleepUntil(t time.Duration) {
 func (r *liveRuntime) Send(dst int, u core.Update) {
 	err := r.w.node.Send(dst, transport.Message{Kind: transport.KindUpdate, Iter: u.Iter, Params: u.Params})
 	if err != nil {
-		panic(sendFailure{err})
+		r.w.noteSendError(dst, err)
 	}
 }
 
 func (r *liveRuntime) SendAck(dst, iter int) {
 	if err := r.w.node.Send(dst, transport.Message{Kind: transport.KindAck, Iter: iter}); err != nil {
-		panic(sendFailure{err})
+		r.w.noteSendError(dst, err)
 	}
 }
 
 func (r *liveRuntime) GrantTokens(dst, iter, count int) {
 	err := r.w.node.Send(dst, transport.Message{Kind: transport.KindToken, Iter: iter, Count: count})
 	if err != nil {
+		r.w.noteSendError(dst, err)
+	}
+}
+
+// noteSendError handles a transport send failure: fault-tolerant
+// workers declare the peer dead and drop the frame (the protocol
+// reforms around it); otherwise the failure aborts the run.
+func (w *Worker) noteSendError(dst int, err error) {
+	if !w.cfg.FaultTolerance {
 		panic(sendFailure{err})
 	}
+	w.logger.Printf("hop/live: worker %d: send to %d failed (declaring dead): %v", w.cfg.ID, dst, err)
+	w.proto.DeclarePeerDead(dst)
 }
 
 // PeerIter is the §6.2(b) observation: the newest iteration seen on
@@ -316,16 +388,47 @@ func (w *Worker) Connect(addrs map[int]string, timeout time.Duration) error {
 	for _, j := range w.cfg.Graph.In(w.cfg.ID) {
 		need[j] = true
 	}
+	w.mu.Lock()
+	w.addrs = make(map[int]string, len(addrs))
+	for j, a := range addrs {
+		w.addrs[j] = a
+	}
+	w.mu.Unlock()
 	for j := range need {
 		addr, ok := addrs[j]
 		if !ok {
+			if w.cfg.FaultTolerance {
+				// A neighbor with no address is a neighbor already gone
+				// (e.g. crashed before this worker restarted).
+				w.proto.DeclarePeerDead(j)
+				continue
+			}
 			return fmt.Errorf("live: no address for neighbor %d", j)
 		}
 		if err := w.node.Dial(j, addr, timeout); err != nil {
+			if w.cfg.FaultTolerance {
+				w.logger.Printf("hop/live: worker %d: dial neighbor %d: %v (declaring dead)", w.cfg.ID, j, err)
+				w.proto.DeclarePeerDead(j)
+				continue
+			}
 			return err
 		}
 	}
 	return nil
+}
+
+// redialPeer re-establishes the outbound connection to a peer that
+// rejoined after a restart (it listens on its original address).
+func (w *Worker) redialPeer(peer int) {
+	w.mu.Lock()
+	addr, ok := w.addrs[peer]
+	w.mu.Unlock()
+	if !ok {
+		return
+	}
+	if err := w.node.Redial(peer, addr, DefaultDialTimeout); err != nil {
+		w.logger.Printf("hop/live: worker %d: redial peer %d: %v", w.cfg.ID, peer, err)
+	}
 }
 
 // Close shuts down the transport.
@@ -341,7 +444,7 @@ func (w *Worker) handle(m transport.Message) {
 	case transport.KindToken:
 		w.proto.DeliverTokens(m.From, m.Count)
 	case transport.KindAck:
-		w.proto.DeliverAck(m.Iter)
+		w.proto.DeliverAck(m.From, m.Iter)
 	}
 }
 
@@ -424,9 +527,16 @@ func (w *Worker) WaitPeersDone(timeout time.Duration) bool {
 	}
 	deadline := time.Now().Add(timeout)
 	for {
+		dead := map[int]bool{}
+		for _, j := range w.proto.DeadPeers() {
+			dead[j] = true
+		}
 		done := true
 		w.mu.Lock()
 		for j, min := range need {
+			if dead[j] {
+				continue // a dead peer sends nothing further
+			}
 			if w.peerIter[j] < min {
 				done = false
 				break

@@ -115,6 +115,14 @@ func liveWorkerConfig(opts cluster.Options, i int, o LiveOptions, t model.Traine
 		cfg.Trace = core.NewTrace()
 	}
 	cfg.ComputeDelay = liveComputeDelay(i, opts.Compute, opts.Seed, scale, o.ExtraDelay)
+	// Restart delays model virtual time in the spec; realize them on the
+	// same clock as the injected heterogeneity delays.
+	if cfg.RestartAfter > 0 {
+		cfg.RestartAfter = time.Duration(float64(cfg.RestartAfter) * scale)
+		if cfg.RestartAfter < time.Millisecond {
+			cfg.RestartAfter = time.Millisecond
+		}
+	}
 	return cfg
 }
 

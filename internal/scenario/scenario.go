@@ -236,6 +236,57 @@ type Burst struct {
 	Seed int64 `json:"seed,omitempty"`
 }
 
+// Fault is the declarative fault axis: scheduled worker crashes (and
+// optional restarts) under the elastic-membership protocol of DESIGN.md
+// §6. Its presence — even empty — turns on core.Config.FaultTolerance,
+// so survivors reform the iteration graph around a dead peer instead of
+// wedging.
+type Fault struct {
+	// Crashes schedules worker halts; at most one per worker.
+	Crashes []Crash `json:"crashes,omitempty"`
+}
+
+// Crash halts one worker at the top of iteration Iter (its last update
+// is therefore tagged Iter-1 — the deterministic cut the differential
+// tests pin). A positive Restart brings the worker back after that
+// delay (virtual time in simulation, wall-clock scaled by the live
+// options' TimeScale on TCP) as a rejoining participant.
+type Crash struct {
+	// Worker is the worker to crash.
+	Worker int `json:"worker"`
+	// Iter is the iteration at whose top the worker halts (>= 1).
+	Iter int `json:"iter"`
+	// Restart, when > 0, restarts the worker this long after the crash.
+	Restart Duration `json:"restart,omitempty"`
+}
+
+// faults resolves the axis against n workers into core.Config form.
+func (f *Fault) faults(n int) ([]core.FaultSchedule, error) {
+	if f == nil {
+		return nil, nil
+	}
+	out := make([]core.FaultSchedule, n)
+	for _, c := range f.Crashes {
+		if c.Worker < 0 || c.Worker >= n {
+			return nil, fmt.Errorf("scenario: fault crash worker %d out of range [0,%d)", c.Worker, n)
+		}
+		if out[c.Worker].CrashIter != 0 {
+			return nil, fmt.Errorf("scenario: duplicate fault crash for worker %d", c.Worker)
+		}
+		if c.Iter < 1 {
+			return nil, fmt.Errorf("scenario: fault crash iter must be >= 1, got %d", c.Iter)
+		}
+		if c.Restart < 0 {
+			return nil, fmt.Errorf("scenario: fault crash restart must be >= 0, got %v", time.Duration(c.Restart))
+		}
+		out[c.Worker] = core.FaultSchedule{
+			CrashIter:    c.Iter,
+			RestartAfter: time.Duration(c.Restart),
+		}
+	}
+	return out, nil
+}
+
 // isZero reports whether no network field is set.
 func (n *Net) isZero() bool {
 	return n.InterBandwidth == 0 && n.InterLatency == 0 &&
@@ -299,6 +350,9 @@ type Spec struct {
 	Hetero Hetero `json:"hetero,omitempty"`
 	// Net selects the network condition.
 	Net Net `json:"net,omitempty"`
+	// Fault schedules worker crashes and restarts; non-nil (even empty)
+	// enables fault tolerance, reforming the graph around dead peers.
+	Fault *Fault `json:"fault,omitempty"`
 	// Compression is the wire-codec spec ("none", "float32",
 	// "topk[:ratio]"). The simulator models its payload-size effect:
 	// the modeled update size is PayloadBytes scaled by the codec's
@@ -533,6 +587,21 @@ func (s Spec) resolve(buildTrainer bool) (cluster.Options, error) {
 			trigger = 2
 		}
 		cfg.Skip = &core.SkipConfig{MaxJump: s.Protocol.SkipMaxJump, TriggerBehind: trigger}
+	}
+	if s.Fault != nil {
+		faults, err := s.Fault.faults(g.N())
+		if err != nil {
+			return zero, err
+		}
+		cfg.FaultTolerance = true
+		cfg.Faults = faults
+		if s.MaxIter > 0 {
+			for w, f := range faults {
+				if f.CrashIter >= s.MaxIter {
+					return zero, fmt.Errorf("scenario: fault crash for worker %d at iter %d is not before max_iter %d", w, f.CrashIter, s.MaxIter)
+				}
+			}
+		}
 	}
 
 	base := time.Duration(s.ComputeBase)

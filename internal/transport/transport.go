@@ -120,6 +120,16 @@ type Config struct {
 	// silently ceasing (and the ReadErrors counter). Called from reader
 	// goroutines; must be safe for concurrent use.
 	OnReadError func(err error)
+	// OnPeerDown, when non-nil, is invoked when an inbound connection
+	// whose sender was pinned by the handshake ends for any reason —
+	// err is nil for an announced goodbye (orderly Node.Close at the
+	// peer), non-nil for EOF or a read failure (process death). It does
+	// not fire while this node is itself closing. TCP delivers data in
+	// order before the FIN and the reader is sequential, so the
+	// callback runs strictly after every message the peer sent on this
+	// connection has been handled. Called from reader goroutines; must
+	// be safe for concurrent use.
+	OnPeerDown func(peer int, err error)
 }
 
 func (c Config) compressor() compress.Compressor {
@@ -262,16 +272,22 @@ func (n *Node) acceptLoop() {
 func (n *Node) readLoop(conn net.Conn) {
 	defer n.wg.Done()
 	defer conn.Close()
-	if err := n.readConn(conn); err != nil {
+	sender, err := n.readConn(conn)
+	if err != nil {
 		n.noteReadError(conn, err)
+	}
+	if sender >= 0 {
+		n.notePeerDown(sender, err)
 	}
 }
 
-// readConn drives one inbound connection until it ends. A nil return
-// is a clean close; any error is a diagnosis of why the peer was
-// dropped, surfaced through noteReadError so the failure is observable
-// instead of manifesting as updates silently ceasing.
-func (n *Node) readConn(conn net.Conn) error {
+// readConn drives one inbound connection until it ends, returning the
+// handshake-pinned sender id (-1 if the connection ended before the
+// hello). A nil error is a clean close; any error is a diagnosis of
+// why the peer was dropped, surfaced through noteReadError so the
+// failure is observable instead of manifesting as updates silently
+// ceasing.
+func (n *Node) readConn(conn net.Conn) (int, error) {
 	br := bufio.NewReaderSize(conn, 64<<10)
 
 	// Handshake: the first frame must be a hello carrying a compatible
@@ -281,12 +297,12 @@ func (n *Node) readConn(conn net.Conn) error {
 	h, _, err := readFrame(br)
 	if err != nil {
 		if errors.Is(err, io.EOF) {
-			return nil // connect-and-leave (port probe); nothing to report
+			return -1, nil // connect-and-leave (port probe); nothing to report
 		}
-		return fmt.Errorf("handshake: %w", err)
+		return -1, fmt.Errorf("handshake: %w", err)
 	}
 	if h.kind != frameHello {
-		return fmt.Errorf("handshake: first frame is %d, want hello", h.kind)
+		return -1, fmt.Errorf("handshake: first frame is %d, want hello", h.kind)
 	}
 	accepted := h.codec
 	if !compress.Supported(accepted) {
@@ -294,7 +310,7 @@ func (n *Node) readConn(conn net.Conn) error {
 	}
 	ack := appendFrame(nil, frameHeader{kind: frameHelloAck, codec: accepted, from: uint32(n.id)}, nil)
 	if _, err := conn.Write(ack); err != nil {
-		return fmt.Errorf("handshake ack: %w", err)
+		return -1, fmt.Errorf("handshake ack: %w", err)
 	}
 
 	ra := newReassembler()
@@ -303,7 +319,7 @@ func (n *Node) readConn(conn net.Conn) error {
 	// is a protocol violation. Enforcing it also lets the TopK delta
 	// decoder be a single replica per connection instead of an
 	// attacker-growable map keyed by fabricated sender ids.
-	sender := h.from
+	sender := int(h.from)
 	var delta *compress.DeltaDecoder
 	for {
 		h, payload, err := readFrame(br)
@@ -311,20 +327,20 @@ func (n *Node) readConn(conn net.Conn) error {
 			if errors.Is(err, io.EOF) {
 				// A goodbye-less FIN means the peer process died (an
 				// orderly Node.Close announces itself first).
-				return fmt.Errorf("peer %d closed without goodbye (process died?)", sender)
+				return sender, fmt.Errorf("peer %d closed without goodbye (process died?)", sender)
 			}
-			return fmt.Errorf("read frame: %w", err)
+			return sender, fmt.Errorf("read frame: %w", err)
 		}
 		n.framesRecv.Add(1)
 		n.bytesRecv.Add(int64(headerLen + len(payload)))
-		if h.kind <= frameAck && h.from != sender {
-			return fmt.Errorf("frame from %d on connection pinned to sender %d", h.from, sender)
+		if h.kind <= frameAck && int(h.from) != sender {
+			return sender, fmt.Errorf("frame from %d on connection pinned to sender %d", h.from, sender)
 		}
 		switch h.kind {
 		case frameUpdate:
 			mh, joined, done, err := ra.add(h, payload)
 			if err != nil {
-				return err // stream violated the chunking contract
+				return sender, err // stream violated the chunking contract
 			}
 			if !done {
 				continue
@@ -339,7 +355,7 @@ func (n *Node) readConn(conn net.Conn) error {
 				params, err = compress.Decode(mh.codec, joined)
 			}
 			if err != nil {
-				return fmt.Errorf("update from %d iter %d: %w", mh.from, mh.iter, err)
+				return sender, fmt.Errorf("update from %d iter %d: %w", mh.from, mh.iter, err)
 			}
 			n.updatesRecv.Add(1)
 			n.handler(Message{
@@ -351,11 +367,31 @@ func (n *Node) readConn(conn net.Conn) error {
 		case frameAck:
 			n.handler(Message{Kind: KindAck, From: int(h.from), Iter: int(h.iter)})
 		case frameGoodbye:
-			return nil // orderly shutdown announced; the EOF that follows is clean
+			return sender, nil // orderly shutdown announced; the EOF that follows is clean
 		default:
-			return fmt.Errorf("frame kind %d after handshake", h.kind)
+			return sender, fmt.Errorf("frame kind %d after handshake", h.kind)
 		}
 	}
+}
+
+// notePeerDown reports the end of a handshake-pinned inbound
+// connection through Config.OnPeerDown, unless this node is itself
+// shutting down (its own Close tears every connection).
+func (n *Node) notePeerDown(sender int, err error) {
+	cb := n.cfg.OnPeerDown
+	if cb == nil {
+		return
+	}
+	if err != nil && errors.Is(err, net.ErrClosed) {
+		return
+	}
+	n.mu.Lock()
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return
+	}
+	cb(sender, err)
 }
 
 // noteReadError records an abnormal inbound-connection teardown and
@@ -423,6 +459,48 @@ func (n *Node) Dial(id int, addr string, timeout time.Duration) error {
 		return nil
 	}
 	return fmt.Errorf("transport: dial peer %d at %s: %w", id, addr, lastErr)
+}
+
+// Redial re-establishes the outgoing connection to peer id (e.g. after
+// the peer restarted on its original address), replacing — and closing
+// — any existing connection to it. Unlike Dial it tolerates an already
+// -connected peer; everything else (retry loop, handshake, negotiation)
+// is identical.
+func (n *Node) Redial(id int, addr string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	var lastErr error
+	for time.Now().Before(deadline) {
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err != nil {
+			lastErr = err
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		comp, err := n.handshake(conn, deadline)
+		if err != nil {
+			conn.Close()
+			if errors.Is(err, errProtocol) {
+				return err
+			}
+			lastErr = err
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		n.mu.Lock()
+		if n.closed {
+			n.mu.Unlock()
+			conn.Close()
+			return fmt.Errorf("transport: node closed")
+		}
+		old := n.peers[id]
+		n.peers[id] = &peer{conn: conn, comp: perStream(comp)}
+		n.mu.Unlock()
+		if old != nil {
+			old.conn.Close()
+		}
+		return nil
+	}
+	return fmt.Errorf("transport: redial peer %d at %s: %w", id, addr, lastErr)
 }
 
 // handshake proposes this node's configured codec and returns the

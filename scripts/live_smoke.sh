@@ -5,9 +5,19 @@
 # explicit peer list). Asserts every worker exits cleanly, reports a
 # converged final training loss, and drops no inbound connections.
 #
+# Kill-and-rejoin mode (SMOKE_KILL_WORKER set): after SMOKE_KILL_AFTER
+# seconds one worker is killed with SIGKILL — a real process death, no
+# goodbye — and relaunched SMOKE_REJOIN_AFTER seconds later with
+# -rejoin. The spec must enable the fault axis ("fault": {}) so the
+# survivors reform the iteration graph instead of wedging. Survivors
+# see the abrupt FIN as read errors, so SMOKE_ALLOW_READERRS=1 is
+# implied.
+#
 # Usage:
 #   scripts/live_smoke.sh
 #   SMOKE_SPEC=path.json SMOKE_PORT_BASE=29800 scripts/live_smoke.sh
+#   SMOKE_SPEC=examples/scenarios/smoke-ring4-kill.json \
+#     SMOKE_KILL_WORKER=3 scripts/live_smoke.sh
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -16,6 +26,17 @@ SPEC="${SMOKE_SPEC:-examples/scenarios/smoke-ring4.json}"
 PORT_BASE="${SMOKE_PORT_BASE:-29750}"
 N="${SMOKE_WORKERS:-4}"
 LOSS_MAX="${SMOKE_LOSS_MAX:-0.5}"
+# Watchdog: hard wall-clock bound on the whole cluster run. A wedged
+# worker (the failure mode this guards against) otherwise blocks the
+# plain `wait` forever.
+TIMEOUT="${SMOKE_TIMEOUT:-180}"
+KILL_WORKER="${SMOKE_KILL_WORKER:-}"
+KILL_AFTER="${SMOKE_KILL_AFTER:-3}"
+REJOIN_AFTER="${SMOKE_REJOIN_AFTER:-2}"
+ALLOW_READERRS="${SMOKE_ALLOW_READERRS:-0}"
+if [ -n "$KILL_WORKER" ]; then
+    ALLOW_READERRS=1
+fi
 
 WORKDIR="$(mktemp -d)"
 cleanup() {
@@ -24,6 +45,11 @@ cleanup() {
     rm -rf "$WORKDIR"
 }
 trap cleanup EXIT
+
+dump_logs() {
+    echo "--- worker logs ---" >&2
+    cat "$WORKDIR"/worker*.log >&2
+}
 
 echo "building hopnode" >&2
 go build -o "$WORKDIR/hopnode" ./cmd/hopnode
@@ -42,6 +68,39 @@ for i in $(seq 0 $((N - 1))); do
     pids+=($!)
 done
 
+if [ -n "$KILL_WORKER" ]; then
+    sleep "$KILL_AFTER"
+    victim=${pids[$KILL_WORKER]}
+    echo "killing worker $KILL_WORKER (pid $victim) with SIGKILL" >&2
+    kill -9 "$victim" 2>/dev/null || true
+    sleep "$REJOIN_AFTER"
+    echo "relaunching worker $KILL_WORKER with -rejoin" >&2
+    "$WORKDIR/hopnode" -scenario "$SPEC" -id "$KILL_WORKER" -rejoin \
+        -listen "127.0.0.1:$((PORT_BASE + KILL_WORKER))" -peers "$PEERS" \
+        > "$WORKDIR/worker$KILL_WORKER.rejoin.log" 2>&1 &
+    pids[KILL_WORKER]=$!
+fi
+
+# Watchdog wait: poll the workers against the deadline instead of
+# blocking in `wait`, so a wedged worker fails the run with its logs
+# dumped rather than hanging the harness.
+deadline=$((SECONDS + TIMEOUT))
+while :; do
+    alive=0
+    for pid in "${pids[@]}"; do
+        if kill -0 "$pid" 2>/dev/null; then
+            alive=1
+        fi
+    done
+    [ "$alive" = 0 ] && break
+    if [ "$SECONDS" -ge "$deadline" ]; then
+        echo "FAIL: workers still running after ${TIMEOUT}s watchdog timeout" >&2
+        dump_logs
+        exit 1
+    fi
+    sleep 1
+done
+
 fail=0
 for i in "${!pids[@]}"; do
     if ! wait "${pids[$i]}"; then
@@ -50,29 +109,53 @@ for i in "${!pids[@]}"; do
     fi
 done
 
-for i in $(seq 0 $((N - 1))); do
-    log="$WORKDIR/worker$i.log"
+check_loss() { # check_loss <worker> <log>
+    local i="$1" log="$2" loss ok
     if ! grep -q "finished" "$log"; then
-        echo "FAIL: worker $i never finished" >&2
+        echo "FAIL: worker $i never finished ($log)" >&2
         fail=1
-        continue
+        return
     fi
-    loss=$(awk '/final train loss/ { print $NF }' "$log")
-    ok=$(awk -v l="$loss" -v max="$LOSS_MAX" 'BEGIN { print (l+0 <= max+0) ? 1 : 0 }')
+    # Last match wins (a rejoined worker logs twice); anything
+    # non-numeric — including an empty match — fails hard instead of
+    # coercing to 0 and passing vacuously.
+    loss=$(awk '/final train loss/ { v = $NF } END { print v }' "$log")
+    case "$loss" in
+        '' | *[!0-9.eE+-]*)
+            echo "FAIL: worker $i final train loss unparseable: '$loss' ($log)" >&2
+            fail=1
+            return
+            ;;
+    esac
+    ok=$(awk -v l="$loss" -v max="$LOSS_MAX" 'BEGIN { print (l + 0 <= max + 0) ? 1 : 0 }')
     if [ "$ok" != 1 ]; then
         echo "FAIL: worker $i final train loss $loss > $LOSS_MAX" >&2
         fail=1
     fi
+}
+
+for i in $(seq 0 $((N - 1))); do
+    log="$WORKDIR/worker$i.log"
+    if [ -n "$KILL_WORKER" ] && [ "$i" = "$KILL_WORKER" ]; then
+        # The victim's first life ends in SIGKILL; the rejoined run must
+        # finish and converge.
+        check_loss "$i" "$WORKDIR/worker$i.rejoin.log"
+        continue
+    fi
+    check_loss "$i" "$log"
     readerrs=$(awk '/read errors/ { sub(/.*read errors /, ""); print $1 }' "$log")
-    if [ "${readerrs:-missing}" != 0 ]; then
+    if [ "$ALLOW_READERRS" != 1 ] && [ "${readerrs:-missing}" != 0 ]; then
         echo "FAIL: worker $i read errors: ${readerrs:-missing}" >&2
         fail=1
     fi
 done
 
 if [ "$fail" != 0 ]; then
-    echo "--- worker logs ---" >&2
-    cat "$WORKDIR"/worker*.log >&2
+    dump_logs
     exit 1
 fi
-echo "live smoke OK: $N workers converged, zero read errors" >&2
+if [ -n "$KILL_WORKER" ]; then
+    echo "live smoke OK: worker $KILL_WORKER killed and rejoined, cluster converged" >&2
+else
+    echo "live smoke OK: $N workers converged, zero read errors" >&2
+fi
