@@ -57,6 +57,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "scenario seed")
 		delay     = flag.Duration("delay", 0, "artificial extra compute time per iteration")
 		rejoin    = flag.Bool("rejoin", false, "rejoin a running cluster as a restarted worker (clears this worker's own crash schedule)")
+		chaosSeed = flag.Int64("chaos-seed", 0, "override the base seed of the spec's fault.net chaos injection (0 = spec seed; no effect without fault.net)")
 	)
 	flag.Parse()
 	hop.SetComputeWorkers(*cworkers)
@@ -134,6 +135,7 @@ func main() {
 	cfg, err := hop.ResolveScenarioLiveWorker(spec, *id, hop.ScenarioLiveOptions{
 		TimeScale:  *timeScale,
 		ExtraDelay: extra,
+		ChaosSeed:  *chaosSeed,
 	})
 	if err != nil {
 		fail(err)
@@ -193,6 +195,9 @@ func main() {
 		fmtBytes(st.WireUpdateBytesSent), fmtBytes(st.RawUpdateBytesSent), st.CompressionRatio(), cfg.Compression, st.ReadErrors)
 	fmt.Printf("worker %d protocol: jumps=%d skipped=%d suppressed-sends=%d\n",
 		*id, ps.Jumps, ps.IterationsSkipped, ps.SendsSuppressed)
+	fmt.Printf("worker %d liveness: heartbeats sent=%d recv=%d missed=%d, corrupt frames %d, chaos drop=%d dup=%d delay=%d corrupt=%d partition=%d\n",
+		*id, st.HeartbeatsSent, st.HeartbeatsRecv, st.HeartbeatsMissed, st.CorruptFrames,
+		st.Chaos.Dropped, st.Chaos.Duplicated, st.Chaos.Delayed, st.Chaos.Corrupted, st.Chaos.Partitioned)
 }
 
 func fmtBytes(n int64) string {

@@ -125,12 +125,17 @@ func (h *host) SleepUntil(w int, t time.Duration) {
 	}
 }
 
+// Send and SendAck route through DeliverData, the chaos-injectable
+// path: when the scenario enables net faults, updates and ACKs can be
+// dropped, duplicated, reordered, corrupted, or partitioned. Death
+// notices (below) keep the fault-free Deliver — chaos models a lossy
+// data plane, not a lying failure detector.
 func (h *host) Send(src, dst int, u core.Update) {
-	h.fabric.Deliver(src, dst, h.payload, func() { h.engine.Deliver(dst, u) })
+	h.fabric.DeliverData(src, dst, h.payload, u.Iter, func() { h.engine.Deliver(dst, u) })
 }
 
 func (h *host) SendAck(src, dst, iter int) {
-	h.fabric.Deliver(src, dst, h.ack, func() { h.engine.DeliverAck(dst, src, iter) })
+	h.fabric.DeliverData(src, dst, h.ack, iter, func() { h.engine.DeliverAck(dst, src, iter) })
 }
 
 // Run executes the configured cluster and returns its results.

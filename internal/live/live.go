@@ -22,6 +22,7 @@
 package live
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"sync"
@@ -88,6 +89,32 @@ type WorkerConfig struct {
 	// around it instead of aborting the run.
 	FaultTolerance bool
 
+	// HeartbeatInterval and ReadDeadline tune the liveness layer
+	// (transport.Config semantics). Zero means the defaults below when
+	// FaultTolerance is set and disabled otherwise; negative disables
+	// explicitly.
+	HeartbeatInterval time.Duration
+	ReadDeadline      time.Duration
+
+	// SuspectBudget bounds how long a suspected peer is probed with
+	// redials before DeclarePeerDead. Zero means DefaultSuspectBudget.
+	// While suspected, the peer is neither dead nor trusted: a
+	// heartbeat, any protocol frame, or a successful redial heals it
+	// with no membership event.
+	SuspectBudget time.Duration
+
+	// OnSuspect and OnHeal, when non-nil, observe failure-detector
+	// transitions (diagnostics and tests; membership changes still
+	// surface only through the protocol trace). Called from transport
+	// goroutines; must be safe for concurrent use.
+	OnSuspect func(peer int)
+	OnHeal    func(peer int)
+
+	// Chaos, when non-nil, injects seeded network faults into this
+	// worker's outgoing frames (transport.ChaosConfig). Used by the
+	// scenario layer and hopnode -chaos-seed.
+	Chaos *transport.ChaosConfig
+
 	// CrashIter, when > 0, schedules this worker to halt at the start
 	// of that iteration (Run returns core.ErrCrashed). RestartAfter,
 	// when also > 0, tells the cluster orchestrator (RunCluster) to
@@ -119,6 +146,24 @@ type WorkerConfig struct {
 	// (core.Trace) — the live half of the sim↔live differential tests.
 	Trace *core.Trace
 }
+
+// Liveness defaults, applied when FaultTolerance is on and the knobs
+// are zero. A healthy connection is never silent longer than about one
+// heartbeat interval, so the read deadline — several intervals — only
+// expires when frames are actually not arriving; the suspect budget
+// then buys a transient stall time to clear before membership reforms.
+// DefaultSuspectBudget must stay below any orchestrated restart delay
+// (e.g. live_smoke.sh's rejoin-after) so a genuinely dead peer is
+// declared before its replacement tries to join.
+const (
+	DefaultHeartbeatInterval = 250 * time.Millisecond
+	DefaultReadDeadline      = 1500 * time.Millisecond
+	DefaultSuspectBudget     = time.Second
+	// DefaultWriteTimeout bounds frame writes so an alive-but-wedged
+	// peer (open socket, nothing draining it) surfaces as a prompt send
+	// error instead of blocking the protocol loop forever.
+	DefaultWriteTimeout = 2 * time.Second
+)
 
 // NewWorkerConfig seeds a live WorkerConfig for worker id from the
 // shared protocol configuration — the one place core.Config knobs
@@ -193,17 +238,30 @@ type Worker struct {
 	start  time.Time
 	logger Logger
 
-	// mu guards peerIter (the §6.2(b) observation), lastLoss, and
-	// addrs (stored at Connect for rejoin redials).
-	mu       sync.Mutex
-	peerIter map[int]int
-	lastLoss float64
-	addrs    map[int]string
+	// mu guards peerIter (the §6.2(b) observation), lastLoss, addrs
+	// (stored at Connect for rejoin redials), the failure-detector
+	// state (suspected, closed) and failErr.
+	mu        sync.Mutex
+	peerIter  map[int]int
+	lastLoss  float64
+	addrs     map[int]string
+	suspected map[int]bool
+	closed    bool
+	failErr   error
 }
 
-// sendFailure aborts the protocol loop when the transport fails; Run
-// recovers it into its error return.
-type sendFailure struct{ err error }
+// fail records a fatal transport failure and unwinds the protocol
+// loop. Unlike a panic it works from any goroutine — send errors
+// surface from the protocol loop, the heartbeat loop, and transport
+// readers alike — and the first error wins.
+func (w *Worker) fail(err error) {
+	w.mu.Lock()
+	if w.failErr == nil {
+		w.failErr = err
+	}
+	w.mu.Unlock()
+	w.proto.Abort()
+}
 
 // NewWorker validates the configuration, binds the listener and
 // prepares the protocol state. Call Addr to learn the bound address,
@@ -229,11 +287,12 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 		logger = log.Default()
 	}
 	w := &Worker{
-		cfg:      cfg,
-		mon:      core.NewSyncMonitor(),
-		peerIter: make(map[int]int),
-		start:    time.Now(),
-		logger:   logger,
+		cfg:       cfg,
+		mon:       core.NewSyncMonitor(),
+		peerIter:  make(map[int]int),
+		suspected: make(map[int]bool),
+		start:     time.Now(),
+		logger:    logger,
 	}
 	coreCfg := cfg.coreConfig()
 	if cfg.FaultTolerance {
@@ -268,6 +327,24 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	for _, j := range cfg.Graph.In(cfg.ID) {
 		w.peerIter[j] = -1
 	}
+	// Liveness defaults kick in with fault tolerance; explicit values
+	// always win, negative disables.
+	hb, rd, wt := cfg.HeartbeatInterval, cfg.ReadDeadline, time.Duration(0)
+	if cfg.FaultTolerance {
+		if hb == 0 {
+			hb = DefaultHeartbeatInterval
+		}
+		if rd == 0 {
+			rd = DefaultReadDeadline
+		}
+		wt = DefaultWriteTimeout
+	}
+	if hb < 0 {
+		hb = 0
+	}
+	if rd < 0 {
+		rd = 0
+	}
 	node, err := transport.ListenConfig(cfg.ID, cfg.ListenAddr, w.handle, transport.Config{
 		Compressor: cfg.Compression.New(),
 		MaxChunk:   cfg.WireChunkBytes,
@@ -277,19 +354,37 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 		OnReadError: func(err error) {
 			logger.Printf("hop/live: worker %d: %v", cfg.ID, err)
 		},
-		// A handshake-pinned inbound connection ending — goodbye or
-		// not — is the live plane's death detection: the per-connection
-		// frame stream is sequential, so everything the peer sent
-		// before dying has already been delivered.
+		// A handshake-pinned inbound connection ending is the live
+		// plane's death evidence: the per-connection frame stream is
+		// sequential, so everything the peer sent before dying has
+		// already been delivered. A goodbye (err == nil) is the peer
+		// *announcing* its exit — declared dead immediately; an abrupt
+		// end (EOF, reset) could be a transient network event, so it
+		// only raises suspicion and lets the probe budget decide.
 		OnPeerDown: func(peer int, err error) {
 			if !cfg.FaultTolerance {
+				if err != nil {
+					w.fail(fmt.Errorf("live: worker %d: peer %d connection lost: %w", cfg.ID, peer, err))
+				}
 				return
 			}
-			if err != nil {
-				logger.Printf("hop/live: worker %d: peer %d down: %v", cfg.ID, peer, err)
+			if err == nil {
+				w.proto.DeclarePeerDead(peer)
+				return
 			}
-			w.proto.DeclarePeerDead(peer)
+			logger.Printf("hop/live: worker %d: peer %d down: %v", cfg.ID, peer, err)
+			w.suspect(peer, "connection lost")
 		},
+		HeartbeatInterval: hb,
+		ReadDeadline:      rd,
+		WriteTimeout:      wt,
+		// A full read-deadline window of silence from a peer: the
+		// failure detector's trigger.
+		OnPeerSilent: func(peer int) { w.suspect(peer, "silent past read deadline") },
+		// Send errors with no caller to return to (the heartbeat
+		// loop's) route through the same policy as protocol sends.
+		OnSendError: func(peer int, err error) { w.noteSendError(peer, err) },
+		Chaos:       cfg.Chaos,
 	})
 	if err != nil {
 		return nil, err
@@ -351,14 +446,122 @@ func (r *liveRuntime) GrantTokens(dst, iter, count int) {
 }
 
 // noteSendError handles a transport send failure: fault-tolerant
-// workers declare the peer dead and drop the frame (the protocol
-// reforms around it); otherwise the failure aborts the run.
+// workers suspect the peer and drop the frame (the probe either heals
+// the connection or declares the peer dead and the protocol reforms);
+// otherwise the failure promptly aborts the run with the transport
+// error — from whichever goroutine noticed it.
 func (w *Worker) noteSendError(dst int, err error) {
 	if !w.cfg.FaultTolerance {
-		panic(sendFailure{err})
+		w.fail(fmt.Errorf("live: worker %d: %w", w.cfg.ID, err))
+		return
 	}
-	w.logger.Printf("hop/live: worker %d: send to %d failed (declaring dead): %v", w.cfg.ID, dst, err)
-	w.proto.DeclarePeerDead(dst)
+	w.logger.Printf("hop/live: worker %d: send to %d failed: %v", w.cfg.ID, dst, err)
+	w.suspect(dst, "send failed")
+}
+
+// suspectBudget returns the configured probe budget.
+func (cfg WorkerConfig) suspectBudget() time.Duration {
+	if cfg.SuspectBudget > 0 {
+		return cfg.SuspectBudget
+	}
+	return DefaultSuspectBudget
+}
+
+// suspect marks peer as possibly gone and starts (at most one) probe
+// goroutine for it. Suspicion is a detector state, not a membership
+// state: nothing in the protocol changes until the probe gives up.
+func (w *Worker) suspect(peer int, cause string) {
+	if !w.cfg.FaultTolerance {
+		return
+	}
+	for _, d := range w.proto.DeadPeers() {
+		if d == peer {
+			return // already declared; nothing left to detect
+		}
+	}
+	w.mu.Lock()
+	if w.closed || w.suspected[peer] {
+		w.mu.Unlock()
+		return
+	}
+	w.suspected[peer] = true
+	w.mu.Unlock()
+	w.logger.Printf("hop/live: worker %d: peer %d suspected (%s)", w.cfg.ID, peer, cause)
+	if cb := w.cfg.OnSuspect; cb != nil {
+		cb(peer)
+	}
+	go w.probe(peer)
+}
+
+// notePeerAlive clears any suspicion on peer — fresh evidence (a
+// heartbeat, any protocol frame, a successful redial) means the stall
+// healed.
+func (w *Worker) notePeerAlive(peer int) {
+	w.mu.Lock()
+	was := w.suspected[peer]
+	if was {
+		delete(w.suspected, peer)
+	}
+	w.mu.Unlock()
+	if !was {
+		return
+	}
+	w.logger.Printf("hop/live: worker %d: peer %d healed", w.cfg.ID, peer)
+	if cb := w.cfg.OnHeal; cb != nil {
+		cb(peer)
+	}
+}
+
+// probe retries the suspected peer with backoff until the suspicion
+// clears (frames resumed, or a redial handshake succeeded), the
+// worker closes, or the budget runs out — only then is the peer
+// declared dead through the PR 6 membership path, reforming the
+// iteration graph deterministically.
+func (w *Worker) probe(peer int) {
+	w.mu.Lock()
+	addr, hasAddr := w.addrs[peer]
+	w.mu.Unlock()
+	deadline := time.Now().Add(w.cfg.suspectBudget())
+	bo := transport.NewBackoff(transport.BackoffConfig{
+		Initial: 20 * time.Millisecond, Max: 200 * time.Millisecond,
+	})
+	for {
+		w.mu.Lock()
+		closed, still := w.closed, w.suspected[peer]
+		w.mu.Unlock()
+		if closed || !still {
+			return
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			break
+		}
+		if hasAddr {
+			dialT := remaining
+			if dialT > 300*time.Millisecond {
+				dialT = 300 * time.Millisecond
+			}
+			if err := w.node.Redial(peer, addr, dialT); err == nil {
+				w.notePeerAlive(peer)
+				return
+			}
+		}
+		d := bo.Next()
+		if rem := time.Until(deadline); d > rem {
+			d = rem
+		}
+		if d > 0 {
+			time.Sleep(d)
+		}
+	}
+	w.mu.Lock()
+	still := w.suspected[peer] && !w.closed
+	delete(w.suspected, peer)
+	w.mu.Unlock()
+	if still {
+		w.logger.Printf("hop/live: worker %d: peer %d unreachable past budget (declaring dead)", w.cfg.ID, peer)
+		w.proto.DeclarePeerDead(peer)
+	}
 }
 
 // PeerIter is the §6.2(b) observation: the newest iteration seen on
@@ -431,12 +634,24 @@ func (w *Worker) redialPeer(peer int) {
 	}
 }
 
-// Close shuts down the transport.
-func (w *Worker) Close() { w.node.Close() }
+// Close shuts down the transport (and stops any in-flight probes from
+// declaring peers dead afterwards).
+func (w *Worker) Close() {
+	w.mu.Lock()
+	w.closed = true
+	w.mu.Unlock()
+	w.node.Close()
+}
 
-// handle is the transport inbound path: observe the sender's iteration
-// and deliver into the shared protocol state.
+// handle is the transport inbound path: any frame from a peer is
+// liveness evidence that clears suspicion; protocol frames then
+// deliver into the shared state. Heartbeats stop at the liveness layer
+// — their zero Iter must not feed the §6.2(b) observation.
 func (w *Worker) handle(m transport.Message) {
+	w.notePeerAlive(m.From)
+	if m.Kind == transport.KindHeartbeat {
+		return
+	}
 	w.observeIter(m.From, m.Iter)
 	switch m.Kind {
 	case transport.KindUpdate:
@@ -466,21 +681,21 @@ func (w *Worker) Trainer() model.Trainer { return w.cfg.Trainer }
 func (w *Worker) Trace() *core.Trace { return w.cfg.Trace }
 
 // Run executes the training loop for MaxIter iterations under the
-// configured protocol mode. It returns the final training loss.
-func (w *Worker) Run() (loss float64, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			f, ok := r.(sendFailure)
-			if !ok {
-				panic(r)
-			}
-			loss, err = w.LastLoss(), f.err
+// configured protocol mode. It returns the final training loss. A
+// fatal transport failure recorded by fail() surfaces here as its
+// original error instead of the bare core.ErrAborted the abort
+// produced.
+func (w *Worker) Run() (float64, error) {
+	err := w.proto.Run()
+	if errors.Is(err, core.ErrAborted) {
+		w.mu.Lock()
+		ferr := w.failErr
+		w.mu.Unlock()
+		if ferr != nil {
+			return w.LastLoss(), ferr
 		}
-	}()
-	if err := w.proto.Run(); err != nil {
-		return w.LastLoss(), err // core.ErrAborted via Abort
 	}
-	return w.LastLoss(), nil
+	return w.LastLoss(), err
 }
 
 // Abort unblocks and unwinds a running Run (which then returns

@@ -1,0 +1,131 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"hop/internal/sim"
+)
+
+func chaosCfg(c *ChaosConfig) Config {
+	cf := cfg()
+	cf.Chaos = c
+	return cf
+}
+
+// TestChaosDeterministic: two fabrics built from the same config
+// deliver the same message schedule with the same faults at the same
+// virtual times — the sim plane's byte-identical contract.
+func TestChaosDeterministic(t *testing.T) {
+	runOnce := func() ([]time.Duration, Stats) {
+		k := sim.NewKernel()
+		f := New(k, chaosCfg(&ChaosConfig{
+			Drop: 0.2, Duplicate: 0.15, Reorder: 0.2, Corrupt: 0.1, Seed: 42,
+		}), 3, []int{0, 1, 2})
+		var arrivals []time.Duration
+		k.Spawn("tx", func(p *sim.Proc) {
+			for i := 0; i < 40; i++ {
+				src, dst := i%3, (i+1)%3
+				f.DeliverData(src, dst, 1000, i, func() {
+					arrivals = append(arrivals, k.Now())
+				})
+				p.Sleep(time.Millisecond)
+			}
+		})
+		run(t, k, time.Minute)
+		return arrivals, f.Stats()
+	}
+	a1, s1 := runOnce()
+	a2, s2 := runOnce()
+	if len(a1) != len(a2) {
+		t.Fatalf("runs delivered %d vs %d messages", len(a1), len(a2))
+	}
+	for i := range a1 {
+		if a1[i] != a2[i] {
+			t.Fatalf("arrival %d differs: %v vs %v", i, a1[i], a2[i])
+		}
+	}
+	if s1 != s2 {
+		t.Fatalf("stats differ:\n%+v\n%+v", s1, s2)
+	}
+	lost := s1.NetDropped + s1.NetCorrupted
+	if lost == 0 || s1.NetDuplicated == 0 || s1.NetReordered == 0 {
+		t.Errorf("faults never fired: %+v", s1)
+	}
+	if got := 40 - lost + s1.NetDuplicated; len(a1) != got {
+		t.Errorf("%d deliveries, want sent - lost + dup = %d", len(a1), got)
+	}
+}
+
+// TestChaosPartitionWindow: messages between the pair inside the
+// iteration window vanish; outside it (and on other links) they pass.
+func TestChaosPartitionWindow(t *testing.T) {
+	k := sim.NewKernel()
+	f := New(k, chaosCfg(&ChaosConfig{
+		Partitions: []ChaosPartition{{A: 0, B: 1, FromIter: 5, ToIter: 8}},
+	}), 3, []int{0, 1, 2})
+	delivered := map[int]bool{}
+	k.Spawn("tx", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			i := i
+			f.DeliverData(1, 0, 100, i, func() { delivered[i] = true }) // both directions severed
+			p.Sleep(time.Millisecond)
+		}
+		f.DeliverData(0, 2, 100, 6, func() { delivered[100] = true }) // other link, in-window iter
+	})
+	run(t, k, time.Minute)
+	for i := 0; i < 10; i++ {
+		want := i < 5 || i >= 8
+		if delivered[i] != want {
+			t.Errorf("iter %d delivered=%v, want %v", i, delivered[i], want)
+		}
+	}
+	if !delivered[100] {
+		t.Error("unpartitioned link was severed")
+	}
+	if got := f.Stats().NetPartitioned; got != 3 {
+		t.Errorf("NetPartitioned = %d, want 3", got)
+	}
+}
+
+// TestChaosValidation: impossible probabilities and self-partitions
+// fail construction loudly, like the burst checks.
+func TestChaosValidation(t *testing.T) {
+	cases := []ChaosConfig{
+		{Drop: 1.5},
+		{Corrupt: -0.1},
+		{Partitions: []ChaosPartition{{A: 2, B: 2, FromIter: 0, ToIter: 1}}},
+		{Partitions: []ChaosPartition{{A: 0, B: 1, FromIter: 5, ToIter: 5}}},
+	}
+	for i, c := range cases {
+		c := c
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: invalid chaos config accepted", i)
+				}
+			}()
+			New(sim.NewKernel(), chaosCfg(&c), 3, []int{0, 1, 2})
+		}()
+	}
+}
+
+// TestChaosOffIsIdentity: a nil chaos config must leave DeliverData
+// exactly equal to Deliver (no draws, no counters).
+func TestChaosOffIsIdentity(t *testing.T) {
+	k := sim.NewKernel()
+	f := New(k, cfg(), 2, []int{0, 1})
+	var at time.Duration
+	k.Spawn("tx", func(*sim.Proc) {
+		f.DeliverData(0, 1, 1_000_000, 3, func() { at = k.Now() })
+	})
+	run(t, k, 5*time.Second)
+	want := 10*time.Millisecond + time.Second
+	if at != want {
+		t.Errorf("delivery at %v, want %v", at, want)
+	}
+	s := f.Stats()
+	if s.NetDropped+s.NetDuplicated+s.NetReordered+s.NetCorrupted+s.NetPartitioned != 0 {
+		t.Errorf("chaos counters moved without chaos: %+v", s)
+	}
+}

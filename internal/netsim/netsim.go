@@ -89,6 +89,10 @@ type Config struct {
 	MachineBandwidth []float64
 	// Burst, when non-nil, enables bursty straggler links.
 	Burst *BurstConfig
+	// Chaos, when non-nil, enables the seeded network-fault injector
+	// (drop/duplicate/reorder/corrupt plus partition windows) on
+	// messages routed through DeliverData. See chaos.go.
+	Chaos *ChaosConfig
 }
 
 // Default1GbE mirrors the paper's testbed: 1000 Mbit/s Ethernet
@@ -105,7 +109,7 @@ func Default1GbE() Config {
 // of the per-machine slice, so the zero check is explicit.
 func (c *Config) IsZero() bool {
 	return c.Intra == (LinkParams{}) && c.Inter == (LinkParams{}) &&
-		c.MachineBandwidth == nil && c.Burst == nil
+		c.MachineBandwidth == nil && c.Burst == nil && c.Chaos == nil
 }
 
 // Stats aggregates fabric counters.
@@ -123,6 +127,15 @@ type Stats struct {
 	// destination NIC was inside a degraded burst window when the
 	// transfer started.
 	BurstMessages int
+	// Net* count faults injected by Config.Chaos on DeliverData
+	// messages (all zero when chaos is off). NetCorrupted is loss the
+	// receiver's integrity check would produce, kept distinct from
+	// NetDropped, the wire's own loss.
+	NetDropped     int
+	NetDuplicated  int
+	NetReordered   int
+	NetCorrupted   int
+	NetPartitioned int
 }
 
 // burstWindow is one degraded period [start, end).
@@ -154,6 +167,10 @@ type Fabric struct {
 
 	bursts []*burstState // per machine, nil entries = never bursts
 
+	// chaosRNG holds the per-ordered-link fault RNGs (see chaos.go);
+	// nil when Config.Chaos is nil.
+	chaosRNG map[[2]int]*rand.Rand
+
 	stats Stats
 }
 
@@ -184,12 +201,21 @@ func New(k *sim.Kernel, cfg Config, workers int, placement []int) *Fabric {
 		b.Machines = append([]int(nil), b.Machines...)
 		cfg.Burst = &b
 	}
+	if cfg.Chaos != nil {
+		c := *cfg.Chaos
+		c.Partitions = append([]ChaosPartition(nil), c.Partitions...)
+		c.validate()
+		cfg.Chaos = &c
+	}
 	f := &Fabric{
 		k:           k,
 		cfg:         cfg,
 		placement:   append([]int(nil), placement...),
 		egressFree:  make([]time.Duration, machines),
 		ingressFree: make([]time.Duration, machines),
+	}
+	if cfg.Chaos != nil {
+		f.chaosRNG = make(map[[2]int]*rand.Rand)
 	}
 	if b := cfg.Burst; b != nil {
 		// A configured-but-ineffective burst must fail loudly (like the

@@ -1,0 +1,162 @@
+package scenario
+
+// Net-fault axis tests: the fault.net grammar and its validation
+// rules, the sim plane's seeded-chaos determinism contract (the
+// committed chaos scenario produces byte-identical decision traces
+// and fault counters across runs), and live-plane convergence of the
+// same spec under real injected drops, duplicates, delays, bit flips
+// and a partition window.
+
+import (
+	"testing"
+
+	"hop/internal/cluster"
+	"hop/internal/core"
+	"hop/internal/live"
+)
+
+func TestNetFaultValidation(t *testing.T) {
+	base := Spec{
+		Workload: "quadratic",
+		Topology: Topology{Kind: "ring", Workers: 4, Machines: 1},
+		MaxIter:  20,
+	}
+	cases := []struct {
+		name     string
+		protocol Protocol
+		comp     string
+		net      *NetFault
+		ok       bool
+	}{
+		{"drop over one", Protocol{Staleness: 5}, "", &NetFault{Drop: 1.5}, false},
+		{"negative reorder", Protocol{Staleness: 5}, "", &NetFault{Reorder: -0.1}, false},
+		{"drop needs loss absorption", Protocol{}, "", &NetFault{Drop: 0.1}, false},
+		{"corrupt needs loss absorption", Protocol{}, "", &NetFault{Corrupt: 0.1}, false},
+		{"duplicate and reorder are not lossy", Protocol{}, "", &NetFault{Duplicate: 0.2, Reorder: 0.2}, true},
+		{"drop with staleness", Protocol{Staleness: 5}, "", &NetFault{Drop: 0.1}, true},
+		{"drop with backup", Protocol{Backup: 1}, "", &NetFault{Drop: 0.1}, true},
+		{"loss under notify-ack", Protocol{Mode: "notify-ack", Staleness: 5}, "", &NetFault{Drop: 0.1}, false},
+		{"loss with token queues", Protocol{MaxIG: 4, Staleness: 5}, "", &NetFault{Drop: 0.1}, false},
+		{"partition worker out of range", Protocol{Staleness: 5}, "", &NetFault{Partitions: []Partition{{A: 0, B: 4, FromIter: 2, ToIter: 4}}}, false},
+		{"self partition", Protocol{Staleness: 5}, "", &NetFault{Partitions: []Partition{{A: 2, B: 2, FromIter: 2, ToIter: 4}}}, false},
+		{"empty partition window", Protocol{Staleness: 5}, "", &NetFault{Partitions: []Partition{{A: 0, B: 1, FromIter: 4, ToIter: 4}}}, false},
+		{"partition window exceeds staleness", Protocol{Staleness: 3}, "", &NetFault{Partitions: []Partition{{A: 0, B: 1, FromIter: 2, ToIter: 6}}}, false},
+		{"partition window within staleness", Protocol{Staleness: 5}, "", &NetFault{Partitions: []Partition{{A: 0, B: 1, FromIter: 2, ToIter: 6}}}, true},
+		{"topk with drop", Protocol{Staleness: 5}, "topk", &NetFault{Drop: 0.1}, false},
+		{"topk with duplicate", Protocol{Staleness: 5}, "topk", &NetFault{Duplicate: 0.1}, false},
+		{"topk with corrupt only", Protocol{Staleness: 5}, "topk", &NetFault{Corrupt: 0.05}, true},
+	}
+	for _, c := range cases {
+		spec := base
+		spec.Protocol = c.protocol
+		spec.Compression = c.comp
+		spec.Fault = &Fault{Net: c.net}
+		err := spec.Validate()
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: invalid net fault accepted", c.name)
+		}
+	}
+}
+
+// chaosSimRun executes the committed chaos scenario once on the
+// simulator with decision traces attached.
+func chaosSimRun(t *testing.T, spec Spec) ([]string, *cluster.Result) {
+	t.Helper()
+	opts, err := spec.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := opts.Core.Graph.N()
+	tracers := make([]*core.Trace, n)
+	for i := range tracers {
+		tracers[i] = core.NewTrace()
+	}
+	opts.Core.Tracers = tracers
+	res, err := cluster.Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Deadlock != nil {
+		t.Fatalf("sim deadlocked under chaos: %v", res.Deadlock)
+	}
+	out := make([]string, n)
+	for i, tr := range tracers {
+		out[i] = tr.String()
+	}
+	return out, res
+}
+
+// TestSimChaosDeterministic: the committed ring4-chaos scenario —
+// drops, duplicates, reorders, corruption and a partition window —
+// runs to completion on the simulator, every injected fault class
+// actually fires, and two runs produce byte-identical per-worker
+// decision traces and fault counters (seeded determinism survives
+// the chaos layer).
+func TestSimChaosDeterministic(t *testing.T) {
+	spec := loadSpec(t, "../../examples/scenarios/ring4-chaos.json")
+	tr1, res1 := chaosSimRun(t, spec)
+	tr2, res2 := chaosSimRun(t, spec)
+	for w := range tr1 {
+		if tr1[w] != tr2[w] {
+			t.Errorf("worker %d decision traces differ across runs:\n  run1: %s\n  run2: %s", w, tr1[w], tr2[w])
+		}
+	}
+	s1, s2 := res1.Fabric.Stats(), res2.Fabric.Stats()
+	if s1 != s2 {
+		t.Fatalf("fabric stats differ across runs:\n%+v\n%+v", s1, s2)
+	}
+	if s1.NetDropped == 0 || s1.NetDuplicated == 0 || s1.NetReordered == 0 || s1.NetCorrupted == 0 || s1.NetPartitioned == 0 {
+		t.Errorf("some fault class never fired: %+v", s1)
+	}
+	for w, trainer := range res1.Trainers {
+		if loss := trainer.EvalLoss(); loss > 0.2 {
+			t.Errorf("worker %d loss %g under chaos", w, loss)
+		}
+	}
+}
+
+// TestLiveChaosConverges: the same committed spec on loopback TCP.
+// Live chaos shares the spec's fault rates but rides real goroutine
+// scheduling, so the assertions are structural: the run completes,
+// every worker converges, and the injectors demonstrably fired —
+// including real CRC-detected corruption, which tears connections
+// that the suspect/probe machinery must then heal. liveTraces is
+// deliberately not used here: it asserts zero read errors, and
+// CRC-dropped frames legitimately produce them.
+func TestLiveChaosConverges(t *testing.T) {
+	spec := loadSpec(t, "../../examples/scenarios/ring4-chaos.json")
+	res, err := spec.RunLive(LiveOptions{
+		Logger: live.NopLogger(),
+		Trace:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dropped, duplicated, delayed, corrupted, partitioned, crcDrops int64
+	for _, w := range res.Workers {
+		s := w.WireStats()
+		dropped += s.Chaos.Dropped
+		duplicated += s.Chaos.Duplicated
+		delayed += s.Chaos.Delayed
+		corrupted += s.Chaos.Corrupted
+		partitioned += s.Chaos.Partitioned
+		crcDrops += s.CorruptFrames
+	}
+	if dropped == 0 || partitioned == 0 {
+		t.Errorf("live chaos never dropped (drops %d, partitioned %d)", dropped, partitioned)
+	}
+	if duplicated+delayed+corrupted == 0 {
+		t.Errorf("no duplicate/delay/corrupt fault fired (dup %d, delay %d, corrupt %d)", duplicated, delayed, corrupted)
+	}
+	if corrupted > 0 && crcDrops == 0 {
+		t.Errorf("%d frames corrupted in flight but no receiver counted a CRC drop", corrupted)
+	}
+	for w, worker := range res.Workers {
+		if loss := worker.Trainer().EvalLoss(); loss > 0.3 {
+			t.Errorf("worker %d loss %g under live chaos", w, loss)
+		}
+	}
+}

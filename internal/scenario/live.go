@@ -31,7 +31,10 @@ import (
 	"hop/internal/core"
 	"hop/internal/hetero"
 	"hop/internal/live"
+
 	"hop/internal/model"
+	"hop/internal/netsim"
+	"hop/internal/transport"
 )
 
 // LiveOptions tune how a Spec is realized on the live runtime.
@@ -53,6 +56,12 @@ type LiveOptions struct {
 	// time on top of the heterogeneity surplus for worker w — the
 	// -delay knob of cmd/hopnode.
 	ExtraDelay func(w, iter int) time.Duration
+	// ChaosSeed, when non-zero, overrides the base seed of the live
+	// chaos injection derived from the spec's fault.net clause — the
+	// -chaos-seed knob of cmd/hopnode. It has no effect when the spec
+	// has no fault.net clause: chaos is a property of the scenario,
+	// the seed a property of the run.
+	ChaosSeed int64
 }
 
 // ResolveLive turns the spec into one live worker configuration per
@@ -115,6 +124,7 @@ func liveWorkerConfig(opts cluster.Options, i int, o LiveOptions, t model.Traine
 		cfg.Trace = core.NewTrace()
 	}
 	cfg.ComputeDelay = liveComputeDelay(i, opts.Compute, opts.Seed, scale, o.ExtraDelay)
+	cfg.Chaos = liveChaos(opts.Net.Chaos, i, o.ChaosSeed)
 	// Restart delays model virtual time in the spec; realize them on the
 	// same clock as the injected heterogeneity delays.
 	if cfg.RestartAfter > 0 {
@@ -152,6 +162,36 @@ func liveComputeDelay(w int, c hetero.Compute, seed int64, scale float64, extra 
 			d += extra(w, iter)
 		}
 		return d
+	}
+}
+
+// liveChaos translates the resolved simulator chaos config into
+// worker w's transport-level injector. Reorder becomes Delay — on a
+// real TCP stream a message cannot overtake its predecessors, so the
+// live realization of reordering is holding a frame long enough for
+// concurrent traffic on other connections (and control frames from
+// other goroutines) to land first. Each worker derives its own seed
+// from the base so the per-process RNG streams are uncorrelated but
+// reproducible from the spec.
+func liveChaos(c *netsim.ChaosConfig, w int, seedOverride int64) *transport.ChaosConfig {
+	if c == nil {
+		return nil
+	}
+	base := c.Seed
+	if seedOverride != 0 {
+		base = seedOverride
+	}
+	parts := make([]transport.ChaosPartition, len(c.Partitions))
+	for i, p := range c.Partitions {
+		parts[i] = transport.ChaosPartition{A: p.A, B: p.B, FromIter: p.FromIter, ToIter: p.ToIter}
+	}
+	return &transport.ChaosConfig{
+		Drop:       c.Drop,
+		Duplicate:  c.Duplicate,
+		Corrupt:    c.Corrupt,
+		Delay:      c.Reorder,
+		Partitions: parts,
+		Seed:       base + int64(w)*104729 + 17,
 	}
 }
 

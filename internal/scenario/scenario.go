@@ -244,6 +244,126 @@ type Burst struct {
 type Fault struct {
 	// Crashes schedules worker halts; at most one per worker.
 	Crashes []Crash `json:"crashes,omitempty"`
+	// Net injects seeded network faults into the data plane: per-link
+	// drop/duplicate/reorder/corrupt probabilities and partition
+	// windows. Realized deterministically by the simulator
+	// (netsim.ChaosConfig) and as seeded frame-level injection on live
+	// TCP (transport.ChaosConfig) — same spec, faults in both planes.
+	Net *NetFault `json:"net,omitempty"`
+}
+
+// NetFault is the declarative network-fault clause. All probabilities
+// are per-message in [0, 1]. Loss-inducing knobs (drop, corrupt,
+// partitions) require a protocol configuration that can absorb loss:
+// bounded staleness or backup workers, no NOTIFY-ACK, no token queues
+// — validation enforces it, because a lost ACK or token grant wedges
+// those modes forever rather than slowing them down.
+type NetFault struct {
+	// Drop is the probability a message silently vanishes.
+	Drop float64 `json:"drop,omitempty"`
+	// Duplicate is the probability a message is delivered twice.
+	Duplicate float64 `json:"duplicate,omitempty"`
+	// Reorder is the probability a message is delayed past later
+	// traffic (live: a seeded pre-write delay).
+	Reorder float64 `json:"reorder,omitempty"`
+	// Corrupt is the probability a message is damaged in flight; the
+	// receiver's CRC32-C check detects and drops it.
+	Corrupt float64 `json:"corrupt,omitempty"`
+	// Partitions lists severed worker pairs and iteration windows.
+	Partitions []Partition `json:"partitions,omitempty"`
+	// Seed drives the fault RNGs; 0 derives 400+spec seed (layering
+	// after batch 100+S, slowdown 200+S, burst 300+S).
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Partition severs the data-plane link between workers A and B (both
+// directions) for messages tagged with iterations in [FromIter,
+// ToIter).
+type Partition struct {
+	A        int `json:"a"`
+	B        int `json:"b"`
+	FromIter int `json:"from_iter"`
+	ToIter   int `json:"to_iter"`
+}
+
+// lossy reports whether the clause can make messages disappear.
+func (nf *NetFault) lossy() bool {
+	return nf.Drop > 0 || nf.Corrupt > 0 || len(nf.Partitions) > 0
+}
+
+// validate checks the clause against the worker count and resolved
+// protocol configuration.
+func (nf *NetFault) validate(n int, cfg core.Config, comp compress.Spec) error {
+	probs := []struct {
+		name string
+		p    float64
+	}{
+		{"drop", nf.Drop}, {"duplicate", nf.Duplicate},
+		{"reorder", nf.Reorder}, {"corrupt", nf.Corrupt},
+	}
+	for _, pr := range probs {
+		if pr.p < 0 || pr.p > 1 {
+			return fmt.Errorf("scenario: fault net %s probability %g outside [0, 1]", pr.name, pr.p)
+		}
+	}
+	for i, p := range nf.Partitions {
+		if p.A < 0 || p.A >= n || p.B < 0 || p.B >= n {
+			return fmt.Errorf("scenario: fault net partition %d pairs workers (%d, %d), outside [0, %d)", i, p.A, p.B, n)
+		}
+		if p.A == p.B {
+			return fmt.Errorf("scenario: fault net partition %d pairs worker %d with itself", i, p.A)
+		}
+		if p.FromIter < 0 || p.ToIter <= p.FromIter {
+			return fmt.Errorf("scenario: fault net partition %d window [%d, %d) is empty or negative", i, p.FromIter, p.ToIter)
+		}
+		if cfg.Staleness > 0 && p.ToIter-p.FromIter > cfg.Staleness {
+			// A window longer than the staleness bound lets both sides
+			// block on each other with every bridging update dropped —
+			// a guaranteed wedge, not a survivable fault.
+			return fmt.Errorf("scenario: fault net partition %d window length %d exceeds staleness %d (would deadlock the pair)",
+				i, p.ToIter-p.FromIter, cfg.Staleness)
+		}
+	}
+	if nf.lossy() {
+		if cfg.Staleness <= 0 && cfg.Backup <= 0 {
+			return fmt.Errorf("scenario: fault net loss (drop/corrupt/partitions) needs staleness or backup to absorb missing updates")
+		}
+		if cfg.Mode == core.ModeNotifyAck {
+			return fmt.Errorf("scenario: fault net loss cannot run under notify-ack (a lost ACK blocks the sender forever)")
+		}
+		if cfg.MaxIG > 0 {
+			return fmt.Errorf("scenario: fault net loss cannot run with token queues (a lost grant starves the receiver)")
+		}
+	}
+	if comp.Kind == compress.TopK && (nf.Drop > 0 || nf.Duplicate > 0 || len(nf.Partitions) > 0) {
+		// TopK updates are a stateful delta stream: a silently lost or
+		// doubled message desyncs the receiver's error-feedback replica
+		// with no teardown to trigger a resync. Corruption is fine —
+		// the CRC drops the connection and the redial's dense
+		// warm-start frame resyncs the stream.
+		return fmt.Errorf("scenario: fault net drop/duplicate/partitions cannot run under topk compression (silent delta-stream desync); corrupt is allowed")
+	}
+	return nil
+}
+
+// chaosConfig resolves the clause to the simulator's injector config.
+func (nf *NetFault) chaosConfig(specSeed int64) *netsim.ChaosConfig {
+	seed := nf.Seed
+	if seed == 0 {
+		seed = 400 + specSeed
+	}
+	parts := make([]netsim.ChaosPartition, len(nf.Partitions))
+	for i, p := range nf.Partitions {
+		parts[i] = netsim.ChaosPartition{A: p.A, B: p.B, FromIter: p.FromIter, ToIter: p.ToIter}
+	}
+	return &netsim.ChaosConfig{
+		Drop:       nf.Drop,
+		Duplicate:  nf.Duplicate,
+		Reorder:    nf.Reorder,
+		Corrupt:    nf.Corrupt,
+		Partitions: parts,
+		Seed:       seed,
+	}
 }
 
 // Crash halts one worker at the top of iteration Iter (its last update
@@ -623,10 +743,24 @@ func (s Spec) resolve(buildTrainer bool) (cluster.Options, error) {
 		evalEvery = w.EvalEvery
 	}
 
+	netCfg := s.Net.config(s.Seed)
+	if s.Fault != nil && s.Fault.Net != nil {
+		if err := s.Fault.Net.validate(g.N(), cfg, comp); err != nil {
+			return zero, err
+		}
+		// Chaos rides the resolved fabric config; an otherwise-default
+		// network must materialize Default1GbE here, because a non-zero
+		// Config is passed through as-is by cluster.Run.
+		if netCfg.IsZero() {
+			netCfg = netsim.Default1GbE()
+		}
+		netCfg.Chaos = s.Fault.Net.chaosConfig(s.Seed)
+	}
+
 	opts := cluster.Options{
 		Core:         cfg,
 		Compute:      hetero.Compute{Base: base, Slow: slow},
-		Net:          s.Net.config(s.Seed),
+		Net:          netCfg,
 		PayloadBytes: payload,
 		AckBytes:     s.AckBytes,
 		Deadline:     time.Duration(s.Deadline),

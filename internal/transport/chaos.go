@@ -1,0 +1,180 @@
+package transport
+
+// chaos.go — the live plane's seeded fault injector. ChaosConfig sits
+// between frame encoding and the socket write: frames can be dropped,
+// duplicated, delayed, or bit-flipped before they reach the wire, and
+// partition windows sever the data plane between a pair of workers for
+// an iteration range. The CRC trailer (codec.go) turns every injected
+// bit-flip into a detected corrupt frame at the receiver, which tears
+// the connection down and recovers via redial + the dense warm-start
+// delta frame — never by folding garbage into model parameters.
+//
+// Handshake and goodbye frames are structurally exempt: they are
+// written directly by the handshake/Close paths and never pass through
+// writeFrame, so dialing stays convergent and an orderly shutdown
+// remains recognizable. Heartbeats are subject to the probabilistic
+// faults (losing one occasionally is exactly what the failure detector
+// must absorb) but exempt from partition windows, which model data
+// loss, not process death.
+//
+// Unlike the simulator's per-link RNG (internal/netsim), live chaos is
+// seeded but not reproducible run-to-run: goroutine scheduling decides
+// which frame meets which draw. Tests against live chaos therefore
+// assert structure (convergence, counters) rather than exact traces —
+// the determinism split documented in DESIGN.md §7.
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ChaosPartition severs the data plane between workers A and B: every
+// update/token/ACK frame between them whose iteration tag falls in
+// [FromIter, ToIter) is silently dropped.
+type ChaosPartition struct {
+	A, B             int
+	FromIter, ToIter int
+}
+
+// ChaosConfig tunes the injector. All probabilities are per-frame in
+// [0, 1]; the zero value injects nothing.
+type ChaosConfig struct {
+	// Drop is the probability a frame is silently discarded.
+	Drop float64
+	// Duplicate is the probability a frame is written twice. Chunks of
+	// multi-chunk updates are never duplicated (a duplicate chunk is a
+	// reassembly-contract violation, which would model a sender bug
+	// rather than a network fault).
+	Duplicate float64
+	// Corrupt is the probability one random bit of the frame is
+	// flipped before the write. The receiver's CRC check drops it.
+	Corrupt float64
+	// Delay is the probability a frame's write is delayed by a random
+	// duration up to MaxDelay — the live realization of the scenario
+	// axis's reorder probability (a delayed frame lets later control
+	// frames overtake it on the stream).
+	Delay float64
+	// MaxDelay caps injected delays (default 20ms).
+	MaxDelay time.Duration
+	// Partitions lists the severed pairs and their windows.
+	Partitions []ChaosPartition
+	// Seed seeds the injector's RNG; 0 derives a seed from the clock.
+	Seed int64
+}
+
+func (c *ChaosConfig) maxDelay() time.Duration {
+	if c.MaxDelay > 0 {
+		return c.MaxDelay
+	}
+	return 20 * time.Millisecond
+}
+
+// ChaosStats counts injected faults (all zero when chaos is off —
+// live_smoke.sh asserts exactly that in non-chaos runs).
+type ChaosStats struct {
+	Dropped     int64
+	Duplicated  int64
+	Delayed     int64
+	Corrupted   int64
+	Partitioned int64
+}
+
+// chaosState is the per-node injector: one seeded RNG shared across
+// connections, plus the fault counters, all guarded by mu.
+type chaosState struct {
+	cfg ChaosConfig
+
+	mu   sync.Mutex
+	rng  *rand.Rand
+	stat ChaosStats
+}
+
+func newChaosState(cfg ChaosConfig) *chaosState {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	cfg.Partitions = append([]ChaosPartition(nil), cfg.Partitions...)
+	return &chaosState{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+func (c *chaosState) stats() ChaosStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stat
+}
+
+// intercept inspects one encoded frame about to be written to peer id
+// and applies the configured faults. It returns handled=true when it
+// fully consumed the write (dropped the frame, or wrote a mutated
+// copy); handled=false means the caller should perform the normal
+// write (possibly after an injected delay, possibly preceded by a
+// duplicate already on the wire).
+func (c *chaosState) intercept(n *Node, p *peer, id int, frame []byte) (handled bool, err error) {
+	kind := frameKind(frame[4])
+	if kind == frameHello || kind == frameHelloAck || kind == frameGoodbye {
+		return false, nil
+	}
+	if kind != frameHeartbeat {
+		iter := int(int32(binary.LittleEndian.Uint32(frame[16:20])))
+		for _, pt := range c.cfg.Partitions {
+			if ((n.id == pt.A && id == pt.B) || (n.id == pt.B && id == pt.A)) &&
+				iter >= pt.FromIter && iter < pt.ToIter {
+				c.mu.Lock()
+				c.stat.Partitioned++
+				c.mu.Unlock()
+				return true, nil
+			}
+		}
+	}
+	// Chunks of multi-chunk updates are never duplicated: a duplicate
+	// chunk violates the reassembly contract, modeling a sender bug
+	// rather than a network fault.
+	dupable := !(kind == frameUpdate && binary.LittleEndian.Uint16(frame[8:10]) > 1)
+	c.mu.Lock()
+	drop := c.rng.Float64() < c.cfg.Drop
+	dup := dupable && c.rng.Float64() < c.cfg.Duplicate
+	corrupt := c.rng.Float64() < c.cfg.Corrupt
+	var delay time.Duration
+	if c.rng.Float64() < c.cfg.Delay {
+		delay = time.Duration(c.rng.Float64() * float64(c.cfg.maxDelay()))
+	}
+	bit := 0
+	switch {
+	case drop:
+		c.stat.Dropped++
+	case corrupt:
+		c.stat.Corrupted++
+		bit = c.rng.Intn(len(frame) * 8)
+	case dup:
+		c.stat.Duplicated++
+	}
+	if !drop && delay > 0 {
+		c.stat.Delayed++
+	}
+	c.mu.Unlock()
+
+	if drop {
+		// The frame vanishes "on the wire": the caller sees success,
+		// the receiver sees nothing. (The scenario layer refuses drop
+		// faults under configurations that cannot absorb loss —
+		// stateful TopK streams, NOTIFY-ACK, token queues.)
+		return true, nil
+	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if corrupt {
+		mut := append([]byte(nil), frame...)
+		mut[bit/8] ^= 1 << (bit % 8)
+		return true, n.writeFrameRaw(p, id, mut)
+	}
+	if dup {
+		if err := n.writeFrameRaw(p, id, frame); err != nil {
+			return true, err
+		}
+	}
+	return false, nil
+}

@@ -10,7 +10,9 @@ package transport
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"hop/internal/compress"
@@ -23,9 +25,21 @@ const (
 	// TopK update payloads from absolute sparse vectors to
 	// error-feedback delta streams (compress/delta.go); a v1 peer would
 	// mis-aggregate them, so the formats must not interoperate.
-	magic = "HOP\x02"
+	// Version 3 appended the CRC32-C trailer to every frame and added
+	// the heartbeat control kind; a v2 peer would read the trailer as
+	// the next frame's magic and desync.
+	magic = "HOP\x03"
 
 	headerLen = 32
+
+	// crcLen is the CRC32-C (Castagnoli) trailer appended after the
+	// payload of every frame, covering header + payload. A flipped bit
+	// anywhere in the frame — including the kind byte, so corruption
+	// can never forge a goodbye or shrink a payload undetected — fails
+	// the check and drops the connection, which recovers via redial
+	// (stateful TopK streams resync through the dense warm-start frame
+	// a fresh connection always starts with).
+	crcLen = 4
 
 	// DefaultMaxChunk is the largest per-frame payload unless Config
 	// overrides it. 64 KiB keeps the worst-case control-frame latency
@@ -63,7 +77,23 @@ const (
 	// receiver can tell a clean departure from a peer dying mid-run —
 	// an EOF *without* a preceding goodbye is reported as a read error.
 	frameGoodbye
+	// frameHeartbeat keeps an idle connection audibly alive: the
+	// heartbeat loop sends one on any connection that has written
+	// nothing for half of Config.HeartbeatInterval, so a receiver with
+	// a read deadline can tell a quiet healthy peer from a partitioned
+	// or hung one. Heartbeats surface to handlers as KindHeartbeat.
+	frameHeartbeat
 )
+
+// castagnoli is the CRC32-C polynomial table shared by every frame
+// encode/decode (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// errCorruptFrame marks a frame whose CRC32-C trailer did not match
+// its bytes (or whose claimed length was unreadably absurd): line
+// noise, a hostile peer, or the chaos injector. The connection is torn
+// down and the event counted in Stats.CorruptFrames.
+var errCorruptFrame = errors.New("frame CRC mismatch (corrupt)")
 
 // frameHeader is the fixed prefix of every frame:
 //
@@ -80,8 +110,10 @@ const (
 //	24   4   seq: per-peer message sequence, keys chunk reassembly
 //	28   4   payload length in bytes
 //
-// All integers are little-endian. Handshake frames reuse the codec
-// byte to carry the proposed (hello) or accepted (hello-ack) codec.
+// followed by the payload and a 4-byte CRC32-C trailer over header +
+// payload. All integers are little-endian. Handshake frames reuse the
+// codec byte to carry the proposed (hello) or accepted (hello-ack)
+// codec.
 type frameHeader struct {
 	kind       frameKind
 	codec      compress.Kind
@@ -94,7 +126,8 @@ type frameHeader struct {
 	payloadLen uint32
 }
 
-// appendFrame appends the encoded header and payload to dst.
+// appendFrame appends the encoded header, payload and CRC32-C trailer
+// to dst.
 func appendFrame(dst []byte, h frameHeader, payload []byte) []byte {
 	h.payloadLen = uint32(len(payload))
 	var b [headerLen]byte
@@ -108,7 +141,11 @@ func appendFrame(dst []byte, h frameHeader, payload []byte) []byte {
 	binary.LittleEndian.PutUint32(b[20:], uint32(h.count))
 	binary.LittleEndian.PutUint32(b[24:], h.seq)
 	binary.LittleEndian.PutUint32(b[28:], h.payloadLen)
-	return append(append(dst, b[:]...), payload...)
+	start := len(dst)
+	dst = append(append(dst, b[:]...), payload...)
+	var cb [crcLen]byte
+	binary.LittleEndian.PutUint32(cb[:], crc32.Checksum(dst[start:], castagnoli))
+	return append(dst, cb[:]...)
 }
 
 // parseHeader decodes and validates a frame header.
@@ -133,7 +170,7 @@ func parseHeader(b []byte) (frameHeader, error) {
 	if b[10] != 0 || b[11] != 0 {
 		return frameHeader{}, fmt.Errorf("transport: reserved header bytes set")
 	}
-	if h.kind > frameGoodbye {
+	if h.kind > frameHeartbeat {
 		return frameHeader{}, fmt.Errorf("transport: unknown frame kind %d", h.kind)
 	}
 	if h.payloadLen > maxFramePayload {
@@ -153,22 +190,39 @@ func parseHeader(b []byte) (frameHeader, error) {
 	return h, nil
 }
 
-// readFrame reads one full frame from r.
+// readFrame reads one full frame from r and verifies its CRC32-C
+// trailer before any field of the header is trusted — a bit-flipped
+// kind byte can no more forge a goodbye than a bit-flipped payload can
+// reach the aggregation. The magic is checked first (a version
+// mismatch is a protocol error, not corruption) and the payload length
+// is bounds-checked before it drives an allocation.
 func readFrame(r io.Reader) (frameHeader, []byte, error) {
 	var hb [headerLen]byte
 	if _, err := io.ReadFull(r, hb[:]); err != nil {
 		return frameHeader{}, nil, err
 	}
+	if string(hb[0:4]) != magic {
+		return frameHeader{}, nil, fmt.Errorf("transport: bad magic %q (version mismatch or not a hop peer): %w", hb[0:4], errProtocol)
+	}
+	plen := binary.LittleEndian.Uint32(hb[28:])
+	if plen > maxFramePayload {
+		return frameHeader{}, nil, fmt.Errorf("transport: frame payload %d exceeds limit %d: %w", plen, maxFramePayload, errCorruptFrame)
+	}
+	body := make([]byte, int(plen)+crcLen)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return frameHeader{}, nil, err
+	}
+	payload := body[:plen]
+	want := binary.LittleEndian.Uint32(body[plen:])
+	if got := crc32.Update(crc32.Checksum(hb[:], castagnoli), castagnoli, payload); got != want {
+		return frameHeader{}, nil, fmt.Errorf("transport: frame CRC %08x, trailer says %08x: %w", got, want, errCorruptFrame)
+	}
 	h, err := parseHeader(hb[:])
 	if err != nil {
 		return frameHeader{}, nil, err
 	}
-	var payload []byte
-	if h.payloadLen > 0 {
-		payload = make([]byte, h.payloadLen)
-		if _, err := io.ReadFull(r, payload); err != nil {
-			return frameHeader{}, nil, err
-		}
+	if plen == 0 {
+		payload = nil
 	}
 	return h, payload, nil
 }

@@ -361,7 +361,7 @@ func TestReadErrorsObservable(t *testing.T) {
 	if _, err := conn.Write(appendFrame(nil, frameHeader{kind: frameHello, codec: compress.None, from: 9}, nil)); err != nil {
 		t.Fatal(err)
 	}
-	ackBuf := make([]byte, headerLen)
+	ackBuf := make([]byte, headerLen+crcLen)
 	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
 	if _, err := io.ReadFull(conn, ackBuf); err != nil {
 		t.Fatalf("no hello-ack: %v", err)
@@ -424,7 +424,7 @@ func TestPeerDeathVsCleanCloseObservability(t *testing.T) {
 		t.Fatal(err)
 	}
 	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
-	if _, err := io.ReadFull(conn, make([]byte, headerLen)); err != nil {
+	if _, err := io.ReadFull(conn, make([]byte, headerLen+crcLen)); err != nil {
 		t.Fatalf("no hello-ack: %v", err)
 	}
 	conn.Close()
@@ -464,7 +464,7 @@ func TestConnectionPinnedToHelloSender(t *testing.T) {
 		t.Fatal(err)
 	}
 	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
-	if _, err := io.ReadFull(conn, make([]byte, headerLen)); err != nil {
+	if _, err := io.ReadFull(conn, make([]byte, headerLen+crcLen)); err != nil {
 		t.Fatalf("no hello-ack: %v", err)
 	}
 	// Matching sender passes, mismatched sender kills the connection.

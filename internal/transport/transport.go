@@ -49,6 +49,11 @@ const (
 	// KindAck acknowledges consumption of the receiver's iteration
 	// Iter update (NOTIFY-ACK, §3.3).
 	KindAck
+	// KindHeartbeat is liveness evidence on an otherwise idle
+	// connection (Config.HeartbeatInterval). It carries no protocol
+	// payload: handlers use it to clear peer suspicion, never to
+	// advance protocol state.
+	KindHeartbeat
 )
 
 func (k Kind) String() string {
@@ -59,6 +64,8 @@ func (k Kind) String() string {
 		return "token"
 	case KindAck:
 		return "ack"
+	case KindHeartbeat:
+		return "heartbeat"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -66,10 +73,11 @@ func (k Kind) String() string {
 // Message is the single wire type: a tagged union discriminated by
 // Kind. Field validity per kind —
 //
-//	Kind        From  Iter  Count  Params  Codec
-//	KindUpdate   ✓     ✓     –      ✓      ✓ (set on receive)
-//	KindToken    ✓     ✓     ✓      –      –
-//	KindAck      ✓     ✓     –      –      –
+//	Kind           From  Iter  Count  Params  Codec
+//	KindUpdate      ✓     ✓     –      ✓      ✓ (set on receive)
+//	KindToken       ✓     ✓     ✓      –      –
+//	KindAck         ✓     ✓     –      –      –
+//	KindHeartbeat   ✓     –     –      –      –
 //
 // From is always stamped by Send with the sending node's id; fields
 // marked – are zero and ignored for that kind. Codec records which
@@ -94,6 +102,8 @@ func (m Message) String() string {
 		return fmt.Sprintf("token{from:%d iter:%d count:%d}", m.From, m.Iter, m.Count)
 	case KindAck:
 		return fmt.Sprintf("ack{from:%d iter:%d}", m.From, m.Iter)
+	case KindHeartbeat:
+		return fmt.Sprintf("heartbeat{from:%d}", m.From)
 	}
 	return fmt.Sprintf("%v{from:%d iter:%d}", m.Kind, m.From, m.Iter)
 }
@@ -130,6 +140,39 @@ type Config struct {
 	// connection has been handled. Called from reader goroutines; must
 	// be safe for concurrent use.
 	OnPeerDown func(peer int, err error)
+	// HeartbeatInterval, when > 0, keeps outgoing connections audibly
+	// alive: a node-level loop sends a heartbeat frame on every peer
+	// connection that has written nothing for half the interval, so
+	// the longest silent gap a healthy receiver observes is about one
+	// interval. Pair the receiving side's ReadDeadline with several
+	// multiples of the senders' interval.
+	HeartbeatInterval time.Duration
+	// ReadDeadline, when > 0, bounds post-handshake read silence on
+	// inbound connections. A window expiring fires OnPeerSilent and
+	// the read *continues* — the connection is not torn down, so bytes
+	// still in flight (buffered behind a transient stall) are
+	// delivered when the stall clears. This is the failure detector's
+	// trigger, not its verdict: declaring the peer dead is the
+	// caller's policy.
+	ReadDeadline time.Duration
+	// WriteTimeout, when > 0, bounds each frame write, so a peer that
+	// is alive-but-wedged (an open connection accepting no bytes)
+	// surfaces as a prompt send error instead of blocking the sender
+	// forever.
+	WriteTimeout time.Duration
+	// OnPeerSilent, when non-nil, is invoked each time an inbound
+	// connection pinned to peer completes a full ReadDeadline window
+	// with no traffic. Called from reader goroutines; must be safe for
+	// concurrent use.
+	OnPeerSilent func(peer int)
+	// OnSendError, when non-nil, receives send failures that have no
+	// caller to return to — the heartbeat loop's. Called from the
+	// heartbeat goroutine; must be safe for concurrent use.
+	OnSendError func(peer int, err error)
+	// Chaos, when non-nil, injects seeded faults (drop, duplicate,
+	// delay, bit-flip, partition windows) into outgoing frames before
+	// they reach the socket. See ChaosConfig.
+	Chaos *ChaosConfig
 }
 
 func (c Config) compressor() compress.Compressor {
@@ -162,6 +205,16 @@ type Stats struct {
 	// ReadErrors counts inbound connections dropped for protocol-level
 	// failures (everything Config.OnReadError reports).
 	ReadErrors int64
+	// HeartbeatsSent and HeartbeatsRecv count liveness frames;
+	// HeartbeatsMissed counts heartbeat sends that failed (a strong
+	// hint the peer's connection is gone).
+	HeartbeatsSent, HeartbeatsRecv, HeartbeatsMissed int64
+	// CorruptFrames counts inbound frames dropped on a CRC32-C
+	// mismatch. Zero on a healthy network — live_smoke.sh asserts it.
+	CorruptFrames int64
+	// Chaos counts faults injected by this node's ChaosConfig (all
+	// zero when chaos is off).
+	Chaos ChaosStats
 }
 
 // CompressionRatio returns raw/wire update bytes (1 when nothing was
@@ -178,6 +231,9 @@ type peer struct {
 	conn net.Conn
 	comp compress.Compressor // negotiated for this connection
 	seq  atomic.Uint32
+	// lastWrite is the UnixNano timestamp of the last successful frame
+	// write; the heartbeat loop reads it to find idle connections.
+	lastWrite atomic.Int64
 
 	// updMu serializes whole update sends to this peer so the scratch
 	// buffers below can be reused allocation-free; control frames take
@@ -199,7 +255,10 @@ type Node struct {
 	peers   map[int]*peer
 	inbound []net.Conn
 	closed  bool
+	done    chan struct{} // closed by Close; stops the heartbeat loop
 	wg      sync.WaitGroup
+
+	chaos *chaosState // nil when Config.Chaos is nil
 
 	framesSent, framesRecv   atomic.Int64
 	bytesSent, bytesRecv     atomic.Int64
@@ -207,6 +266,10 @@ type Node struct {
 	rawUpdateBytes           atomic.Int64
 	wireUpdateBytes          atomic.Int64
 	readErrors               atomic.Int64
+
+	heartbeatsSent, heartbeatsRecv atomic.Int64
+	heartbeatsMissed               atomic.Int64
+	corruptFrames                  atomic.Int64
 }
 
 // Listen starts a node with the given worker id on addr (use ":0" for
@@ -222,9 +285,20 @@ func ListenConfig(id int, addr string, handler Handler, cfg Config) (*Node, erro
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
-	n := &Node{id: id, ln: ln, handler: handler, cfg: cfg, peers: make(map[int]*peer)}
+	n := &Node{
+		id: id, ln: ln, handler: handler, cfg: cfg,
+		peers: make(map[int]*peer),
+		done:  make(chan struct{}),
+	}
+	if cfg.Chaos != nil {
+		n.chaos = newChaosState(*cfg.Chaos)
+	}
 	n.wg.Add(1)
 	go n.acceptLoop()
+	if cfg.HeartbeatInterval > 0 {
+		n.wg.Add(1)
+		go n.heartbeatLoop()
+	}
 	return n, nil
 }
 
@@ -236,7 +310,7 @@ func (n *Node) Addr() string { return n.ln.Addr().String() }
 
 // Stats returns a snapshot of the wire counters.
 func (n *Node) Stats() Stats {
-	return Stats{
+	s := Stats{
 		FramesSent:          n.framesSent.Load(),
 		FramesRecv:          n.framesRecv.Load(),
 		BytesSent:           n.bytesSent.Load(),
@@ -246,6 +320,66 @@ func (n *Node) Stats() Stats {
 		RawUpdateBytesSent:  n.rawUpdateBytes.Load(),
 		WireUpdateBytesSent: n.wireUpdateBytes.Load(),
 		ReadErrors:          n.readErrors.Load(),
+		HeartbeatsSent:      n.heartbeatsSent.Load(),
+		HeartbeatsRecv:      n.heartbeatsRecv.Load(),
+		HeartbeatsMissed:    n.heartbeatsMissed.Load(),
+		CorruptFrames:       n.corruptFrames.Load(),
+	}
+	if n.chaos != nil {
+		s.Chaos = n.chaos.stats()
+	}
+	return s
+}
+
+// heartbeatLoop ticks at half the configured interval and sends a
+// heartbeat frame on every outgoing connection that has written
+// nothing for at least that long, bounding a healthy connection's
+// silent gap at about one interval. Send failures are counted and
+// reported through OnSendError — a heartbeat is often the first write
+// to notice a dead or wedged peer.
+func (n *Node) heartbeatLoop() {
+	defer n.wg.Done()
+	tick := n.cfg.HeartbeatInterval / 2
+	if tick <= 0 {
+		tick = n.cfg.HeartbeatInterval
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.done:
+			return
+		case <-t.C:
+		}
+		cutoff := time.Now().Add(-tick).UnixNano()
+		n.mu.Lock()
+		idle := make(map[int]*peer)
+		for id, p := range n.peers {
+			if p.lastWrite.Load() <= cutoff {
+				idle[id] = p
+			}
+		}
+		n.mu.Unlock()
+		for id, p := range idle {
+			// Skip peers redialed since the snapshot: a write on the
+			// replaced (closed) connection would report a spurious
+			// failure.
+			n.mu.Lock()
+			cur := n.peers[id]
+			n.mu.Unlock()
+			if cur != p {
+				continue
+			}
+			err := n.sendControlFrame(p, id, frameHeader{kind: frameHeartbeat, from: uint32(n.id)})
+			if err != nil {
+				n.heartbeatsMissed.Add(1)
+				if cb := n.cfg.OnSendError; cb != nil {
+					cb(id, err)
+				}
+				continue
+			}
+			n.heartbeatsSent.Add(1)
+		}
 	}
 }
 
@@ -320,20 +454,33 @@ func (n *Node) readConn(conn net.Conn) (int, error) {
 	// decoder be a single replica per connection instead of an
 	// attacker-growable map keyed by fabricated sender ids.
 	sender := int(h.from)
+	// Post-handshake reads run behind the rolling-silence detector: a
+	// full ReadDeadline window with no bytes fires OnPeerSilent and
+	// keeps reading, so a transient stall suspects the peer without
+	// sacrificing the bytes still in flight behind it.
+	var r io.Reader = br
+	if d := n.cfg.ReadDeadline; d > 0 {
+		r = &silenceReader{conn: conn, r: br, window: d, onSilent: func() {
+			n.notePeerSilent(sender)
+		}}
+	}
 	var delta *compress.DeltaDecoder
 	for {
-		h, payload, err := readFrame(br)
+		h, payload, err := readFrame(r)
 		if err != nil {
 			if errors.Is(err, io.EOF) {
 				// A goodbye-less FIN means the peer process died (an
 				// orderly Node.Close announces itself first).
 				return sender, fmt.Errorf("peer %d closed without goodbye (process died?)", sender)
 			}
+			if errors.Is(err, errCorruptFrame) {
+				n.corruptFrames.Add(1)
+			}
 			return sender, fmt.Errorf("read frame: %w", err)
 		}
 		n.framesRecv.Add(1)
-		n.bytesRecv.Add(int64(headerLen + len(payload)))
-		if h.kind <= frameAck && int(h.from) != sender {
+		n.bytesRecv.Add(int64(headerLen + crcLen + len(payload)))
+		if (h.kind <= frameAck || h.kind == frameHeartbeat) && int(h.from) != sender {
 			return sender, fmt.Errorf("frame from %d on connection pinned to sender %d", h.from, sender)
 		}
 		switch h.kind {
@@ -366,12 +513,62 @@ func (n *Node) readConn(conn net.Conn) (int, error) {
 			n.handler(Message{Kind: KindToken, From: int(h.from), Iter: int(h.iter), Count: int(h.count)})
 		case frameAck:
 			n.handler(Message{Kind: KindAck, From: int(h.from), Iter: int(h.iter)})
+		case frameHeartbeat:
+			n.heartbeatsRecv.Add(1)
+			n.handler(Message{Kind: KindHeartbeat, From: sender})
 		case frameGoodbye:
 			return sender, nil // orderly shutdown announced; the EOF that follows is clean
 		default:
 			return sender, fmt.Errorf("frame kind %d after handshake", h.kind)
 		}
 	}
+}
+
+// silenceReader wraps a connection's buffered reader with a rolling
+// read deadline: every Read arms the deadline, a pure timeout (no
+// bytes) fires the silence callback and retries in place, and a
+// timeout racing real data just returns the data. The connection — and
+// everything later delivered on it — survives the stall; only real
+// errors surface.
+type silenceReader struct {
+	conn     net.Conn
+	r        *bufio.Reader
+	window   time.Duration
+	onSilent func()
+}
+
+func (s *silenceReader) Read(p []byte) (int, error) {
+	for {
+		s.conn.SetReadDeadline(time.Now().Add(s.window))
+		n, err := s.r.Read(p)
+		if err != nil {
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				if n > 0 {
+					return n, nil
+				}
+				s.onSilent()
+				continue
+			}
+		}
+		return n, err
+	}
+}
+
+// notePeerSilent reports a completed silence window on a pinned
+// inbound connection, unless this node is itself shutting down.
+func (n *Node) notePeerSilent(sender int) {
+	cb := n.cfg.OnPeerSilent
+	if cb == nil {
+		return
+	}
+	n.mu.Lock()
+	closed := n.closed
+	n.mu.Unlock()
+	if closed {
+		return
+	}
+	cb(sender)
 }
 
 // notePeerDown reports the end of a handshake-pinned inbound
@@ -417,6 +614,54 @@ func (n *Node) noteReadError(conn net.Conn, err error) {
 // remote speaks a different wire format or version.
 var errProtocol = errors.New("protocol mismatch")
 
+// connect is the shared retry loop under Dial and Redial: TCP connect
+// plus hello/hello-ack handshake, retried with capped exponential
+// backoff and jitter (see backoff.go) until the deadline. Transient
+// failures — connection refused, reset/EOF/timeout while the peer
+// restarts mid-accept — retry; a protocol mismatch fails immediately.
+// Each attempt's handshake gets its own short deadline so one wedged
+// accept cannot consume the whole budget.
+func (n *Node) connect(addr string, deadline time.Time) (net.Conn, compress.Compressor, error) {
+	bo := NewBackoff(BackoffConfig{})
+	var lastErr error
+	for time.Now().Before(deadline) {
+		conn, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			hsDeadline := time.Now().Add(2 * time.Second)
+			if hsDeadline.After(deadline) {
+				hsDeadline = deadline
+			}
+			comp, herr := n.handshake(conn, hsDeadline)
+			if herr == nil {
+				return conn, comp, nil
+			}
+			conn.Close()
+			if errors.Is(herr, errProtocol) {
+				return nil, nil, herr
+			}
+			err = herr
+		}
+		lastErr = err
+		d := bo.Next()
+		if remain := time.Until(deadline); d > remain {
+			d = remain
+		}
+		if d > 0 {
+			time.Sleep(d)
+		}
+	}
+	return nil, nil, lastErr
+}
+
+// newPeer wraps a freshly handshaken connection, stamping lastWrite so
+// the heartbeat loop measures idleness from establishment, not from
+// the epoch.
+func newPeer(conn net.Conn, comp compress.Compressor) *peer {
+	p := &peer{conn: conn, comp: perStream(comp)}
+	p.lastWrite.Store(time.Now().UnixNano())
+	return p
+}
+
 // Dial connects to peer id at addr, retrying the TCP connect — and
 // transient handshake failures such as a peer restarting mid-accept —
 // until the deadline (peers start in arbitrary order), then performs
@@ -424,41 +669,27 @@ var errProtocol = errors.New("protocol mismatch")
 // negotiation. Protocol mismatches fail immediately; dialing the same
 // peer twice is an error.
 func (n *Node) Dial(id int, addr string, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
-	var lastErr error
-	for time.Now().Before(deadline) {
-		conn, err := net.DialTimeout("tcp", addr, time.Second)
-		if err != nil {
-			lastErr = err
-			time.Sleep(50 * time.Millisecond)
-			continue
+	conn, comp, err := n.connect(addr, time.Now().Add(timeout))
+	if err != nil {
+		if errors.Is(err, errProtocol) {
+			return err
 		}
-		comp, err := n.handshake(conn, deadline)
-		if err != nil {
-			conn.Close()
-			if errors.Is(err, errProtocol) {
-				return err
-			}
-			lastErr = err // transient: reset/EOF/timeout during bring-up
-			time.Sleep(50 * time.Millisecond)
-			continue
-		}
-		n.mu.Lock()
-		if n.closed {
-			n.mu.Unlock()
-			conn.Close()
-			return fmt.Errorf("transport: node closed")
-		}
-		if _, dup := n.peers[id]; dup {
-			n.mu.Unlock()
-			conn.Close()
-			return fmt.Errorf("transport: peer %d already connected", id)
-		}
-		n.peers[id] = &peer{conn: conn, comp: perStream(comp)}
-		n.mu.Unlock()
-		return nil
+		return fmt.Errorf("transport: dial peer %d at %s: %w", id, addr, err)
 	}
-	return fmt.Errorf("transport: dial peer %d at %s: %w", id, addr, lastErr)
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		conn.Close()
+		return fmt.Errorf("transport: node closed")
+	}
+	if _, dup := n.peers[id]; dup {
+		n.mu.Unlock()
+		conn.Close()
+		return fmt.Errorf("transport: peer %d already connected", id)
+	}
+	n.peers[id] = newPeer(conn, comp)
+	n.mu.Unlock()
+	return nil
 }
 
 // Redial re-establishes the outgoing connection to peer id (e.g. after
@@ -467,40 +698,26 @@ func (n *Node) Dial(id int, addr string, timeout time.Duration) error {
 // -connected peer; everything else (retry loop, handshake, negotiation)
 // is identical.
 func (n *Node) Redial(id int, addr string, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
-	var lastErr error
-	for time.Now().Before(deadline) {
-		conn, err := net.DialTimeout("tcp", addr, time.Second)
-		if err != nil {
-			lastErr = err
-			time.Sleep(50 * time.Millisecond)
-			continue
+	conn, comp, err := n.connect(addr, time.Now().Add(timeout))
+	if err != nil {
+		if errors.Is(err, errProtocol) {
+			return err
 		}
-		comp, err := n.handshake(conn, deadline)
-		if err != nil {
-			conn.Close()
-			if errors.Is(err, errProtocol) {
-				return err
-			}
-			lastErr = err
-			time.Sleep(50 * time.Millisecond)
-			continue
-		}
-		n.mu.Lock()
-		if n.closed {
-			n.mu.Unlock()
-			conn.Close()
-			return fmt.Errorf("transport: node closed")
-		}
-		old := n.peers[id]
-		n.peers[id] = &peer{conn: conn, comp: perStream(comp)}
-		n.mu.Unlock()
-		if old != nil {
-			old.conn.Close()
-		}
-		return nil
+		return fmt.Errorf("transport: redial peer %d at %s: %w", id, addr, err)
 	}
-	return fmt.Errorf("transport: redial peer %d at %s: %w", id, addr, lastErr)
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		conn.Close()
+		return fmt.Errorf("transport: node closed")
+	}
+	old := n.peers[id]
+	n.peers[id] = newPeer(conn, comp)
+	n.mu.Unlock()
+	if old != nil {
+		old.conn.Close()
+	}
+	return nil
 }
 
 // handshake proposes this node's configured codec and returns the
@@ -632,14 +849,33 @@ func (n *Node) sendUpdate(p *peer, id int, m Message) error {
 	return nil
 }
 
-// writeFrame writes one encoded frame under the peer lock.
+// writeFrame writes one encoded frame, routing it through the chaos
+// injector first when one is configured. Handshake and goodbye frames
+// never pass through here (they write the conn directly), which is
+// what keeps them structurally exempt from chaos.
 func (n *Node) writeFrame(p *peer, id int, frame []byte) error {
+	if n.chaos != nil {
+		if handled, err := n.chaos.intercept(n, p, id, frame); handled {
+			return err
+		}
+	}
+	return n.writeFrameRaw(p, id, frame)
+}
+
+// writeFrameRaw performs the actual socket write under the peer lock,
+// bounded by Config.WriteTimeout when set, and stamps lastWrite for
+// the heartbeat loop's idle detection.
+func (n *Node) writeFrameRaw(p *peer, id int, frame []byte) error {
 	p.mu.Lock()
+	if d := n.cfg.WriteTimeout; d > 0 {
+		p.conn.SetWriteDeadline(time.Now().Add(d))
+	}
 	_, err := p.conn.Write(frame)
 	p.mu.Unlock()
 	if err != nil {
 		return fmt.Errorf("transport: send to %d: %w", id, err)
 	}
+	p.lastWrite.Store(time.Now().UnixNano())
 	n.framesSent.Add(1)
 	n.bytesSent.Add(int64(len(frame)))
 	return nil
@@ -655,6 +891,7 @@ func (n *Node) Close() {
 		return
 	}
 	n.closed = true
+	close(n.done) // stops the heartbeat loop
 	peers := n.peers
 	inbound := n.inbound
 	n.peers = map[int]*peer{}

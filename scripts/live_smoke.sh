@@ -34,6 +34,10 @@ KILL_WORKER="${SMOKE_KILL_WORKER:-}"
 KILL_AFTER="${SMOKE_KILL_AFTER:-3}"
 REJOIN_AFTER="${SMOKE_REJOIN_AFTER:-2}"
 ALLOW_READERRS="${SMOKE_ALLOW_READERRS:-0}"
+# Chaos runs (a spec with a fault.net clause) legitimately corrupt and
+# drop frames; everything else must keep those counters at exactly
+# zero — CRC drops on a clean loopback wire mean a framing bug.
+ALLOW_CHAOS="${SMOKE_ALLOW_CHAOS:-0}"
 if [ -n "$KILL_WORKER" ]; then
     ALLOW_READERRS=1
 fi
@@ -46,7 +50,15 @@ cleanup() {
 }
 trap cleanup EXIT
 
+dump_stats() {
+    # The per-worker transport counters, for diagnosing a failed run at
+    # a glance before wading into the full logs.
+    echo "--- transport stats ---" >&2
+    grep -h "wire:\|liveness:" "$WORKDIR"/worker*.log >&2 || true
+}
+
 dump_logs() {
+    dump_stats
     echo "--- worker logs ---" >&2
     cat "$WORKDIR"/worker*.log >&2
 }
@@ -147,6 +159,18 @@ for i in $(seq 0 $((N - 1))); do
     if [ "$ALLOW_READERRS" != 1 ] && [ "${readerrs:-missing}" != 0 ]; then
         echo "FAIL: worker $i read errors: ${readerrs:-missing}" >&2
         fail=1
+    fi
+    if [ "$ALLOW_CHAOS" != 1 ]; then
+        corrupt=$(awk '/liveness:/ { sub(/.*corrupt frames /, ""); sub(/,.*/, ""); v = $0 } END { print v }' "$log")
+        if [ "${corrupt:-missing}" != 0 ]; then
+            echo "FAIL: worker $i corrupt frames in a non-chaos run: ${corrupt:-missing}" >&2
+            fail=1
+        fi
+        chaos_total=$(awk '/liveness:/ { sub(/.*chaos /, ""); gsub(/[a-z]+=/, " "); n = 0; for (f = 1; f <= NF; f++) n += $f; v = n } END { print v }' "$log")
+        if [ "${chaos_total:-missing}" != 0 ]; then
+            echo "FAIL: worker $i chaos injector fired in a non-chaos run (total ${chaos_total:-missing})" >&2
+            fail=1
+        fi
     fi
 done
 
