@@ -30,7 +30,7 @@ func main() {
 		machines  = flag.Int("machines", 4, "machine count for placement")
 		workload  = flag.String("workload", "cnn", "cnn | svm | quadratic")
 
-		protocol  = flag.String("protocol", "standard", "standard | notify-ack")
+		protocol  = flag.String("protocol", "standard", "standard | notify-ack | prague")
 		serial    = flag.Bool("serial", false, "serial computation graph (Fig. 2a)")
 		maxIG     = flag.Int("maxig", 0, "token-queue max iteration gap (0 = no token queues)")
 		backup    = flag.Int("backup", 0, "backup workers N_buw")
@@ -39,6 +39,9 @@ func main() {
 		skip      = flag.Bool("skip", false, "enable skipping iterations (§5)")
 		maxJump   = flag.Int("max-jump", 10, "max iterations per jump")
 		trigger   = flag.Int("trigger", 2, "iterations behind out-neighbors before jumping")
+
+		groupSize   = flag.Int("group-size", 4, "with -protocol prague: partial all-reduce group size")
+		groupQuorum = flag.Int("group-quorum", 0, "with -protocol prague: member updates a reduce waits for (0 = full group)")
 
 		slow       = flag.String("slow", "none", "none | random | det")
 		factor     = flag.Float64("factor", 6, "slowdown factor")
@@ -156,8 +159,19 @@ func main() {
 		MaxIter:   *iters,
 		Seed:      *seed,
 	}
-	if *protocol == "notify-ack" {
+	switch *protocol {
+	case "standard":
+	case "notify-ack":
 		cfg.Mode = hop.ModeNotifyAck
+	case "prague":
+		cfg.Mode = hop.ModePrague
+		cfg.Prague = &hop.PragueConfig{
+			GroupSize: *groupSize,
+			Quorum:    *groupQuorum,
+			Seed:      500 + *seed,
+		}
+	default:
+		fail(fmt.Errorf("unknown protocol %q", *protocol))
 	}
 	if *skip {
 		cfg.Skip = &hop.SkipConfig{MaxJump: *maxJump, TriggerBehind: *trigger}

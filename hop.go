@@ -108,18 +108,23 @@ func SpectralGap(w [][]float64) float64 { return graph.SpectralGap(w) }
 // -1 to disable bounded staleness.
 type Config = core.Config
 
-// Mode selects standard queue-based coordination or the NOTIFY-ACK
-// baseline.
+// Mode selects standard queue-based coordination, the NOTIFY-ACK
+// baseline, or the Prague partial all-reduce protocol.
 type Mode = core.Mode
 
 // Protocol modes.
 const (
 	ModeStandard  = core.ModeStandard
 	ModeNotifyAck = core.ModeNotifyAck
+	ModePrague    = core.ModePrague
 )
 
 // SkipConfig enables skipping iterations (§5).
 type SkipConfig = core.SkipConfig
+
+// PragueConfig configures the Prague partial all-reduce protocol
+// (group size, quorum, schedule seed); required with ModePrague.
+type PragueConfig = core.PragueConfig
 
 // Update is one parameter message with its (iter, w_id) tags.
 type Update = core.Update

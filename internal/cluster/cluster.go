@@ -16,7 +16,6 @@ import (
 	"time"
 
 	"hop/internal/core"
-	"hop/internal/graph"
 	"hop/internal/hetero"
 	"hop/internal/metrics"
 	"hop/internal/model"
@@ -72,9 +71,21 @@ type Result struct {
 	Deadlock error
 }
 
-// graphNeighbors returns w's graph neighbors (in ∪ out) in
-// deterministic order — the recipients of w's death notice.
-func graphNeighbors(g *graph.Graph, w int) []int {
+// deathNoticePeers returns the recipients of w's death notice in
+// deterministic order: the graph neighbors (in ∪ out) under Hop, or
+// every other worker under Prague — group partners span the whole
+// cluster regardless of topology.
+func deathNoticePeers(cfg *core.Config, w int) []int {
+	g := cfg.Graph
+	if cfg.Mode == core.ModePrague {
+		out := make([]int, 0, g.N()-1)
+		for j := 0; j < g.N(); j++ {
+			if j != w {
+				out = append(out, j)
+			}
+		}
+		return out
+	}
 	seen := make(map[int]bool)
 	var out []int
 	for _, j := range append(append([]int(nil), g.In(w)...), g.Out(w)...) {
@@ -239,7 +250,7 @@ func Run(opts Options) (*Result, error) {
 			// metadata-sized frames: per-(src,dst) arrival order is
 			// monotone, so the notice lands after everything the worker
 			// sent before dying.
-			for _, j := range graphNeighbors(cfg.Graph, w) {
+			for _, j := range deathNoticePeers(&cfg, w) {
 				j := j
 				fabric.Deliver(w, j, opts.AckBytes, func() { eng.Worker(j).DeclarePeerDead(w) })
 			}

@@ -22,6 +22,13 @@ const (
 	// computation graph where every Send waits for the previous
 	// iteration's ACKs from all out-neighbors.
 	ModeNotifyAck
+	// ModePrague is the Prague partial all-reduce protocol: a seeded
+	// static group scheduler partitions the cluster every step and
+	// each worker averages within its scheduled group only, proceeding
+	// on a quorum of member updates (prague.go). Requires
+	// Config.Prague; the Hop-specific knobs (token queues, backup,
+	// staleness, skipping, send check) do not compose with it.
+	ModePrague
 )
 
 func (m Mode) String() string {
@@ -30,6 +37,8 @@ func (m Mode) String() string {
 		return "standard"
 	case ModeNotifyAck:
 		return "notify-ack"
+	case ModePrague:
+		return "prague"
 	}
 	return fmt.Sprintf("mode(%d)", int(m))
 }
@@ -153,6 +162,10 @@ type Config struct {
 	// Skip enables skipping iterations (§5); requires MaxIG > 0.
 	Skip *SkipConfig
 
+	// Prague configures the Prague partial all-reduce protocol
+	// (prague.go); required exactly when Mode == ModePrague.
+	Prague *PragueConfig
+
 	// MaxIter stops each worker after this many iterations; 0 means
 	// run until the host's deadline.
 	MaxIter int
@@ -243,6 +256,37 @@ func (c *Config) ValidateProtocol() error {
 		return err
 	}
 	n := c.Graph.N()
+	if c.Mode == ModePrague {
+		if c.Prague == nil {
+			return fmt.Errorf("core: prague mode requires a Prague config")
+		}
+		if err := c.Prague.validate(n); err != nil {
+			return err
+		}
+		switch {
+		case c.Serial:
+			return fmt.Errorf("core: prague has its own computation graph; Serial does not compose with it")
+		case c.MaxIG > 0:
+			return fmt.Errorf("core: prague's quorum makes the iteration gap unbounded by design; token queues (MaxIG) do not compose with it")
+		case c.Backup > 0:
+			return fmt.Errorf("core: prague's quorum subsumes backup workers; Backup does not compose with it")
+		case c.Staleness >= 0:
+			return fmt.Errorf("core: prague reduces over current-iteration group updates only; bounded staleness does not compose with it")
+		case c.Skip != nil:
+			return fmt.Errorf("core: prague has no token signal to trigger on; skipping iterations does not compose with it")
+		case c.SendCheck:
+			return fmt.Errorf("core: prague group sends are required by the receivers' quorum; SendCheck does not compose with it")
+		case c.Rejoin:
+			return fmt.Errorf("core: prague does not support rejoin: peers send only on shared-group steps, so the rejoin handshake would wedge")
+		}
+		for i, f := range c.Faults {
+			if f.RestartAfter > 0 {
+				return fmt.Errorf("core: worker %d schedules a restart, which prague does not support (no rejoin)", i)
+			}
+		}
+	} else if c.Prague != nil {
+		return fmt.Errorf("core: Prague config set but mode is %v", c.Mode)
+	}
 	if c.Backup > 0 {
 		if c.MaxIG <= 0 {
 			return fmt.Errorf("core: backup workers make the iteration gap unbounded; token queues (MaxIG>0) are required (§3.4)")

@@ -113,6 +113,7 @@ func (e *Engine) Stats() Stats {
 		total.IterationsSkipped += s.IterationsSkipped
 		total.PeersLost += s.PeersLost
 		total.PeersJoined += s.PeersJoined
+		total.GroupExcluded += s.GroupExcluded
 	}
 	return total
 }

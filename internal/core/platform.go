@@ -109,4 +109,5 @@ type Stats struct {
 	IterationsSkipped int // total iterations jumped over
 	PeersLost         int // peers removed from the iteration graph (DESIGN.md §6)
 	PeersJoined       int // peers re-admitted after a restart
+	GroupExcluded     int // prague group members absent from a reduce (DESIGN.md §8)
 }

@@ -1,0 +1,137 @@
+package core
+
+// Unit tests for the Prague group scheduler: the static seeded
+// schedule is the protocol's entire coordination mechanism, so its
+// partition and determinism properties are pinned directly.
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPragueGroupsPartition(t *testing.T) {
+	for _, tc := range []struct{ n, size int }{
+		{4, 2}, {8, 4}, {8, 3}, {5, 2}, {7, 7}, {9, 4},
+	} {
+		for step := 0; step < 50; step++ {
+			groups := PragueGroups(513, step, tc.n, tc.size)
+			seen := make(map[int]bool)
+			for gi, g := range groups {
+				// Every group but the trailing remainder is full-size;
+				// each is sorted ascending for canonical rendering.
+				if gi < len(groups)-1 && len(g) != tc.size {
+					t.Fatalf("n=%d size=%d step=%d: group %d has %d members",
+						tc.n, tc.size, step, gi, len(g))
+				}
+				for i, w := range g {
+					if i > 0 && g[i-1] >= w {
+						t.Fatalf("group %v not sorted ascending", g)
+					}
+					if w < 0 || w >= tc.n || seen[w] {
+						t.Fatalf("n=%d size=%d step=%d: worker %d repeated or out of range",
+							tc.n, tc.size, step, w)
+					}
+					seen[w] = true
+				}
+			}
+			if len(seen) != tc.n {
+				t.Fatalf("n=%d size=%d step=%d: partition covers %d of %d workers",
+					tc.n, tc.size, step, len(seen), tc.n)
+			}
+		}
+	}
+}
+
+func TestPragueGroupsDeterministic(t *testing.T) {
+	for step := 0; step < 20; step++ {
+		a := PragueGroups(777, step, 8, 4)
+		b := PragueGroups(777, step, 8, 4)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("step %d: schedule not deterministic: %v vs %v", step, a, b)
+		}
+	}
+	// Different seeds and different steps must actually vary the
+	// partition — a constant schedule would satisfy every other test.
+	base := PragueGroups(777, 0, 8, 4)
+	varied := false
+	for step := 1; step < 20 && !varied; step++ {
+		varied = !reflect.DeepEqual(base, PragueGroups(777, step, 8, 4))
+	}
+	if !varied {
+		t.Error("schedule identical across 20 steps")
+	}
+	if reflect.DeepEqual(base, PragueGroups(778, 0, 8, 4)) {
+		t.Error("adjacent seeds produce the identical step-0 partition")
+	}
+}
+
+func TestPragueGroupOfConsistent(t *testing.T) {
+	const seed, n, size = 513, 8, 3
+	for step := 0; step < 30; step++ {
+		groups := PragueGroups(seed, step, n, size)
+		for _, g := range groups {
+			for _, w := range g {
+				if got := PragueGroupOf(seed, step, n, size, w); !reflect.DeepEqual(got, g) {
+					t.Fatalf("step %d worker %d: GroupOf %v, partition has %v", step, w, got, g)
+				}
+			}
+		}
+	}
+}
+
+func TestPragueLastShared(t *testing.T) {
+	const seed, n, size, maxIter = 513, 8, 4, 40
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if a == b {
+				continue
+			}
+			last := PragueLastShared(seed, n, size, maxIter, a, b)
+			if last != PragueLastShared(seed, n, size, maxIter, b, a) {
+				t.Fatalf("PragueLastShared not symmetric for (%d,%d)", a, b)
+			}
+			// Cross-check against the schedule: last really is the
+			// greatest shared step, and -1 means no shared step at all.
+			want := -1
+			for step := 0; step < maxIter; step++ {
+				if containsInt(PragueGroupOf(seed, step, n, size, a), b) {
+					want = step
+				}
+			}
+			if last != want {
+				t.Fatalf("PragueLastShared(%d,%d) = %d, schedule says %d", a, b, last, want)
+			}
+		}
+	}
+	// With group size 4 over 8 workers and 40 steps, every pair should
+	// have shared at least one group — the drain barrier relies on most
+	// pairs having a final protocol message.
+	if PragueLastShared(seed, n, size, maxIter, 0, 1) < 0 {
+		t.Error("pair (0,1) never shared a group in 40 steps")
+	}
+}
+
+func TestPragueConfigValidate(t *testing.T) {
+	cases := []struct {
+		cfg  PragueConfig
+		n    int
+		ok   bool
+		name string
+	}{
+		{PragueConfig{GroupSize: 2}, 4, true, "minimal"},
+		{PragueConfig{GroupSize: 4, Quorum: 4}, 4, true, "full quorum explicit"},
+		{PragueConfig{GroupSize: 1}, 4, false, "size below 2"},
+		{PragueConfig{GroupSize: 5}, 4, false, "size above n"},
+		{PragueConfig{GroupSize: 2, Quorum: 3}, 4, false, "quorum above size"},
+		{PragueConfig{GroupSize: 2, Quorum: -1}, 4, false, "negative quorum"},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.validate(tc.n)
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: config accepted", tc.name)
+		}
+	}
+}

@@ -168,6 +168,19 @@ func NewProtocol(cfg Config, id int, t model.Trainer, mon Monitor, rt Runtime, t
 		rng:     rand.New(rand.NewSource(cfg.Seed + int64(id)*7919 + 1)),
 		trace:   tr,
 	}
+	if cfg.Mode == ModePrague {
+		// Prague groups span the whole cluster regardless of topology
+		// (the graph is a placement/cost substrate only), so the live
+		// neighbor views — which elastic membership filters — cover
+		// every peer.
+		peers := make([]int, 0, n-1)
+		for j := 0; j < n; j++ {
+			if j != id {
+				peers = append(peers, j)
+			}
+		}
+		p.in, p.out = peers, peers
+	}
 	p.gin, p.gout = p.in, p.out
 	p.gnbrs = append(append(make([]int, 0, len(p.gin)+len(p.gout)), p.gin...), p.gout...)
 	p.gnbrs = dedupInts(p.gnbrs)
@@ -320,6 +333,8 @@ func (p *Protocol) run() error {
 		p.rt.ObserveAdvance(k)
 		p.trace.advance(k)
 		switch {
+		case cfg.Mode == ModePrague:
+			p.iterPrague(k)
 		case cfg.Mode == ModeNotifyAck:
 			p.iterNotifyAck(k)
 		case cfg.Serial:

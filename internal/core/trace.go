@@ -41,6 +41,14 @@ const (
 	// TraceRejoin records this worker rejoining the cluster at
 	// iteration Iter after a restart (Config.Rejoin).
 	TraceRejoin
+	// TraceGroup records the Prague group scheduled for this worker at
+	// iteration Iter (Members holds the full sorted group, this worker
+	// included) — the group-formation event of DESIGN.md §8.
+	TraceGroup
+	// TraceGroupSkip records a Prague reduce at iteration Iter
+	// proceeding without scheduled group member From (quorum reached
+	// first, or the member is dead).
+	TraceGroupSkip
 )
 
 func (k TraceKind) String() string {
@@ -59,6 +67,10 @@ func (k TraceKind) String() string {
 		return "join"
 	case TraceRejoin:
 		return "rejoin"
+	case TraceGroup:
+		return "group"
+	case TraceGroupSkip:
+		return "group-skip"
 	}
 	return fmt.Sprintf("trace(%d)", uint8(k))
 }
@@ -72,6 +84,9 @@ type TraceEvent struct {
 	// From is the jump's origin iteration, or the excluded sender's
 	// worker id; 0 otherwise.
 	From int
+	// Members is the scheduled Prague group (TraceGroup only), sorted
+	// ascending; nil otherwise.
+	Members []int
 }
 
 func (e TraceEvent) String() string {
@@ -90,6 +105,14 @@ func (e TraceEvent) String() string {
 		return fmt.Sprintf("R%d@%d", e.From, e.Iter)
 	case TraceRejoin:
 		return fmt.Sprintf("B@%d", e.Iter)
+	case TraceGroup:
+		ms := make([]string, len(e.Members))
+		for i, m := range e.Members {
+			ms[i] = fmt.Sprintf("%d", m)
+		}
+		return fmt.Sprintf("G%s@%d", strings.Join(ms, "."), e.Iter)
+	case TraceGroupSkip:
+		return fmt.Sprintf("P%d@%d", e.From, e.Iter)
 	}
 	return fmt.Sprintf("?%d", e.Iter)
 }
@@ -122,6 +145,10 @@ func (t *Trace) crash(iter int)     { t.record(TraceEvent{Kind: TraceCrash, Iter
 func (t *Trace) death(peer, k int)  { t.record(TraceEvent{Kind: TraceDeath, Iter: k, From: peer}) }
 func (t *Trace) join(peer, k int)   { t.record(TraceEvent{Kind: TraceJoin, Iter: k, From: peer}) }
 func (t *Trace) rejoin(iter int)    { t.record(TraceEvent{Kind: TraceRejoin, Iter: iter}) }
+func (t *Trace) group(members []int, k int) {
+	t.record(TraceEvent{Kind: TraceGroup, Iter: k, Members: append([]int(nil), members...)})
+}
+func (t *Trace) groupSkip(j, k int) { t.record(TraceEvent{Kind: TraceGroupSkip, Iter: k, From: j}) }
 
 // Events returns a copy of the recorded decisions.
 func (t *Trace) Events() []TraceEvent {

@@ -69,6 +69,7 @@ type WorkerConfig struct {
 	StaleWeighting core.StaleWeighting
 	SendCheck      bool
 	Skip           *core.SkipConfig
+	Prague         *core.PragueConfig
 
 	// Compression selects the wire codec for outgoing update payloads
 	// (negotiated per connection at Dial; see internal/transport). The
@@ -183,6 +184,7 @@ func NewWorkerConfig(c core.Config, id int) WorkerConfig {
 		StaleWeighting: c.StaleWeighting,
 		SendCheck:      c.SendCheck,
 		Skip:           c.Skip,
+		Prague:         c.Prague,
 		Compression:    c.Compression,
 		MaxIter:        c.MaxIter,
 		Seed:           c.Seed,
@@ -213,6 +215,7 @@ func (cfg WorkerConfig) coreConfig() core.Config {
 		SendCheck:      cfg.SendCheck,
 		Compression:    cfg.Compression,
 		Skip:           cfg.Skip,
+		Prague:         cfg.Prague,
 		MaxIter:        cfg.MaxIter,
 		Seed:           cfg.Seed,
 		FaultTolerance: cfg.FaultTolerance,
@@ -321,10 +324,7 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 		return nil, fmt.Errorf("live: %w", err)
 	}
 	w.proto = proto
-	for _, j := range cfg.Graph.Out(cfg.ID) {
-		w.peerIter[j] = -1
-	}
-	for _, j := range cfg.Graph.In(cfg.ID) {
+	for _, j := range cfg.protocolPeers() {
 		w.peerIter[j] = -1
 	}
 	// Liveness defaults kick in with fault tolerance; explicit values
@@ -580,15 +580,39 @@ func (r *liveRuntime) ObserveAdvance(int) {}
 // Addr returns the bound listen address.
 func (w *Worker) Addr() string { return w.node.Addr() }
 
-// Connect dials every neighbor this worker sends to: its out-going
+// protocolPeers returns the workers this one exchanges protocol
+// messages with: the graph neighbors (out ∪ in) under Hop, every
+// other worker under Prague — group schedules span the whole cluster
+// regardless of topology (core/prague.go).
+func (cfg WorkerConfig) protocolPeers() []int {
+	n := cfg.Graph.N()
+	if cfg.Mode == core.ModePrague {
+		out := make([]int, 0, n-1)
+		for j := 0; j < n; j++ {
+			if j != cfg.ID {
+				out = append(out, j)
+			}
+		}
+		return out
+	}
+	seen := make(map[int]bool)
+	var out []int
+	for _, j := range append(append([]int(nil), cfg.Graph.Out(cfg.ID)...), cfg.Graph.In(cfg.ID)...) {
+		if !seen[j] {
+			seen[j] = true
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Connect dials every peer this worker sends to: its out-going
 // neighbors (updates, acks) and its in-coming neighbors (token
-// grants). addrs maps worker id → address.
+// grants) — or, under Prague, the whole cluster. addrs maps worker
+// id → address.
 func (w *Worker) Connect(addrs map[int]string, timeout time.Duration) error {
 	need := map[int]bool{}
-	for _, j := range w.cfg.Graph.Out(w.cfg.ID) {
-		need[j] = true
-	}
-	for _, j := range w.cfg.Graph.In(w.cfg.ID) {
+	for _, j := range w.cfg.protocolPeers() {
 		need[j] = true
 	}
 	w.mu.Lock()
@@ -724,19 +748,33 @@ func (w *Worker) Abort() { w.proto.Abort() }
 // final update; the timeout is the backstop there.
 func (w *Worker) WaitPeersDone(timeout time.Duration) bool {
 	need := map[int]int{}
-	for _, j := range w.cfg.Graph.In(w.cfg.ID) {
-		need[j] = w.cfg.MaxIter - 1
-		if sc := w.cfg.Skip; sc != nil && sc.MaxJump > 1 {
-			need[j] = w.cfg.MaxIter - sc.MaxJump
+	if w.cfg.Mode == core.ModePrague {
+		// A Prague peer's final message to this worker is the update of
+		// the pair's last shared-group step — locally computable from
+		// the deterministic schedule. Peers never scheduled together
+		// exchange nothing.
+		pc := w.cfg.Prague
+		n := w.cfg.Graph.N()
+		for _, j := range w.cfg.protocolPeers() {
+			if last := core.PragueLastShared(pc.Seed, n, pc.GroupSize, w.cfg.MaxIter, w.cfg.ID, j); last >= 0 {
+				need[j] = last
+			}
 		}
-	}
-	for _, j := range w.cfg.Graph.Out(w.cfg.ID) {
-		switch {
-		case w.cfg.MaxIG > 0:
-			need[j] = w.cfg.MaxIter
-		case w.cfg.Mode == core.ModeNotifyAck:
-			if need[j] < w.cfg.MaxIter-1 {
-				need[j] = w.cfg.MaxIter - 1
+	} else {
+		for _, j := range w.cfg.Graph.In(w.cfg.ID) {
+			need[j] = w.cfg.MaxIter - 1
+			if sc := w.cfg.Skip; sc != nil && sc.MaxJump > 1 {
+				need[j] = w.cfg.MaxIter - sc.MaxJump
+			}
+		}
+		for _, j := range w.cfg.Graph.Out(w.cfg.ID) {
+			switch {
+			case w.cfg.MaxIG > 0:
+				need[j] = w.cfg.MaxIter
+			case w.cfg.Mode == core.ModeNotifyAck:
+				if need[j] < w.cfg.MaxIter-1 {
+					need[j] = w.cfg.MaxIter - 1
+				}
 			}
 		}
 	}

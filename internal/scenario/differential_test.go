@@ -18,6 +18,9 @@ package scenario
 //     cadence is forced, not raced.
 
 import (
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -140,6 +143,45 @@ func TestDifferentialTraceSkipStraggler(t *testing.T) {
 	wantStraggler := "+0 J0>3 +3 J3>6 +6 J6>9 +9 J9>12 +12 J12>15 +15"
 	if sim[0] != wantStraggler {
 		t.Errorf("sim straggler trace %q, want %q", sim[0], wantStraggler)
+	}
+	assertTracesEqual(t, sim, lv)
+}
+
+// TestDifferentialTracePrague pins the committed Prague example spec
+// (examples/scenarios/prague4.json) across both planes. The spec uses
+// the default full-group quorum, so every reduce blocks for all live
+// group members' tagged updates — the decision sequence (advance +
+// group formation, zero exclusions) is timing-forced, and the traces
+// must match byte for byte. The expected sequence is also rebuilt
+// independently from core.PragueGroups, pinning the committed spec to
+// the scheduler itself: a schedule change breaks this test.
+func TestDifferentialTracePrague(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "examples", "scenarios", "prague4.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := simTraces(t, spec)
+	lv := liveTraces(t, spec, 1)
+
+	// Rebuild the forced decision sequence from the schedule: group_seed
+	// derives as 500+seed, and each step contributes "+k G<members>@k".
+	n := spec.Topology.Workers
+	seed := 500 + spec.Seed
+	for w := 0; w < n; w++ {
+		var want []string
+		for k := 0; k < spec.MaxIter; k++ {
+			g := core.PragueGroupOf(seed, k, n, spec.Protocol.GroupSize, w)
+			want = append(want,
+				core.TraceEvent{Kind: core.TraceAdvance, Iter: k}.String(),
+				core.TraceEvent{Kind: core.TraceGroup, Members: g, Iter: k}.String())
+		}
+		if wantStr := strings.Join(want, " "); sim[w] != wantStr {
+			t.Errorf("sim worker %d trace %q, want %q", w, sim[w], wantStr)
+		}
 	}
 	assertTracesEqual(t, sim, lv)
 }

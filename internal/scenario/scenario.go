@@ -124,8 +124,19 @@ func (t Topology) Build() (*graph.Graph, error) {
 // Protocol selects the coordination settings of core.Config in
 // declarative form.
 type Protocol struct {
-	// Mode is "" | "standard" | "notify-ack".
+	// Mode is "" | "standard" | "notify-ack" | "prague".
 	Mode string `json:"mode,omitempty"`
+	// GroupSize is the Prague partial all-reduce group size (prague
+	// mode only; required, 2 ≤ size ≤ workers).
+	GroupSize int `json:"group_size,omitempty"`
+	// GroupQuorum is how many member updates — the worker's own
+	// included — a Prague group reduce waits for; 0 means the full
+	// live group (prague mode only).
+	GroupQuorum int `json:"group_quorum,omitempty"`
+	// GroupSeed seeds the Prague group schedule; 0 derives 500+spec
+	// seed, layering after batch 100+S, slowdown 200+S, burst 300+S
+	// and chaos 400+S (prague mode only).
+	GroupSeed int64 `json:"group_seed,omitempty"`
 	// Serial selects the serial computation graph (Fig. 2a).
 	Serial bool `json:"serial,omitempty"`
 	// MaxIG enables token queues with this max adjacent iteration gap
@@ -294,6 +305,12 @@ func (nf *NetFault) lossy() bool {
 // validate checks the clause against the worker count and resolved
 // protocol configuration.
 func (nf *NetFault) validate(n int, cfg core.Config, comp compress.Spec) error {
+	if cfg.Mode == core.ModePrague {
+		// Prague's quorum counts queue entries, so duplicated frames
+		// satisfy it with members missing, and there is no staleness
+		// bound to absorb loss — no chaos knob is survivable.
+		return fmt.Errorf("scenario: fault net chaos cannot run under prague (count-based quorum; no staleness bound to absorb loss)")
+	}
 	probs := []struct {
 		name string
 		p    float64
@@ -686,8 +703,22 @@ func (s Spec) resolve(buildTrainer bool) (cluster.Options, error) {
 	case "", "standard":
 	case "notify-ack":
 		cfg.Mode = core.ModeNotifyAck
+	case "prague":
+		cfg.Mode = core.ModePrague
+		gseed := s.Protocol.GroupSeed
+		if gseed == 0 {
+			gseed = 500 + s.Seed
+		}
+		cfg.Prague = &core.PragueConfig{
+			GroupSize: s.Protocol.GroupSize,
+			Quorum:    s.Protocol.GroupQuorum,
+			Seed:      gseed,
+		}
 	default:
-		return zero, fmt.Errorf("scenario: unknown protocol mode %q", s.Protocol.Mode)
+		return zero, fmt.Errorf("scenario: unknown protocol mode %q (known: standard, notify-ack, prague)", s.Protocol.Mode)
+	}
+	if cfg.Mode != core.ModePrague && (s.Protocol.GroupSize != 0 || s.Protocol.GroupQuorum != 0 || s.Protocol.GroupSeed != 0) {
+		return zero, fmt.Errorf("scenario: group_size/group_quorum/group_seed are prague knobs; set protocol mode \"prague\"")
 	}
 	if s.Protocol.Staleness > 0 {
 		cfg.Staleness = s.Protocol.Staleness
@@ -721,6 +752,16 @@ func (s Spec) resolve(buildTrainer bool) (cluster.Options, error) {
 					return zero, fmt.Errorf("scenario: fault crash for worker %d at iter %d is not before max_iter %d", w, f.CrashIter, s.MaxIter)
 				}
 			}
+		}
+	}
+	// Surface Prague's protocol-level constraint violations (group size
+	// bounds, knob compositions, fault schedules) at spec validation,
+	// not first at cluster construction — sweeps validate every cell up
+	// front. Hop specs keep their historical laxness: their core-level
+	// rules fire at engine construction as before.
+	if cfg.Mode == core.ModePrague {
+		if err := cfg.ValidateProtocol(); err != nil {
+			return zero, err
 		}
 	}
 

@@ -13,11 +13,17 @@
 # see the abrupt FIN as read errors, so SMOKE_ALLOW_READERRS=1 is
 # implied.
 #
+# The spec picks the protocol: smoke-ring4.json drives Hop gossip,
+# smoke-prague4.json the Prague partial all-reduce (same assertions —
+# the protocols share the whole wire and drain machinery).
+#
 # Usage:
 #   scripts/live_smoke.sh
 #   SMOKE_SPEC=path.json SMOKE_PORT_BASE=29800 scripts/live_smoke.sh
 #   SMOKE_SPEC=examples/scenarios/smoke-ring4-kill.json \
 #     SMOKE_KILL_WORKER=3 scripts/live_smoke.sh
+#   SMOKE_SPEC=examples/scenarios/smoke-prague4.json \
+#     SMOKE_PORT_BASE=29900 scripts/live_smoke.sh
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
