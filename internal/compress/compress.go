@@ -30,7 +30,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -197,12 +196,22 @@ func NewTopK(ratio float64) Compressor {
 // dropped coordinates as zero — in stream use that is a *delta*, which
 // DeltaDecoder accumulates into the full state.
 func Decode(k Kind, payload []byte) ([]float64, error) {
+	return DecodeInto(nil, k, payload)
+}
+
+// DecodeInto is Decode writing into dst's capacity when it suffices
+// (allocating only otherwise), so a receive loop that recycles buffers
+// runs allocation-free. It returns the decoded vector, which aliases
+// dst whenever cap(dst) was large enough; dst's previous contents are
+// ignored. On error dst is unchanged in length but its contents are
+// unspecified.
+func DecodeInto(dst []float64, k Kind, payload []byte) ([]float64, error) {
 	switch k {
 	case None:
 		if len(payload)%8 != 0 {
 			return nil, fmt.Errorf("compress: none payload length %d not a multiple of 8", len(payload))
 		}
-		out := make([]float64, len(payload)/8)
+		out := sizeVec(dst, len(payload)/8)
 		for i := range out {
 			out[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
 		}
@@ -211,15 +220,24 @@ func Decode(k Kind, payload []byte) ([]float64, error) {
 		if len(payload)%4 != 0 {
 			return nil, fmt.Errorf("compress: float32 payload length %d not a multiple of 4", len(payload))
 		}
-		out := make([]float64, len(payload)/4)
+		out := sizeVec(dst, len(payload)/4)
 		for i := range out {
 			out[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(payload[4*i:])))
 		}
 		return out, nil
 	case TopK:
-		return decodeTopK(payload)
+		return decodeTopKInto(dst, payload)
 	}
 	return nil, fmt.Errorf("compress: unsupported codec %v", k)
+}
+
+// sizeVec returns a length-n vector reusing dst's capacity when
+// possible; contents are unspecified.
+func sizeVec(dst []float64, n int) []float64 {
+	if cap(dst) < n {
+		return make([]float64, n)
+	}
+	return dst[:n]
 }
 
 // --- None -------------------------------------------------------------
@@ -279,39 +297,20 @@ func (c topKCodec) KeepCount(n int) int {
 	return k
 }
 
-// idxPool recycles the selection scratch of Compress: encoding runs
-// once per neighbor per iteration on the delta hot path, and an O(n)
-// index buffer per call was the encoder's dominant allocation.
+// idxPool recycles the index scratch of the emitReference fallback
+// path (topk_select.go); the threshold hot path keeps its own pooled
+// scratch.
 var idxPool = sync.Pool{New: func() any { return new([]int) }}
 
+// Compress selects via the sharded threshold path of topk_select.go:
+// quickselect the kth largest magnitude, then one index-order scan
+// keeps everything above it plus the lowest-indexed ties. The
+// selection order is the same strict total order (|value| descending,
+// index ascending) as selectTopK, so the kept *set* — and therefore
+// the wire bytes — is deterministic, identical to the index-
+// quickselect reference, and invariant to the worker-pool width.
 func (c topKCodec) Compress(dst []byte, src []float64) []byte {
-	n := len(src)
-	k := c.KeepCount(n)
-	ip := idxPool.Get().(*[]int)
-	if cap(*ip) < n {
-		*ip = make([]int, n)
-	}
-	idx := (*ip)[:n]
-	for i := range idx {
-		idx[i] = i
-	}
-	// Quickselect partitions the k largest-magnitude coordinates to the
-	// front in O(n) expected time (the old full sort was O(n log n) and
-	// allocated through sort.Slice). The comparator is a strict total
-	// order (|value| descending, index ascending on ties), so the
-	// selected *set* — and therefore the wire bytes — is deterministic
-	// and identical to the sorted implementation's.
-	selectTopK(idx, src, k)
-	kept := idx[:k]
-	sort.Ints(kept)
-	dst = binary.LittleEndian.AppendUint32(dst, uint32(n))
-	dst = binary.LittleEndian.AppendUint32(dst, uint32(k))
-	for _, i := range kept {
-		dst = binary.LittleEndian.AppendUint32(dst, uint32(i))
-		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(float32(src[i])))
-	}
-	idxPool.Put(ip)
-	return dst
+	return encodeTopK(dst, src, c.KeepCount(len(src)), nil, nil, nil)
 }
 
 // topKLess is the selection order: |src[a]| > |src[b]|, ties broken by
@@ -422,12 +421,17 @@ func topKPair(payload []byte, p, n, prev int) (i int, v float64, err error) {
 	return i, v, nil
 }
 
-func decodeTopK(payload []byte) ([]float64, error) {
+func decodeTopKInto(dst []float64, payload []byte) ([]float64, error) {
 	n, k, err := parseTopKHeader(payload)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]float64, n)
+	out := sizeVec(dst, n)
+	// A reused buffer carries stale values; the sparse fill below only
+	// touches k of n coordinates, so clear first.
+	for i := range out {
+		out[i] = 0
+	}
 	prev := -1
 	for p := 0; p < k; p++ {
 		i, v, err := topKPair(payload, p, n, prev)

@@ -69,6 +69,12 @@ type DeltaEncoder struct {
 	// pendingRekey records that it is a warm-start frame.
 	pending      []byte
 	pendingRekey bool
+	// lastT is the previous frame's selection threshold, handed back
+	// to the selector as a candidate-gather hint (topk_select.go). The
+	// zero value means "gather everything non-zero", which is correct
+	// for the first sparse frame; −1 disables gathering after a
+	// non-finite frame. The hint never affects payload bytes.
+	lastT float64
 }
 
 // NewDeltaEncoder returns a delta-stream encoder keeping ceil(ratio·n)
@@ -97,18 +103,46 @@ func (e *DeltaEncoder) Compress(dst []byte, x []float64) []byte {
 	}
 	e.delta = e.delta[:len(x)]
 	e.pendingRekey = len(e.ref) != len(x)
-	if e.pendingRekey {
-		copy(e.delta, x)
-		enc = topKCodec{ratio: 1} // dense warm start: replicas begin exact
-	} else {
-		for i, v := range x {
-			e.delta[i] = v - e.ref[i]
-		}
-	}
 	start := len(dst)
-	dst = enc.Compress(dst, e.delta)
+	if e.pendingRekey {
+		// Dense warm start (k = n): replicas begin float32-exact.
+		copy(e.delta, x)
+		dst = encodeTopK(dst, e.delta, len(e.delta), nil, nil, nil)
+	} else {
+		// Fused hot path: the selector's fill phase computes
+		// delta = x − ref and |delta| in the same sharded sweep,
+		// gathering candidates near the previous threshold.
+		dst = encodeTopK(dst, e.delta, enc.KeepCount(len(x)), x, e.ref, &e.lastT)
+	}
 	e.pending = dst[start:]
 	return dst
+}
+
+// StageShared stages a frame encoded by a bit-identical sibling
+// stream — one with the same codec spec whose committed frame history
+// is exactly this stream's, so its replica (and therefore the frame
+// its Compress would produce for the same state) is byte-for-byte
+// equal. n is the state dimension the frame was encoded from. Commit
+// then folds the payload exactly as a self-encoded frame. The caller
+// asserts the sibling property; staging a foreign frame desyncs the
+// stream. The payload is aliased, not copied: it must stay untouched
+// until Commit (or until the next Stage/Compress discards it).
+func (e *DeltaEncoder) StageShared(payload []byte, n int) {
+	if cap(e.delta) < n {
+		e.delta = make([]float64, n)
+	}
+	e.delta = e.delta[:n] // Commit reads the staged dimension from delta
+	e.pendingRekey = len(e.ref) != n
+	e.pending = payload
+}
+
+// SharedStager is implemented by stream encoders that can adopt a
+// frame produced by a bit-identical sibling stream instead of
+// re-encoding it (see DeltaEncoder.StageShared). The transport uses it
+// to encode one update payload once per node rather than once per
+// peer whose stream state matches.
+type SharedStager interface {
+	StageShared(payload []byte, n int)
 }
 
 // Commit advances the replica by the float32-rounded sparse vector the
@@ -150,6 +184,16 @@ type DeltaDecoder struct {
 // may be partially advanced; the caller must treat the error as fatal
 // for the stream (the transport drops the connection).
 func (d *DeltaDecoder) Decode(payload []byte) ([]float64, error) {
+	return d.DecodeInto(nil, payload)
+}
+
+// DecodeInto is Decode writing the reconstruction into dst's capacity
+// when it suffices (allocating only otherwise), so a receive loop that
+// recycles buffers folds frames allocation-free. The returned slice
+// aliases dst whenever cap(dst) was large enough; dst's previous
+// contents are ignored. Replica semantics — including the
+// partially-advanced-on-error caveat above — are identical to Decode.
+func (d *DeltaDecoder) DecodeInto(dst []float64, payload []byte) ([]float64, error) {
 	n, k, err := parseTopKHeader(payload)
 	if err != nil {
 		return nil, err
@@ -169,7 +213,7 @@ func (d *DeltaDecoder) Decode(payload []byte) ([]float64, error) {
 		prev = i
 		d.ref[i] += v
 	}
-	out := make([]float64, n)
+	out := sizeVec(dst, n)
 	copy(out, d.ref)
 	return out, nil
 }

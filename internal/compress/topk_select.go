@@ -1,0 +1,548 @@
+package compress
+
+// topk_select.go — the sharded threshold selection behind the TopK
+// codec (DESIGN.md §9). The original encoder built an explicit index
+// permutation, quickselected it with indirect compares, and sorted the
+// survivors; this implementation selects by *value threshold* instead
+// and shards every O(n) pass over the tensor worker pool:
+//
+//	phase 1 (sharded)  mag[i] = |src[i]|. The delta encoder fuses
+//	                   src[i] = x[i] − ref[i] into the same sweep.
+//	phase 2 (sharded)  each shard quickselects its local top-k
+//	                   magnitudes to the front of its slice range; the
+//	                   global threshold T — the kth largest |src[i]| —
+//	                   is the kth largest of the gathered shard
+//	                   candidates (every global top-k magnitude is in
+//	                   some shard's local top-k, so the candidate
+//	                   multiset preserves the kth order statistic).
+//	phase 3 (sharded)  each shard counts magnitudes > T and == T; a
+//	                   sequential prefix over the counts assigns each
+//	                   shard its byte range of the output and its
+//	                   budget of ==T ties. Ties go to the smallest
+//	                   indices first, so earlier shards drain the
+//	                   budget before later ones see any.
+//	phase 4 (sharded)  each shard writes its (uint32 index, float32
+//	                   value) pairs into its disjoint byte range in
+//	                   ascending index order. Because shards are
+//	                   contiguous index ranges, concatenation IS the
+//	                   deterministic k-way merge in index order.
+//
+// Byte identity: selection follows the strict total order of topKLess
+// (|value| descending, index ascending), under which the top-k *set*
+// is unique — all magnitudes above T, plus the lowest-indexed ties at
+// T — so the kept set and the emitted payload are identical at every
+// pool width, including width 1, and identical to the index-
+// quickselect reference the property tests pin against.
+//
+// The value comparisons assume finite data (gradients are). If a
+// non-finite magnitude ever defeats the threshold accounting, the
+// encoder detects the mismatch and falls back to emitReference, the
+// original index-quickselect path, which never panics on any input.
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+	"sync"
+
+	"hop/internal/tensor"
+)
+
+// topkShardMin is the smallest vector worth sharding the selection
+// for; below it one scan beats the fan-out. Purely a latency knob:
+// the payload bytes do not depend on it (or on the pool width).
+const topkShardMin = 128
+
+// topkScratch is the pooled per-encode state. The phase closures are
+// built once per scratch (not per call) and read their inputs from the
+// struct, so a steady-state encode performs no allocation.
+type topkScratch struct {
+	src    []float64 // vector being encoded (delta scratch when fused)
+	x, ref []float64 // fused delta inputs; nil for a plain encode
+	mag    []float64 // |src[i]|; destroyed by the quickselect phases
+	out    []byte    // the payload's 8k-byte pairs region
+	n, k   int
+	T      float64 // selection threshold: the kth largest magnitude
+
+	// Stream-hint state: a delta encoder passes the previous frame's
+	// threshold, and the fill pass gathers only the magnitudes above
+	// cutoff (a safety margin below it) as selection candidates —
+	// exact as long as at least k magnitudes clear the cutoff, and
+	// verified cheaply by that count.
+	hint     *float64
+	cutoff   float64
+	gathered bool
+
+	// Shard geometry and per-shard counters (len w each).
+	w, shardLen           int
+	kloc, g, e, offs, tie []int
+
+	cand    []float64 // gathered per-shard candidate magnitudes
+	candIdx []int32   // hint-gather candidate indices, ascending
+
+	fillAbs, fillDelta, fillDeltaOnly, fillDeltaGather, selectShard, countShard, emitShard, emitDense func(lo, hi int)
+}
+
+var topkPool = sync.Pool{New: func() any { return newTopkScratch() }}
+
+func newTopkScratch() *topkScratch {
+	sc := &topkScratch{}
+	sc.fillAbs = func(lo, hi int) {
+		src, mag := sc.src, sc.mag
+		for i := lo; i < hi; i++ {
+			mag[i] = math.Abs(src[i])
+		}
+	}
+	sc.fillDelta = func(lo, hi int) {
+		x, ref, src, mag := sc.x, sc.ref, sc.src, sc.mag
+		for i := lo; i < hi; i++ {
+			d := x[i] - ref[i]
+			src[i] = d
+			mag[i] = math.Abs(d)
+		}
+	}
+	sc.fillDeltaOnly = func(lo, hi int) {
+		// k ≥ n: every coordinate survives, so the delta is computed
+		// without materializing magnitudes.
+		x, ref, src := sc.x, sc.ref, sc.src
+		for i := lo; i < hi; i++ {
+			src[i] = x[i] - ref[i]
+		}
+	}
+	sc.fillDeltaGather = func(lo, hi int) {
+		// Single-shard only: computes the delta and gathers candidate
+		// magnitudes above the cutoff in one pass, skipping the dense
+		// mag scratch entirely.
+		x, ref, src, cut := sc.x, sc.ref, sc.src, sc.cutoff
+		cand, candIdx := sc.cand, sc.candIdx
+		for i := lo; i < hi; i++ {
+			d := x[i] - ref[i]
+			src[i] = d
+			if a := math.Abs(d); a > cut {
+				cand = append(cand, a)
+				candIdx = append(candIdx, int32(i))
+			}
+		}
+		sc.cand, sc.candIdx = cand, candIdx
+	}
+	sc.selectShard = func(lo, hi int) {
+		for s := lo; s < hi; s++ {
+			slo, shi := sc.shardBounds(s)
+			kl := sc.k
+			if kl > shi-slo {
+				kl = shi - slo
+			}
+			sc.kloc[s] = kl
+			quickselectDesc(sc.mag[slo:shi], kl)
+		}
+	}
+	sc.countShard = func(lo, hi int) {
+		src, T := sc.src, sc.T
+		for s := lo; s < hi; s++ {
+			slo, shi := sc.shardBounds(s)
+			g, e := 0, 0
+			for i := slo; i < shi; i++ {
+				a := math.Abs(src[i])
+				if a > T {
+					g++
+				} else if a == T {
+					e++
+				}
+			}
+			sc.g[s], sc.e[s] = g, e
+		}
+	}
+	sc.emitShard = func(lo, hi int) {
+		src, T, out := sc.src, sc.T, sc.out
+		for s := lo; s < hi; s++ {
+			slo, shi := sc.shardBounds(s)
+			pos := 8 * sc.offs[s]
+			rem := sc.tie[s]
+			for i := slo; i < shi; i++ {
+				v := src[i]
+				a := math.Abs(v)
+				if a > T {
+					// keep: strictly above threshold
+				} else if a == T && rem > 0 {
+					rem-- // keep: one of this shard's budgeted ties
+				} else {
+					continue
+				}
+				binary.LittleEndian.PutUint32(out[pos:], uint32(i))
+				binary.LittleEndian.PutUint32(out[pos+4:], math.Float32bits(float32(v)))
+				pos += 8
+			}
+		}
+	}
+	sc.emitDense = func(lo, hi int) {
+		src, out := sc.src, sc.out
+		for i := lo; i < hi; i++ {
+			binary.LittleEndian.PutUint32(out[8*i:], uint32(i))
+			binary.LittleEndian.PutUint32(out[8*i+4:], math.Float32bits(float32(src[i])))
+		}
+	}
+	return sc
+}
+
+func (sc *topkScratch) shardBounds(s int) (lo, hi int) {
+	lo = s * sc.shardLen
+	hi = lo + sc.shardLen
+	if lo > sc.n {
+		lo = sc.n
+	}
+	if hi > sc.n {
+		hi = sc.n
+	}
+	return lo, hi
+}
+
+// release drops the per-call aliases so a pooled scratch never pins
+// caller memory between encodes.
+func (sc *topkScratch) release() {
+	sc.src, sc.x, sc.ref, sc.out, sc.hint = nil, nil, nil, nil, nil
+}
+
+// encodeTopK appends the canonical TopK payload (header, then pairs in
+// ascending index order) for src to dst, keeping the k coordinates
+// that come first under (|value| desc, index asc). When x and ref are
+// non-nil, the fill phase also computes src[i] = x[i] − ref[i] — src
+// then aliases the caller's delta scratch and is overwritten. hint,
+// when non-nil and non-negative, is the previous frame's threshold; it
+// narrows the candidate gather and is updated with this frame's
+// threshold. None of this changes the payload bytes — only the work
+// done to find them.
+func encodeTopK(dst []byte, src []float64, k int, x, ref []float64, hint *float64) []byte {
+	n := len(src)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(n))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(k))
+	if k <= 0 {
+		return dst
+	}
+	sc := topkPool.Get().(*topkScratch)
+	sc.src, sc.x, sc.ref, sc.hint = src, x, ref, hint
+	sc.n, sc.k = n, k
+	w := tensor.Workers()
+	if n < topkShardMin || w > n {
+		w = 1
+	}
+	sc.w = w
+	sc.gathered = w == 1 && x != nil && k < n && hint != nil && *hint >= 0
+	if !sc.gathered && k < n {
+		if cap(sc.mag) < n {
+			sc.mag = make([]float64, n)
+		}
+		sc.mag = sc.mag[:n]
+	}
+	switch {
+	case sc.gathered:
+		// Margin below the previous threshold: the kth magnitude
+		// drifts frame to frame, and a shortfall costs a dense refill.
+		sc.cutoff = 0.9 * *hint
+		if cap(sc.cand) < n {
+			sc.cand = make([]float64, 0, n)
+			sc.candIdx = make([]int32, 0, n)
+		}
+		sc.cand, sc.candIdx = sc.cand[:0], sc.candIdx[:0]
+		sc.fillDeltaGather(0, n)
+	case x != nil && k < n:
+		tensor.Parallel(n, sc.fillDelta)
+	case x != nil:
+		tensor.Parallel(n, sc.fillDeltaOnly)
+	case k < n:
+		tensor.Parallel(n, sc.fillAbs)
+		// plain encode with k == n needs no fill at all: emitDense
+		// reads src directly.
+	}
+	base := len(dst)
+	dst = growBytes(dst, 8*k)
+	sc.out = dst[base : base+8*k]
+	if k >= n {
+		tensor.Parallel(n, sc.emitDense)
+	} else if !sc.selectAndEmit() {
+		emitReference(sc.out, src, k)
+		if hint != nil {
+			// Non-finite data defeated the threshold accounting; stop
+			// gathering until a finite frame restores the hint.
+			*hint = -1
+		}
+	}
+	sc.release()
+	topkPool.Put(sc)
+	return dst
+}
+
+// candThreshold extracts the selection threshold from a candidate
+// multiset known to contain the global top-k magnitudes: T is the kth
+// largest candidate and g the count above it (equal to the global
+// count above T).
+func candThreshold(cand []float64, k int) (T float64, g int) {
+	quickselectDesc(cand, k)
+	T = cand[0]
+	for _, v := range cand[1:k] {
+		if v < T {
+			T = v
+		}
+	}
+	for _, v := range cand[:k] {
+		if v > T {
+			g++
+		}
+	}
+	return T, g
+}
+
+// selectAndEmit runs the threshold selection and writes the pairs
+// region. It returns false — leaving out in an undefined state — only
+// when non-finite magnitudes break the threshold accounting.
+func (sc *topkScratch) selectAndEmit() bool {
+	n, k := sc.n, sc.k
+	w := sc.w
+	if w <= 1 {
+		if sc.gathered {
+			if len(sc.cand) >= k {
+				// At least k magnitudes cleared the cutoff, so the
+				// candidates contain the whole top-k: select among
+				// them without ever materializing dense magnitudes,
+				// and emit from the candidate indices alone — every
+				// kept coordinate is a candidate, because T (the kth
+				// largest magnitude) exceeds the cutoff whenever k
+				// candidates do.
+				T, g := candThreshold(sc.cand, k)
+				if sc.emitCand(T, k-g) {
+					*sc.hint = T
+					return true
+				}
+				return false
+			}
+			// Shortfall: the threshold fell by more than the margin.
+			// The delta is already computed; rebuild dense magnitudes
+			// and run the ordinary path.
+			if cap(sc.mag) < n {
+				sc.mag = make([]float64, n)
+			}
+			sc.mag = sc.mag[:n]
+			sc.fillAbs(0, n)
+		}
+		mag := sc.mag
+		T, g := candThreshold(mag, k)
+		if !sc.emitSingle(T, k-g) {
+			return false
+		}
+		if sc.hint != nil {
+			*sc.hint = T
+		}
+		return true
+	}
+
+	sc.shardLen = (n + w - 1) / w
+	if cap(sc.kloc) < w {
+		sc.kloc = make([]int, w)
+		sc.g = make([]int, w)
+		sc.e = make([]int, w)
+		sc.offs = make([]int, w)
+		sc.tie = make([]int, w)
+	}
+	sc.kloc, sc.g, sc.e = sc.kloc[:w], sc.g[:w], sc.e[:w]
+	sc.offs, sc.tie = sc.offs[:w], sc.tie[:w]
+
+	tensor.Parallel(w, sc.selectShard)
+
+	// Gather each shard's candidate prefix; the kth largest of the
+	// union is the global kth largest magnitude.
+	m := 0
+	for s := 0; s < w; s++ {
+		m += sc.kloc[s]
+	}
+	if cap(sc.cand) < m {
+		sc.cand = make([]float64, 0, m)
+	}
+	cand := sc.cand[:0]
+	for s := 0; s < w; s++ {
+		slo, _ := sc.shardBounds(s)
+		cand = append(cand, sc.mag[slo:slo+sc.kloc[s]]...)
+	}
+	sc.cand = cand
+	// m = Σ min(k, shard) ≥ min(k, n) = k, so the quickselect is valid.
+	T, _ := candThreshold(cand, k)
+	sc.T = T
+
+	tensor.Parallel(w, sc.countShard)
+
+	// Prefix the shard counts into output offsets and tie budgets.
+	G := 0
+	for s := 0; s < w; s++ {
+		G += sc.g[s]
+	}
+	if G > k {
+		return false
+	}
+	off, rem := 0, k-G
+	for s := 0; s < w; s++ {
+		sc.offs[s] = off
+		b := sc.e[s]
+		if b > rem {
+			b = rem
+		}
+		sc.tie[s] = b
+		rem -= b
+		off += sc.g[s] + b
+	}
+	if off != k {
+		return false
+	}
+	tensor.Parallel(w, sc.emitShard)
+	if sc.hint != nil {
+		*sc.hint = T
+	}
+	return true
+}
+
+// emitSingle is the unsharded fast path: one index-order scan keeps
+// everything above T plus the first budget ties at T.
+func (sc *topkScratch) emitSingle(T float64, budget int) bool {
+	out, src := sc.out, sc.src
+	pos, limit := 0, 8*sc.k
+	rem := budget
+	for i, v := range src {
+		a := math.Abs(v)
+		if a > T {
+			// keep
+		} else if a == T && rem > 0 {
+			rem--
+		} else {
+			continue
+		}
+		if pos == limit {
+			return false
+		}
+		binary.LittleEndian.PutUint32(out[pos:], uint32(i))
+		binary.LittleEndian.PutUint32(out[pos+4:], math.Float32bits(float32(v)))
+		pos += 8
+	}
+	return pos == limit
+}
+
+// emitCand is emitSingle restricted to the hint-gather candidates:
+// candIdx is already in ascending index order, so scanning it applies
+// the same keep rule in the same order while touching only the
+// gathered coordinates instead of all n. candThreshold has permuted
+// the magnitudes, so they are re-derived from src.
+func (sc *topkScratch) emitCand(T float64, budget int) bool {
+	out, src := sc.out, sc.src
+	pos, limit := 0, 8*sc.k
+	rem := budget
+	for _, i := range sc.candIdx {
+		v := src[i]
+		a := math.Abs(v)
+		if a > T {
+			// keep
+		} else if a == T && rem > 0 {
+			rem--
+		} else {
+			continue
+		}
+		if pos == limit {
+			return false
+		}
+		binary.LittleEndian.PutUint32(out[pos:], uint32(i))
+		binary.LittleEndian.PutUint32(out[pos+4:], math.Float32bits(float32(v)))
+		pos += 8
+	}
+	return pos == limit
+}
+
+// emitReference writes the pairs region via the original index
+// quickselect — kept both as the specification oracle of the property
+// tests and as the fallback for non-finite inputs, where it reproduces
+// the pre-threshold encoder's bytes exactly.
+func emitReference(out []byte, src []float64, k int) {
+	n := len(src)
+	ip := idxPool.Get().(*[]int)
+	if cap(*ip) < n {
+		*ip = make([]int, n)
+	}
+	idx := (*ip)[:n]
+	for i := range idx {
+		idx[i] = i
+	}
+	selectTopK(idx, src, k)
+	kept := idx[:k]
+	sort.Ints(kept)
+	pos := 0
+	for _, i := range kept {
+		binary.LittleEndian.PutUint32(out[pos:], uint32(i))
+		binary.LittleEndian.PutUint32(out[pos+4:], math.Float32bits(float32(src[i])))
+		pos += 8
+	}
+	idxPool.Put(ip)
+}
+
+// quickselectDesc partitions v so v[:k] holds a k-largest multiset of
+// its values, via iterative median-of-three quickselect with a
+// *three-way* partition and an insertion-sort base case. The
+// three-way split matters: gradient deltas are tie-heavy (converged
+// coordinates are exactly zero), and a binary partition degenerates to
+// O(n²) on duplicate keys, while grouping the ==pivot run finishes a
+// tied range in one pass. Direct float compares make it several times
+// cheaper than the index-indirect form it replaces.
+func quickselectDesc(v []float64, k int) {
+	if k >= len(v) {
+		return
+	}
+	lo, hi := 0, len(v)
+	for hi-lo > 12 {
+		mid := lo + (hi-lo)/2
+		a, b, c := v[lo], v[mid], v[hi-1]
+		pivot := b
+		switch {
+		case (a > b) == (b > c):
+			// b is the median
+		case (a > c) == (c > b):
+			pivot = c
+		default:
+			pivot = a
+		}
+		// Dutch-flag partition: [lo,lt) > pivot, [lt,i) == pivot,
+		// [gt,hi) < pivot.
+		lt, gt, i := lo, hi, lo
+		for i < gt {
+			switch x := v[i]; {
+			case x > pivot:
+				v[i], v[lt] = v[lt], v[i]
+				lt++
+				i++
+			case x < pivot:
+				gt--
+				v[i], v[gt] = v[gt], v[i]
+			default:
+				i++
+			}
+		}
+		switch {
+		case k <= lt:
+			hi = lt
+		case k <= gt:
+			// The boundary falls inside the ==pivot run: v[:k] is all
+			// the >pivot values plus k−lt copies of the pivot — a
+			// k-largest multiset already.
+			return
+		default:
+			lo = gt
+		}
+	}
+	for i := lo + 1; i < hi; i++ {
+		for j := i; j > lo && v[j] > v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+// growBytes extends dst by n bytes (contents unspecified), reusing
+// capacity when available so a recycled buffer reaches zero
+// steady-state allocation.
+func growBytes(dst []byte, n int) []byte {
+	if cap(dst)-len(dst) >= n {
+		return dst[:len(dst)+n]
+	}
+	return append(dst, make([]byte, n)...)
+}

@@ -1,0 +1,169 @@
+package compress
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"hop/internal/tensor"
+)
+
+// refEncodeTopK is the specification encoder: full sort by (|value|
+// desc, index asc), emit the first k indices in ascending order. Every
+// payload the threshold path produces must match it byte for byte.
+func refEncodeTopK(src []float64, k int) []byte {
+	n := len(src)
+	dst := binary.LittleEndian.AppendUint32(nil, uint32(n))
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(k))
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return topKLess(src, idx[a], idx[b]) })
+	kept := append([]int(nil), idx[:k]...)
+	sort.Ints(kept)
+	for _, i := range kept {
+		dst = binary.LittleEndian.AppendUint32(dst, uint32(i))
+		dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(float32(src[i])))
+	}
+	return dst
+}
+
+// TestTopKShardedBytesPoolWidthInvariant is the tentpole determinism
+// pin: the sharded threshold encoder must emit byte-identical payloads
+// at pool widths 1 and 8 — and both must equal the sort-reference
+// bytes — across keep ratios, shapes (including n ≤ 1), heavy-tie
+// vectors, and the all-zero gradient.
+func TestTopKShardedBytesPoolWidthInvariant(t *testing.T) {
+	defer tensor.SetWorkers(0)
+	rng := rand.New(rand.NewSource(99))
+	shapes := []int{0, 1, 2, 7, 100, 127, 128, 129, 500, 2048, 4097}
+	ratios := []float64{0.01, 0.1, 0.5, 1.0}
+	for _, n := range shapes {
+		for _, ratio := range ratios {
+			for _, fill := range []string{"normal", "ties", "zero"} {
+				src := make([]float64, n)
+				for i := range src {
+					switch fill {
+					case "normal":
+						src[i] = rng.NormFloat64() * float64(int(1)<<uint(rng.Intn(12)))
+					case "ties":
+						// Few distinct magnitudes: the threshold tie
+						// budget does real work.
+						src[i] = float64(rng.Intn(3)) * 0.5
+						if rng.Intn(2) == 0 {
+							src[i] = -src[i]
+						}
+					case "zero":
+						// all-zero gradient: every coordinate ties at 0
+					}
+				}
+				c := NewTopK(ratio).(topKCodec)
+				want := refEncodeTopK(src, c.KeepCount(n))
+				for _, w := range []int{1, 8} {
+					tensor.SetWorkers(w)
+					got := c.Compress(nil, src)
+					if !bytes.Equal(got, want) {
+						t.Fatalf("n=%d ratio=%g fill=%s width=%d: payload differs from sort reference (%d vs %d bytes)",
+							n, ratio, fill, w, len(got), len(want))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDeltaEncoderBytesPoolWidthInvariant runs the fused delta path
+// (fill computes x − ref in the sharded sweep) through a multi-frame
+// stream at widths 1 and 8 and requires identical frame bytes, so
+// pipelined/sharded encoding can never desync a replica pair.
+func TestDeltaEncoderBytesPoolWidthInvariant(t *testing.T) {
+	defer tensor.SetWorkers(0)
+	const n, frames = 1000, 6
+	// ratio 1.0 exercises the fused k = n path: dense frames that
+	// still flow through the delta fill.
+	for _, ratio := range []float64{0.1, 1.0} {
+		streams := make(map[int][][]byte)
+		for _, w := range []int{1, 8} {
+			tensor.SetWorkers(w)
+			rng := rand.New(rand.NewSource(7)) // same state trajectory per width
+			enc := NewDeltaEncoder(ratio)
+			x := make([]float64, n)
+			for f := 0; f < frames; f++ {
+				for i := range x {
+					x[i] += rng.NormFloat64()
+				}
+				payload := enc.Compress(nil, x)
+				enc.Commit()
+				streams[w] = append(streams[w], payload)
+			}
+		}
+		for f := 0; f < frames; f++ {
+			if !bytes.Equal(streams[1][f], streams[8][f]) {
+				t.Fatalf("ratio %g frame %d: delta payload differs between widths 1 and 8", ratio, f)
+			}
+		}
+	}
+}
+
+// TestTopKThresholdFallbackNonFinite feeds NaN and Inf magnitudes —
+// which defeat value-threshold comparisons — and checks the encoder
+// falls back to the index-quickselect reference bytes instead of
+// panicking or emitting a short payload.
+func TestTopKThresholdFallbackNonFinite(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{10, 200, 1024} {
+		src := make([]float64, n)
+		for i := range src {
+			switch rng.Intn(5) {
+			case 0:
+				src[i] = math.NaN()
+			case 1:
+				src[i] = math.Inf(1 - 2*rng.Intn(2))
+			default:
+				src[i] = rng.NormFloat64()
+			}
+		}
+		c := NewTopK(0.3).(topKCodec)
+		k := c.KeepCount(n)
+		got := c.Compress(nil, src)
+		if len(got) != 8+8*k {
+			t.Fatalf("n=%d: payload %d bytes, want %d", n, len(got), 8+8*k)
+		}
+		// The fallback is the old encoder verbatim: emitReference into a
+		// pre-sized buffer must agree with it.
+		want := make([]byte, 8*k)
+		emitReference(want, src, k)
+		if !bytes.Equal(got[8:], want) {
+			t.Fatalf("n=%d: non-finite payload does not match reference path", n)
+		}
+	}
+}
+
+// TestQuickselectDescTopKMultiset pins the value quickselect: the
+// front k elements must be a k-largest multiset for adversarial
+// duplicate-heavy inputs.
+func TestQuickselectDescTopKMultiset(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(300)
+		v := make([]float64, n)
+		for i := range v {
+			v[i] = float64(rng.Intn(6)) // heavy ties
+		}
+		k := 1 + rng.Intn(n)
+		sorted := append([]float64(nil), v...)
+		sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+		quickselectDesc(v, k)
+		got := append([]float64(nil), v[:k]...)
+		sort.Sort(sort.Reverse(sort.Float64Slice(got)))
+		for i := 0; i < k; i++ {
+			if got[i] != sorted[i] {
+				t.Fatalf("trial %d n=%d k=%d: front-k multiset wrong at %d: %g vs %g", trial, n, k, i, got[i], sorted[i])
+			}
+		}
+	}
+}

@@ -90,6 +90,26 @@ type Runtime interface {
 	ObserveAdvance(iter int)
 }
 
+// ParamsAllocator is optionally implemented by a Runtime whose
+// delivered update buffers are exclusively owned: every Update handed
+// to Deliver carries a slice referenced nowhere else, and every slice
+// the protocol passes to Send is released by the runtime before Send
+// returns (copied or fully serialized). Under that ownership contract
+// the protocol snapshots parameters from GetParams and hands reduced
+// update buffers back through RecycleParams, making the per-iteration
+// hot path allocation-free. The live runtime qualifies (each decoded
+// frame is a fresh buffer; the transport snapshots before returning);
+// the simulator does NOT — its zero-copy fan-out delivers one slice to
+// many queues and chaos can duplicate entries — so it simply does not
+// implement the interface and the protocol falls back to cloning.
+type ParamsAllocator interface {
+	// GetParams returns a length-n vector with unspecified contents.
+	GetParams(n int) []float64
+	// RecycleParams takes back a buffer the protocol no longer
+	// references.
+	RecycleParams(v []float64)
+}
+
 // Protocol is one worker's Hop state machine: the update queue, ack
 // tracker, consumer-side token counters and staleness bookkeeping of a
 // single participant, plus the per-iteration decision loop. It is
@@ -125,6 +145,13 @@ type Protocol struct {
 
 	rng   *rand.Rand
 	trace *Trace
+
+	// alloc is rt's buffer recycler when the runtime's ownership rules
+	// allow one (ParamsAllocator); nil otherwise. vecScratch is the
+	// reduce's reusable [][]float64 header block.
+	alloc      ParamsAllocator
+	vecScratch [][]float64
+	reduceBuf  []float64
 
 	// crashIter is this worker's scheduled halt (0 = none).
 	crashIter int
@@ -168,6 +195,7 @@ func NewProtocol(cfg Config, id int, t model.Trainer, mon Monitor, rt Runtime, t
 		rng:     rand.New(rand.NewSource(cfg.Seed + int64(id)*7919 + 1)),
 		trace:   tr,
 	}
+	p.alloc, _ = rt.(ParamsAllocator)
 	if cfg.Mode == ModePrague {
 		// Prague groups span the whole cluster regardless of topology
 		// (the graph is a placement/cost substrate only), so the live
@@ -381,7 +409,7 @@ func (p *Protocol) iterParallel(k int) {
 	x := t.Params()
 
 	// 1. Send x_k (self-loop delivered locally for free, §3.1).
-	snap := tensor.Clone(x)
+	snap := p.snapshotParams(x)
 	p.queue.Enqueue(Update{Params: snap, Iter: k, From: p.id})
 	p.sendAll(k, snap)
 
@@ -392,8 +420,11 @@ func (p *Protocol) iterParallel(k int) {
 	var loss float64
 	d := p.rt.Compute(k, func() { grads, loss = t.ComputeGrad(p.rng) })
 
-	// 3+4. Recv and Reduce (mode-dependent).
-	reduced := p.recvReduce(k)
+	// 3+4. Recv and Reduce (mode-dependent) into the persistent reduce
+	// scratch — not into x, which stays untouched until the compute
+	// overlap below ends, exactly as with the old allocate-and-copy.
+	reduced := p.reduceScratch(len(x))
+	p.recvReduceInto(reduced, k)
 
 	// The iteration ends no earlier than the compute does.
 	p.rt.SleepUntil(start + d)
@@ -421,12 +452,14 @@ func (p *Protocol) iterSerial(k int) {
 	p.rt.SleepUntil(start + d)
 	t.Apply(grads)
 
-	snap := tensor.Clone(x)
+	snap := p.snapshotParams(x)
 	p.queue.Enqueue(Update{Params: snap, Iter: k, From: p.id})
 	p.sendAll(k, snap)
 
-	reduced := p.recvReduce(k)
-	tensor.Copy(x, reduced)
+	// Reduce directly into x: the snapshot above (not x itself) is
+	// what sits in the queue, so no aggregated vector aliases the
+	// destination.
+	p.recvReduceInto(x, k)
 
 	if p.cfg.OnIteration != nil {
 		p.cfg.OnIteration(p.id, k, loss, p.rt.Now())
@@ -450,15 +483,15 @@ func (p *Protocol) iterNotifyAck(k int) {
 	// Send(k) is gated on the previous iteration's ACKs; a dead
 	// neighbor's pending edge is released rather than waited on.
 	p.acks.waitForOr(k-1, func() []int { return p.out }, p.ackBlockHook(k-1))
-	snap := tensor.Clone(x)
+	snap := p.snapshotParams(x)
 	p.queue.Enqueue(Update{Params: snap, Iter: k, From: p.id})
 	for _, j := range p.out {
 		p.rt.Send(j, Update{Params: snap, Iter: k, From: p.id})
 	}
 
 	ups := p.queue.dequeueIterOr(k, func() int { return len(p.in) + 1 }, p.reduceBlockHook(k))
-	reduced := meanParams(ups)
-	tensor.Copy(x, reduced)
+	p.meanInto(x, ups)
+	p.recycleUpdates(ups)
 
 	for _, j := range p.in {
 		p.rt.SendAck(j, k)
@@ -483,11 +516,13 @@ func (p *Protocol) sendAll(k int, snap []float64) {
 	}
 }
 
-// recvReduce performs the mode-appropriate Recv + Reduce for iteration
-// k and returns the reduced parameter vector.
-func (p *Protocol) recvReduce(k int) []float64 {
+// recvReduceInto performs the mode-appropriate Recv + Reduce for
+// iteration k, writing the reduced parameter vector into dst. dst must
+// not alias any queued update (snapshots are copies, never x itself).
+func (p *Protocol) recvReduceInto(dst []float64, k int) {
 	if p.cfg.Staleness >= 0 {
-		return p.recvReduceStale(k)
+		p.recvReduceStaleInto(dst, k)
+		return
 	}
 	need := func() int {
 		// Self included (§3.1); re-evaluated per pass because a peer
@@ -500,14 +535,15 @@ func (p *Protocol) recvReduce(k int) []float64 {
 		return n
 	}
 	ups := p.queue.dequeueIterOr(k, need, p.reduceBlockHook(k))
-	return meanParams(ups)
+	p.meanInto(dst, ups)
+	p.recycleUpdates(ups)
 }
 
-// recvReduceStale implements §4.4: keep the newest update per
+// recvReduceStaleInto implements §4.4: keep the newest update per
 // in-neighbor, require it to be at most s iterations old (blocking for
 // a fresh one otherwise), and aggregate with the configured
-// iteration-based weights (Eq. 2 by default).
-func (p *Protocol) recvReduceStale(k int) []float64 {
+// iteration-based weights (Eq. 2 by default) into dst.
+func (p *Protocol) recvReduceStaleInto(dst []float64, k int) {
 	s := p.cfg.Staleness
 	minIter := k - s
 	var vecs [][]float64
@@ -526,10 +562,10 @@ func (p *Protocol) recvReduceStale(k int) []float64 {
 		}
 	}
 	// The self update sent this iteration always satisfies the bound,
-	// so vecs is never empty.
-	reduced := make([]float64, len(vecs[0]))
-	tensor.WeightedMean(reduced, vecs, weights)
-	return reduced
+	// so vecs is never empty. Drained buffers are not recycled here:
+	// the stale mode's drain flow is shared with membership resync and
+	// stays on the allocator-free path for simplicity.
+	tensor.WeightedMean(dst, vecs, weights)
 }
 
 // newestFrom drains sender j's queued updates, keeps the newest, and
@@ -639,6 +675,7 @@ func (p *Protocol) renewParams(kr int) {
 	reduced := make([]float64, len(x))
 	tensor.Mean(reduced, vecs)
 	tensor.Copy(x, reduced)
+	p.recycleUpdates(ups)
 }
 
 func (p *Protocol) noteStaleness(age int) {
@@ -649,15 +686,52 @@ func (p *Protocol) noteStaleness(age int) {
 	p.mon.Unlock()
 }
 
-func meanParams(ups []Update) []float64 {
+// meanInto overwrites dst with the element-wise mean of the dequeued
+// updates' parameters (the Reduce of §3.2) — same summation order as
+// the old allocate-and-copy reduce, so results are bit-identical. dst
+// must not alias any update's buffer.
+func (p *Protocol) meanInto(dst []float64, ups []Update) {
 	if len(ups) == 0 {
 		panic("core: Reduce over zero updates")
 	}
-	vecs := make([][]float64, len(ups))
-	for i, u := range ups {
-		vecs[i] = u.Params
+	vecs := p.vecScratch[:0]
+	for _, u := range ups {
+		vecs = append(vecs, u.Params)
 	}
-	out := make([]float64, len(vecs[0]))
-	tensor.Mean(out, vecs)
-	return out
+	p.vecScratch = vecs
+	tensor.Mean(dst, vecs)
+}
+
+// snapshotParams clones x for enqueue/send, drawing from the runtime's
+// buffer pool when its ownership contract permits (ParamsAllocator).
+func (p *Protocol) snapshotParams(x []float64) []float64 {
+	if p.alloc != nil {
+		snap := p.alloc.GetParams(len(x))
+		tensor.Copy(snap, x)
+		return snap
+	}
+	return tensor.Clone(x)
+}
+
+// recycleUpdates hands fully-reduced update buffers back to the
+// runtime's pool. Only call it with terminally dequeued updates —
+// removed from the queue, reduced, and never referenced again.
+func (p *Protocol) recycleUpdates(ups []Update) {
+	if p.alloc == nil {
+		return
+	}
+	for i := range ups {
+		p.alloc.RecycleParams(ups[i].Params)
+		ups[i].Params = nil
+	}
+}
+
+// reduceScratch returns the persistent reduce target used by the
+// parallel computation graph, which must leave x untouched until the
+// compute overlap ends.
+func (p *Protocol) reduceScratch(n int) []float64 {
+	if cap(p.reduceBuf) < n {
+		p.reduceBuf = make([]float64, n)
+	}
+	return p.reduceBuf[:n]
 }

@@ -162,10 +162,11 @@ func (d *Webspam) SampleInto(batch *SpamBatch, rng *rand.Rand, b int) {
 }
 
 // sampleSparseInto draws nnz distinct sorted indices with ±1 values
-// into v, reusing its backing arrays. Duplicate detection is a linear
-// scan over the (tiny) accepted prefix: the accept/reject decisions —
-// and therefore the RNG stream — are exactly those of the previous
-// map-based implementation, without its per-sample allocations.
+// into v, reusing its backing arrays. The accepted prefix is kept
+// sorted as it grows: each draw binary-searches it — answering the
+// duplicate question with the same accept/reject outcome (and
+// therefore the same RNG stream) as the linear scan it replaces — and
+// inserts in place, so no final sort pass is needed.
 func sampleSparseInto(v *SparseVec, rng *rand.Rand, features, nnz int) {
 	if cap(v.Idx) < nnz {
 		v.Idx = make([]int, 0, nnz)
@@ -173,18 +174,22 @@ func sampleSparseInto(v *SparseVec, rng *rand.Rand, features, nnz int) {
 	idx := v.Idx[:0]
 	for len(idx) < nnz {
 		i := rng.Intn(features)
-		dup := false
-		for _, j := range idx {
-			if j == i {
-				dup = true
-				break
+		lo, hi := 0, len(idx)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if idx[mid] < i {
+				lo = mid + 1
+			} else {
+				hi = mid
 			}
 		}
-		if !dup {
-			idx = append(idx, i)
+		if lo < len(idx) && idx[lo] == i {
+			continue // duplicate: rejected, exactly as before
 		}
+		idx = append(idx, 0)
+		copy(idx[lo+1:], idx[lo:])
+		idx[lo] = i
 	}
-	sortInts(idx)
 	v.Idx = idx
 	if cap(v.Val) < nnz {
 		v.Val = make([]float64, nnz)
@@ -195,14 +200,6 @@ func sampleSparseInto(v *SparseVec, rng *rand.Rand, features, nnz int) {
 			v.Val[i] = 1
 		} else {
 			v.Val[i] = -1
-		}
-	}
-}
-
-func sortInts(s []int) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j-1] > s[j]; j-- {
-			s[j-1], s[j] = s[j], s[j-1]
 		}
 	}
 }

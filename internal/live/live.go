@@ -32,6 +32,7 @@ import (
 	"hop/internal/core"
 	"hop/internal/graph"
 	"hop/internal/model"
+	"hop/internal/tensor"
 	"hop/internal/transport"
 )
 
@@ -80,6 +81,16 @@ type WorkerConfig struct {
 	// frames interleave with large updates; 0 means
 	// transport.DefaultMaxChunk.
 	WireChunkBytes int
+
+	// NoPipelineSends disables the transport's pipelined update path
+	// and encodes/writes every update synchronously on the protocol
+	// goroutine. By default updates are staged with a per-peer sender
+	// goroutine so the next iteration's gradient compute overlaps the
+	// encode and the socket wait; the one-in-flight barrier keeps the
+	// delta stream's stage/commit discipline — and therefore the
+	// payload bytes and retransmit-on-failure semantics — identical to
+	// the synchronous path (transport.Config.PipelineUpdates).
+	NoPipelineSends bool
 
 	MaxIter int
 	Seed    int64
@@ -383,8 +394,9 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 		OnPeerSilent: func(peer int) { w.suspect(peer, "silent past read deadline") },
 		// Send errors with no caller to return to (the heartbeat
 		// loop's) route through the same policy as protocol sends.
-		OnSendError: func(peer int, err error) { w.noteSendError(peer, err) },
-		Chaos:       cfg.Chaos,
+		OnSendError:     func(peer int, err error) { w.noteSendError(peer, err) },
+		PipelineUpdates: !cfg.NoPipelineSends,
+		Chaos:           cfg.Chaos,
 	})
 	if err != nil {
 		return nil, err
@@ -576,6 +588,17 @@ func (r *liveRuntime) PeerIter(peer int) int {
 // ObserveAdvance is a no-op live: there is no global gap tracker on a
 // real cluster. Peers learn this worker's iteration from its messages.
 func (r *liveRuntime) ObserveAdvance(int) {}
+
+// The live runtime satisfies core.ParamsAllocator: every inbound
+// update decodes into its own buffer (transport readConn draws from
+// tensor.GetVec), and outbound Send releases the caller's slice before
+// returning (the synchronous sender fully serializes it; the pipelined
+// sender snapshots it into the peer's staging buffer). The protocol
+// may therefore recycle reduced update buffers, making the live
+// iteration hot path allocation-free.
+func (r *liveRuntime) GetParams(n int) []float64 { return tensor.GetVec(n) }
+
+func (r *liveRuntime) RecycleParams(v []float64) { tensor.PutVec(v) }
 
 // Addr returns the bound listen address.
 func (w *Worker) Addr() string { return w.node.Addr() }

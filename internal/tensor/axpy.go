@@ -1,0 +1,57 @@
+package tensor
+
+// axpy.go — the vectorized inner kernels of the GEMM family. Every
+// matMul* row kernel bottoms out in the same AXPY shape,
+//
+//	c_row[j] += av * b_row[j]    for j = 0…n−1
+//
+// which vectorizes *across output cells*: lane j of a SIMD register
+// holds cell (i, j)'s accumulator, and one vector step performs the
+// identical multiply-then-add each cell would have performed scalar.
+// Because no lane ever combines terms from two cells — and because the
+// kernels use separate multiply and add instructions, never FMA — the
+// vectorized result is bit-for-bit the scalar result, preserving the
+// fixed-summation-order contract of DESIGN.md §3 (vectorize across
+// cells, never across k).
+//
+// The amd64 build carries a hand-written AVX implementation
+// (axpy_amd64.s, gonum/asm-style) selected at init by CPUID; every
+// other platform, and machines without AVX, run the unrolled Go loops
+// below, which the property tests pin bit-identical to the naive
+// triple loop either way.
+
+// axpyVecMin is the shortest row worth a vector-kernel call; below it
+// the call overhead exceeds the arithmetic and the inlined Go loop
+// wins.
+const axpyVecMin = 8
+
+// axpy4 computes cr[j] += ar·b[j] for four C rows sharing one streamed
+// B row. The rows must each be at least len(b) long.
+func axpy4(c0, c1, c2, c3, b []float64, a0, a1, a2, a3 float64) {
+	n := len(b)
+	if haveAVX && n >= axpyVecMin {
+		axpy4AVX(&c0[0], &c1[0], &c2[0], &c3[0], &b[0], n, a0, a1, a2, a3)
+		return
+	}
+	_, _, _ = c0[n-1], c1[n-1], c2[n-1] // hoist bounds checks
+	_ = c3[n-1]
+	for j, bv := range b {
+		c0[j] += a0 * bv
+		c1[j] += a1 * bv
+		c2[j] += a2 * bv
+		c3[j] += a3 * bv
+	}
+}
+
+// axpy1 computes c[j] += a·b[j], the single-row remainder kernel.
+func axpy1(c, b []float64, a float64) {
+	n := len(b)
+	if haveAVX && n >= axpyVecMin {
+		axpy1AVX(&c[0], &b[0], n, a)
+		return
+	}
+	_ = c[n-1]
+	for j, bv := range b {
+		c[j] += a * bv
+	}
+}

@@ -1,0 +1,27 @@
+//go:build amd64
+
+package tensor
+
+// haveAVX reports whether the CPU executes 256-bit AVX and the OS
+// preserves YMM state across context switches (CPUID.1:ECX AVX +
+// OSXSAVE, then XGETBV XCR0 XMM|YMM). Checked once at init; when
+// false every kernel runs the portable Go loops, so the build is
+// correct on any amd64 machine.
+var haveAVX = cpuHasAVX()
+
+// cpuHasAVX is implemented in axpy_amd64.s.
+func cpuHasAVX() bool
+
+// axpy4AVX performs c_r[j] += a_r·b[j] for j = 0…n−1 over four rows
+// with AVX multiplies and adds (no FMA: each lane performs exactly the
+// scalar kernel's round-to-nearest multiply then add, so results are
+// bit-identical). n must be >= 1; the pointers address rows of at
+// least n elements.
+//
+//go:noescape
+func axpy4AVX(c0, c1, c2, c3, b *float64, n int, a0, a1, a2, a3 float64)
+
+// axpy1AVX is the single-row form of axpy4AVX.
+//
+//go:noescape
+func axpy1AVX(c, b *float64, n int, a float64)

@@ -1,0 +1,140 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// AXPY-across-cells kernels (see axpy.go). Determinism contract: each
+// output cell receives exactly one VMULPD/VMULSD product of its own
+// (a, b) pair followed by one VADDPD/VADDSD into its own accumulator
+// lane — the same round-to-nearest multiply-then-add the scalar Go
+// loop performs, in the same j order per cell. FMA is deliberately
+// not used: fusing would skip the intermediate rounding and change
+// bits.
+
+// func cpuHasAVX() bool
+TEXT ·cpuHasAVX(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	// Need OSXSAVE (ECX bit 27) and AVX (ECX bit 28).
+	MOVL CX, DX
+	ANDL $0x18000000, DX
+	CMPL DX, $0x18000000
+	JNE  noavx
+	// XCR0 must have XMM (bit 1) and YMM (bit 2) state enabled.
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  noavx
+	MOVB $1, ret+0(FP)
+	RET
+noavx:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func axpy4AVX(c0, c1, c2, c3, b *float64, n int, a0, a1, a2, a3 float64)
+TEXT ·axpy4AVX(SB), NOSPLIT, $0-80
+	MOVQ c0+0(FP), R8
+	MOVQ c1+8(FP), R9
+	MOVQ c2+16(FP), R10
+	MOVQ c3+24(FP), R11
+	MOVQ b+32(FP), SI
+	MOVQ n+40(FP), CX
+	VBROADCASTSD a0+48(FP), Y0
+	VBROADCASTSD a1+56(FP), Y1
+	VBROADCASTSD a2+64(FP), Y2
+	VBROADCASTSD a3+72(FP), Y3
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-4, DX
+
+loop4:
+	CMPQ AX, DX
+	JGE  tail4
+	VMOVUPD (SI)(AX*8), Y4
+	VMULPD  Y4, Y0, Y5
+	VADDPD  (R8)(AX*8), Y5, Y5
+	VMOVUPD Y5, (R8)(AX*8)
+	VMULPD  Y4, Y1, Y6
+	VADDPD  (R9)(AX*8), Y6, Y6
+	VMOVUPD Y6, (R9)(AX*8)
+	VMULPD  Y4, Y2, Y7
+	VADDPD  (R10)(AX*8), Y7, Y7
+	VMOVUPD Y7, (R10)(AX*8)
+	VMULPD  Y4, Y3, Y8
+	VADDPD  (R11)(AX*8), Y8, Y8
+	VMOVUPD Y8, (R11)(AX*8)
+	ADDQ $4, AX
+	JMP  loop4
+
+tail4:
+	CMPQ AX, CX
+	JGE  done4
+	VMOVSD (SI)(AX*8), X4
+	VMULSD X4, X0, X5
+	VADDSD (R8)(AX*8), X5, X5
+	VMOVSD X5, (R8)(AX*8)
+	VMULSD X4, X1, X6
+	VADDSD (R9)(AX*8), X6, X6
+	VMOVSD X6, (R9)(AX*8)
+	VMULSD X4, X2, X7
+	VADDSD (R10)(AX*8), X7, X7
+	VMOVSD X7, (R10)(AX*8)
+	VMULSD X4, X3, X8
+	VADDSD (R11)(AX*8), X8, X8
+	VMOVSD X8, (R11)(AX*8)
+	INCQ AX
+	JMP  tail4
+
+done4:
+	VZEROUPPER
+	RET
+
+// func axpy1AVX(c, b *float64, n int, a float64)
+TEXT ·axpy1AVX(SB), NOSPLIT, $0-32
+	MOVQ c+0(FP), R8
+	MOVQ b+8(FP), SI
+	MOVQ n+16(FP), CX
+	VBROADCASTSD a+24(FP), Y0
+	XORQ AX, AX
+	MOVQ CX, DX
+	ANDQ $-8, DX
+
+loop1:
+	CMPQ AX, DX
+	JGE  vec1
+	VMOVUPD (SI)(AX*8), Y4
+	VMOVUPD 32(SI)(AX*8), Y5
+	VMULPD  Y4, Y0, Y4
+	VMULPD  Y5, Y0, Y5
+	VADDPD  (R8)(AX*8), Y4, Y4
+	VADDPD  32(R8)(AX*8), Y5, Y5
+	VMOVUPD Y4, (R8)(AX*8)
+	VMOVUPD Y5, 32(R8)(AX*8)
+	ADDQ $8, AX
+	JMP  loop1
+
+vec1:
+	MOVQ CX, DX
+	ANDQ $-4, DX
+	CMPQ AX, DX
+	JGE  tail1
+	VMOVUPD (SI)(AX*8), Y4
+	VMULPD  Y4, Y0, Y4
+	VADDPD  (R8)(AX*8), Y4, Y4
+	VMOVUPD Y4, (R8)(AX*8)
+	ADDQ $4, AX
+
+tail1:
+	CMPQ AX, CX
+	JGE  done1
+	VMOVSD (SI)(AX*8), X4
+	VMULSD X4, X0, X4
+	VADDSD (R8)(AX*8), X4, X4
+	VMOVSD X4, (R8)(AX*8)
+	INCQ AX
+	JMP  tail1
+
+done1:
+	VZEROUPPER
+	RET

@@ -1,0 +1,15 @@
+//go:build !amd64
+
+package tensor
+
+// Non-amd64 builds have no hand-vectorized kernels; the portable Go
+// loops in axpy.go serve every call.
+const haveAVX = false
+
+func axpy4AVX(c0, c1, c2, c3, b *float64, n int, a0, a1, a2, a3 float64) {
+	panic("tensor: axpy4AVX on non-amd64")
+}
+
+func axpy1AVX(c, b *float64, n int, a float64) {
+	panic("tensor: axpy1AVX on non-amd64")
+}

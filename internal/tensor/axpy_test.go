@@ -1,0 +1,177 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// scalarAxpy is the reference kernel: the exact multiply-then-add each
+// output cell performs in the naive triple loop.
+func scalarAxpy(c, b []float64, a float64) {
+	for j, bv := range b {
+		c[j] += a * bv
+	}
+}
+
+func fillRand(r *rand.Rand, v []float64) {
+	for i := range v {
+		// Mix magnitudes so rounding differences would surface.
+		v[i] = (r.Float64() - 0.5) * math.Pow(10, float64(r.Intn(7)-3))
+	}
+}
+
+// TestAxpyBitIdentical pins axpy1/axpy4 (including the AVX path when
+// the host has it) bit-for-bit against the scalar kernel across row
+// lengths straddling axpyVecMin, odd tails, and long rows.
+func TestAxpyBitIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	lengths := []int{1, 2, 3, 4, 5, 7, 8, 9, 11, 15, 16, 17, 31, 64, 100, 1023}
+	for _, n := range lengths {
+		b := make([]float64, n)
+		fillRand(r, b)
+		coef := []float64{0, 1, -1, 0.3, -2.5e3, 1e-7}
+		for _, a := range coef {
+			want := make([]float64, n)
+			fillRand(r, want)
+			got := append([]float64(nil), want...)
+			scalarAxpy(want, b, a)
+			axpy1(got, b, a)
+			for j := range want {
+				if math.Float64bits(want[j]) != math.Float64bits(got[j]) {
+					t.Fatalf("axpy1 n=%d a=%g: bit mismatch at %d: %x vs %x",
+						n, a, j, math.Float64bits(want[j]), math.Float64bits(got[j]))
+				}
+			}
+		}
+
+		// Four rows with distinct coefficients through axpy4.
+		want := make([][]float64, 4)
+		got := make([][]float64, 4)
+		as := []float64{0.25, -3, 1e-4, 7.5}
+		for r4 := 0; r4 < 4; r4++ {
+			want[r4] = make([]float64, n)
+			fillRand(r, want[r4])
+			got[r4] = append([]float64(nil), want[r4]...)
+			scalarAxpy(want[r4], b, as[r4])
+		}
+		axpy4(got[0], got[1], got[2], got[3], b, as[0], as[1], as[2], as[3])
+		for r4 := 0; r4 < 4; r4++ {
+			for j := range want[r4] {
+				if math.Float64bits(want[r4][j]) != math.Float64bits(got[r4][j]) {
+					t.Fatalf("axpy4 n=%d row=%d: bit mismatch at %d", n, r4, j)
+				}
+			}
+		}
+	}
+}
+
+// TestAxpyGoFallbackBitIdentical forces the portable Go path (rows
+// shorter than axpyVecMin always take it; on non-AVX hosts every row
+// does) and pins it against the scalar reference, so the fallback is
+// covered even on machines where the AVX path is live.
+func TestAxpyGoFallbackBitIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for n := 1; n < axpyVecMin; n++ {
+		b := make([]float64, n)
+		fillRand(r, b)
+		want := make([]float64, n)
+		fillRand(r, want)
+		got := append([]float64(nil), want...)
+		scalarAxpy(want, b, 1.75)
+		axpy1(got, b, 1.75)
+		for j := range want {
+			if math.Float64bits(want[j]) != math.Float64bits(got[j]) {
+				t.Fatalf("axpy1 fallback n=%d: bit mismatch at %d", n, j)
+			}
+		}
+	}
+}
+
+// TestGemmAxpyKernelShapes runs the full GEMM entry points on shapes
+// chosen to exercise the AXPY kernels' edges — odd tails, rows shorter
+// than axpyVecMin, quad remainders, and a large shape — at pool widths
+// 1 and 4, pinning every output bit against the naive triple loop.
+func TestGemmAxpyKernelShapes(t *testing.T) {
+	shapes := []struct{ m, k, n int }{
+		{1, 1, 1},
+		{3, 2, 7},    // n below axpyVecMin: pure Go path
+		{4, 5, 8},    // n exactly axpyVecMin
+		{5, 3, 9},    // quad remainder row + odd tail
+		{6, 7, 13},   // odd everything
+		{4, 4, 1024}, // long aligned rows
+		{7, 9, 257},  // long rows with scalar tail
+		{64, 128, 96},
+		{33, 17, 129},
+	}
+	r := rand.New(rand.NewSource(43))
+	for _, s := range shapes {
+		a := make([]float64, s.m*s.k)
+		b := make([]float64, s.k*s.n)
+		bt := make([]float64, s.n*s.k)
+		at := make([]float64, s.k*s.m)
+		fillRand(r, a)
+		fillRand(r, b)
+		fillRand(r, bt)
+		fillRand(r, at)
+
+		wantAB := make([]float64, s.m*s.n)
+		refMatMul(wantAB, a, b, s.m, s.k, s.n)
+		wantATB := make([]float64, s.m*s.n)
+		refMatMulATB(wantATB, at, b, s.k, s.m, s.n)
+		wantABT := make([]float64, s.m*s.n)
+		refMatMulABT(wantABT, a, bt, s.m, s.k, s.n)
+
+		for _, w := range []int{1, 4} {
+			SetWorkers(w)
+			name := fmt.Sprintf("axpy/w%d", w)
+			c := make([]float64, s.m*s.n)
+			MatMul(c, a, b, s.m, s.k, s.n)
+			exactEq(t, "MatMul/"+name, c, wantAB, s.m, s.n)
+			MatMulATB(c, at, b, s.k, s.m, s.n)
+			exactEq(t, "MatMulATB/"+name, c, wantATB, s.m, s.n)
+			MatMulABT(c, a, bt, s.m, s.k, s.n)
+			exactEq(t, "MatMulABT/"+name, c, wantABT, s.m, s.n)
+		}
+	}
+	SetWorkers(0)
+}
+
+func benchAxpyRow(b *testing.B, n int) {
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i%17) * 0.25
+		y[i] = float64(i%13) * 0.5
+	}
+	b.SetBytes(int64(8 * n))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		axpy1(y, x, 1.0000001)
+	}
+	b.ReportMetric(float64(2*n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "gflops")
+}
+
+func BenchmarkAxpy1Row256(b *testing.B)  { benchAxpyRow(b, 256) }
+func BenchmarkAxpy1Row4096(b *testing.B) { benchAxpyRow(b, 4096) }
+
+func BenchmarkAxpy4Row256(b *testing.B) {
+	const n = 256
+	x := make([]float64, n)
+	c := make([][]float64, 4)
+	for i := range x {
+		x[i] = float64(i%17) * 0.25
+	}
+	for r := range c {
+		c[r] = make([]float64, n)
+	}
+	b.SetBytes(int64(8 * n * 5))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		axpy4(c[0], c[1], c[2], c[3], x, 0.25, -0.5, 1.5, 2.0)
+	}
+	b.ReportMetric(float64(8*n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "gflops")
+}

@@ -140,9 +140,11 @@ func MatMul(c, a, b []float64, m, k, n int) {
 }
 
 // matMulRows computes rows [i0, i1) of C = A·B. Four C rows advance
-// together so each row of B is streamed once per quad, but every cell
-// keeps its own accumulator and p increases monotonically — the
-// summation order of the plain triple loop.
+// together so each row of B is streamed once per quad; each per-p step
+// is an AXPY across the quad's output cells (axpy4/axpy1, vectorized
+// on capable hardware), so every cell keeps its own accumulator and p
+// increases monotonically — the summation order of the plain triple
+// loop.
 func matMulRows(c, a, b []float64, k, n, i0, i1 int) {
 	z := c[i0*n : i1*n]
 	for j := range z {
@@ -159,25 +161,15 @@ func matMulRows(c, a, b []float64, k, n, i0, i1 int) {
 		c2 := c[(i+2)*n : (i+3)*n]
 		c3 := c[(i+3)*n : (i+4)*n]
 		for p := 0; p < k; p++ {
-			av0, av1, av2, av3 := a0[p], a1[p], a2[p], a3[p]
 			brow := b[p*n : (p+1)*n]
-			for j, bv := range brow {
-				c0[j] += av0 * bv
-				c1[j] += av1 * bv
-				c2[j] += av2 * bv
-				c3[j] += av3 * bv
-			}
+			axpy4(c0, c1, c2, c3, brow, a0[p], a1[p], a2[p], a3[p])
 		}
 	}
 	for ; i < i1; i++ {
 		arow := a[i*k : (i+1)*k]
 		crow := c[i*n : (i+1)*n]
 		for p := 0; p < k; p++ {
-			av := arow[p]
-			brow := b[p*n : (p+1)*n]
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
+			axpy1(crow, b[p*n:(p+1)*n], arow[p])
 		}
 	}
 }
@@ -213,24 +205,14 @@ func matMulATBCols(c, a, b []float64, k, m, n, i0, i1 int) {
 		c3 := c[(i+3)*n : (i+4)*n]
 		for p := 0; p < k; p++ {
 			apos := p*m + i
-			av0, av1, av2, av3 := a[apos], a[apos+1], a[apos+2], a[apos+3]
 			brow := b[p*n : (p+1)*n]
-			for j, bv := range brow {
-				c0[j] += av0 * bv
-				c1[j] += av1 * bv
-				c2[j] += av2 * bv
-				c3[j] += av3 * bv
-			}
+			axpy4(c0, c1, c2, c3, brow, a[apos], a[apos+1], a[apos+2], a[apos+3])
 		}
 	}
 	for ; i < i1; i++ {
 		crow := c[i*n : (i+1)*n]
 		for p := 0; p < k; p++ {
-			av := a[p*m+i]
-			brow := b[p*n : (p+1)*n]
-			for j, bv := range brow {
-				crow[j] += av * bv
-			}
+			axpy1(crow, b[p*n:(p+1)*n], a[p*m+i])
 		}
 	}
 }

@@ -197,34 +197,48 @@ func parseHeader(b []byte) (frameHeader, error) {
 // mismatch is a protocol error, not corruption) and the payload length
 // is bounds-checked before it drives an allocation.
 func readFrame(r io.Reader) (frameHeader, []byte, error) {
+	h, payload, _, err := readFrameBuf(r, nil)
+	return h, payload, err
+}
+
+// readFrameBuf is readFrame reading the frame body into scratch's
+// capacity (growing it only when too small), so a per-connection read
+// loop runs allocation-free in steady state. The returned payload
+// aliases the returned scratch and is valid only until the next call
+// with the same buffer; callers that retain payload bytes must copy
+// them (the reassembler does, for multi-chunk stashes).
+func readFrameBuf(r io.Reader, scratch []byte) (frameHeader, []byte, []byte, error) {
 	var hb [headerLen]byte
 	if _, err := io.ReadFull(r, hb[:]); err != nil {
-		return frameHeader{}, nil, err
+		return frameHeader{}, nil, scratch, err
 	}
 	if string(hb[0:4]) != magic {
-		return frameHeader{}, nil, fmt.Errorf("transport: bad magic %q (version mismatch or not a hop peer): %w", hb[0:4], errProtocol)
+		return frameHeader{}, nil, scratch, fmt.Errorf("transport: bad magic %q (version mismatch or not a hop peer): %w", hb[0:4], errProtocol)
 	}
 	plen := binary.LittleEndian.Uint32(hb[28:])
 	if plen > maxFramePayload {
-		return frameHeader{}, nil, fmt.Errorf("transport: frame payload %d exceeds limit %d: %w", plen, maxFramePayload, errCorruptFrame)
+		return frameHeader{}, nil, scratch, fmt.Errorf("transport: frame payload %d exceeds limit %d: %w", plen, maxFramePayload, errCorruptFrame)
 	}
-	body := make([]byte, int(plen)+crcLen)
+	if need := int(plen) + crcLen; cap(scratch) < need {
+		scratch = make([]byte, need)
+	}
+	body := scratch[:int(plen)+crcLen]
 	if _, err := io.ReadFull(r, body); err != nil {
-		return frameHeader{}, nil, err
+		return frameHeader{}, nil, scratch, err
 	}
 	payload := body[:plen]
 	want := binary.LittleEndian.Uint32(body[plen:])
 	if got := crc32.Update(crc32.Checksum(hb[:], castagnoli), castagnoli, payload); got != want {
-		return frameHeader{}, nil, fmt.Errorf("transport: frame CRC %08x, trailer says %08x: %w", got, want, errCorruptFrame)
+		return frameHeader{}, nil, scratch, fmt.Errorf("transport: frame CRC %08x, trailer says %08x: %w", got, want, errCorruptFrame)
 	}
 	h, err := parseHeader(hb[:])
 	if err != nil {
-		return frameHeader{}, nil, err
+		return frameHeader{}, nil, scratch, err
 	}
 	if plen == 0 {
 		payload = nil
 	}
-	return h, payload, nil
+	return h, payload, scratch, nil
 }
 
 // partialMsg accumulates the chunks of one in-flight update message.
@@ -249,7 +263,10 @@ func newReassembler() *reassembler {
 
 // add folds one update frame in. It returns the completed (header,
 // payload) when the final chunk of a message arrives, and an error if
-// the stream violates the chunking contract.
+// the stream violates the chunking contract. Single-chunk messages are
+// returned aliasing the caller's payload (valid until its next frame
+// read); multi-chunk stashes are copied, so the caller may reuse its
+// frame buffer immediately.
 func (ra *reassembler) add(h frameHeader, payload []byte) (frameHeader, []byte, bool, error) {
 	if h.chunkCount == 1 {
 		return h, payload, true, nil
@@ -272,7 +289,7 @@ func (ra *reassembler) add(h frameHeader, payload []byte) (frameHeader, []byte, 
 	if ra.pendingBytes+len(payload) > maxPendingBytes {
 		return frameHeader{}, nil, false, fmt.Errorf("transport: %d bytes of incomplete chunked messages pending", ra.pendingBytes)
 	}
-	p.chunks[h.chunkIndex] = payload
+	p.chunks[h.chunkIndex] = append([]byte(nil), payload...)
 	p.got++
 	p.bytes += len(payload)
 	ra.pendingBytes += len(payload)

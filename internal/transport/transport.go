@@ -27,12 +27,14 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"hop/internal/compress"
+	"hop/internal/tensor"
 )
 
 // Kind discriminates protocol messages.
@@ -166,9 +168,23 @@ type Config struct {
 	// concurrent use.
 	OnPeerSilent func(peer int)
 	// OnSendError, when non-nil, receives send failures that have no
-	// caller to return to — the heartbeat loop's. Called from the
-	// heartbeat goroutine; must be safe for concurrent use.
+	// caller to return to: the heartbeat loop's, and — in pipelined
+	// mode — failed background update sends. Called from heartbeat and
+	// per-peer sender goroutines; must be safe for concurrent use.
 	OnSendError func(peer int, err error)
+	// PipelineUpdates moves update sends off the caller's goroutine:
+	// Send stages the update (snapshotting Params) with a per-peer
+	// sender goroutine and returns nil immediately, so the caller's
+	// compute overlaps the encode and the socket wait. At most one
+	// update per peer is in flight — the next Send to that peer blocks
+	// until the previous frame is fully written (or has failed), a
+	// barrier that keeps the stream-codec stage/commit discipline
+	// exactly as in synchronous mode: a failed frame is never
+	// committed, so its mass is re-encoded into the next frame and
+	// payload bytes are identical to a synchronous sender's. Failures
+	// surface through OnSendError (Send itself has already returned),
+	// which pipelined callers should therefore set.
+	PipelineUpdates bool
 	// Chaos, when non-nil, injects seeded faults (drop, duplicate,
 	// delay, bit-flip, partition windows) into outgoing frames before
 	// they reach the socket. See ChaosConfig.
@@ -212,6 +228,12 @@ type Stats struct {
 	// CorruptFrames counts inbound frames dropped on a CRC32-C
 	// mismatch. Zero on a healthy network — live_smoke.sh asserts it.
 	CorruptFrames int64
+	// PipelineStalls counts pipelined update sends that found the
+	// previous frame to the same peer still in flight and had to wait
+	// at the barrier. Zero in synchronous mode; a high value relative
+	// to UpdatesSent means the wire, not the compute, is the
+	// bottleneck.
+	PipelineStalls int64
 	// Chaos counts faults injected by this node's ChaosConfig (all
 	// zero when chaos is off).
 	Chaos ChaosStats
@@ -236,12 +258,80 @@ type peer struct {
 	lastWrite atomic.Int64
 
 	// updMu serializes whole update sends to this peer so the scratch
-	// buffers below can be reused allocation-free; control frames take
+	// buffer below can be reused allocation-free; control frames take
 	// only mu, so they still interleave between an update's chunks.
+	// (The compressed payload itself lives in the shared-encode entry.)
 	updMu sync.Mutex
-	buf   []byte // compressed payload scratch, guarded by updMu
 	frame []byte // per-chunk header+payload scratch, guarded by updMu
+
+	// Pipeline state (Config.PipelineUpdates). jobs hands at most one
+	// staged update to the sender goroutine; done reports each frame's
+	// resolution back (buffered so the sender never blocks on it).
+	// pending and stopped are guarded by updMu. The staged params and
+	// payload travel in the job's encShared entry; the one-in-flight
+	// barrier means the staging caller and the sender goroutine access
+	// peer state strictly alternately (each hand-off through jobs/done
+	// is a happens-before edge).
+	jobs    chan pipelineJob
+	done    chan error
+	pending bool
+	stopped bool
+
+	// hist fingerprints this peer's update-stream state: seeded from
+	// the negotiated codec kind, advanced on every committed stream
+	// frame by the frame's iteration tag. Two peers of one node with
+	// equal hist have byte-identical encoder replicas (same codec spec,
+	// same committed frame sequence from the same snapshots, and the
+	// codec is deterministic), so they can share one encoded payload.
+	// Owned by whichever side currently holds the send right: the
+	// submitter under updMu once the pipeline barrier has resolved, or
+	// the sender goroutine mid-job.
+	hist uint64
 }
+
+// pipelineJob is one staged update send; the params (and, once the
+// leader encoded, the payload) travel in e under the one-in-flight
+// barrier.
+type pipelineJob struct {
+	e          *encShared
+	leader     bool
+	from, iter int
+}
+
+// encShared is one encoded update payload shared across every peer
+// whose stream state is bit-identical at stage time: same negotiated
+// codec (hist seed), same committed frame history (hist), same source
+// update (from, iter, and the exact parameter bits). The first peer
+// staged — the leader — encodes with its own stream encoder; riders
+// wait on ready and adopt the payload byte for byte, which is exactly
+// what their encoder would have produced (codec determinism plus
+// induction over the shared history). In a ring this halves encode
+// CPU: one worker snapshots once and sends to two neighbors.
+type encShared struct {
+	from, iter int
+	hist       uint64
+	params     []float64
+	payload    []byte
+	ready      chan struct{} // closed by the leader once payload is valid
+	// refs counts the stage hand-offs plus Node.encCur's matchability
+	// reference; the entry returns to the pool at zero.
+	refs atomic.Int32
+}
+
+var encSharedPool = sync.Pool{New: func() any { return new(encShared) }}
+
+func releaseEncShared(e *encShared) {
+	if e.refs.Add(-1) == 0 {
+		encSharedPool.Put(e)
+	}
+}
+
+// histSeed is the FNV-1a offset basis mixed with the negotiated codec
+// kind; histNext is one FNV-1a-style step folding a committed frame's
+// iteration tag in.
+func histSeed(k compress.Kind) uint64 { return 0xcbf29ce484222325 ^ uint64(k) }
+
+func histNext(h uint64, iter int) uint64 { return (h ^ uint64(uint32(iter))) * 1099511628211 }
 
 // Node is one transport endpoint: a listener plus outgoing peer
 // connections.
@@ -260,6 +350,11 @@ type Node struct {
 
 	chaos *chaosState // nil when Config.Chaos is nil
 
+	// encMu guards encCur, the newest shared-encode entry; peers whose
+	// stream state matches it ride the leader's payload (see encShared).
+	encMu  sync.Mutex
+	encCur *encShared
+
 	framesSent, framesRecv   atomic.Int64
 	bytesSent, bytesRecv     atomic.Int64
 	updatesSent, updatesRecv atomic.Int64
@@ -270,6 +365,7 @@ type Node struct {
 	heartbeatsSent, heartbeatsRecv atomic.Int64
 	heartbeatsMissed               atomic.Int64
 	corruptFrames                  atomic.Int64
+	pipelineStalls                 atomic.Int64
 }
 
 // Listen starts a node with the given worker id on addr (use ":0" for
@@ -324,6 +420,7 @@ func (n *Node) Stats() Stats {
 		HeartbeatsRecv:      n.heartbeatsRecv.Load(),
 		HeartbeatsMissed:    n.heartbeatsMissed.Load(),
 		CorruptFrames:       n.corruptFrames.Load(),
+		PipelineStalls:      n.pipelineStalls.Load(),
 	}
 	if n.chaos != nil {
 		s.Chaos = n.chaos.stats()
@@ -465,8 +562,12 @@ func (n *Node) readConn(conn net.Conn) (int, error) {
 		}}
 	}
 	var delta *compress.DeltaDecoder
+	var frameBuf []byte // per-connection frame body scratch (readFrameBuf)
 	for {
-		h, payload, err := readFrame(r)
+		var h frameHeader
+		var payload []byte
+		var err error
+		h, payload, frameBuf, err = readFrameBuf(r, frameBuf)
 		if err != nil {
 			if errors.Is(err, io.EOF) {
 				// A goodbye-less FIN means the peer process died (an
@@ -492,14 +593,17 @@ func (n *Node) readConn(conn net.Conn) (int, error) {
 			if !done {
 				continue
 			}
+			// Decode into a recycled buffer: the handler's consumer owns
+			// the slice exclusively (each frame decodes into its own
+			// buffer) and hands it back to the pool once reduced.
 			var params []float64
 			if mh.codec == compress.TopK {
 				if delta == nil {
 					delta = new(compress.DeltaDecoder)
 				}
-				params, err = delta.Decode(joined)
+				params, err = delta.DecodeInto(tensor.GetVec(0), joined)
 			} else {
-				params, err = compress.Decode(mh.codec, joined)
+				params, err = compress.DecodeInto(tensor.GetVec(0), mh.codec, joined)
 			}
 			if err != nil {
 				return sender, fmt.Errorf("update from %d iter %d: %w", mh.from, mh.iter, err)
@@ -658,6 +762,7 @@ func (n *Node) connect(addr string, deadline time.Time) (net.Conn, compress.Comp
 // the epoch.
 func newPeer(conn net.Conn, comp compress.Compressor) *peer {
 	p := &peer{conn: conn, comp: perStream(comp)}
+	p.hist = histSeed(p.comp.Kind())
 	p.lastWrite.Store(time.Now().UnixNano())
 	return p
 }
@@ -687,9 +792,57 @@ func (n *Node) Dial(id int, addr string, timeout time.Duration) error {
 		conn.Close()
 		return fmt.Errorf("transport: peer %d already connected", id)
 	}
-	n.peers[id] = newPeer(conn, comp)
+	n.registerPeer(id, newPeer(conn, comp))
 	n.mu.Unlock()
 	return nil
+}
+
+// registerPeer installs p as the connection to peer id and, in
+// pipelined mode, starts its sender goroutine. Called under n.mu.
+func (n *Node) registerPeer(id int, p *peer) {
+	n.peers[id] = p
+	if n.cfg.PipelineUpdates {
+		p.jobs = make(chan pipelineJob)
+		p.done = make(chan error, 1)
+		n.wg.Add(1)
+		go n.peerSender(p, id)
+	}
+}
+
+// peerSender is the per-peer background update sender: it encodes and
+// writes each staged frame, reports failures through OnSendError, and
+// posts the frame's resolution for the next Send's barrier.
+func (n *Node) peerSender(p *peer, id int) {
+	defer n.wg.Done()
+	for job := range p.jobs {
+		err := n.writeShared(p, id, job.e, job.leader, job.from, job.iter)
+		if err != nil {
+			if cb := n.cfg.OnSendError; cb != nil {
+				cb(id, err)
+			}
+		}
+		p.done <- err
+	}
+}
+
+// stopPipeline drains a pipelined peer's in-flight frame and shuts its
+// sender goroutine down; a no-op for synchronous peers. The write
+// deadline set first bounds the drain when the socket is wedged (the
+// abandoned frame was never committed, so its mass is re-sent on the
+// next connection).
+func (n *Node) stopPipeline(p *peer) {
+	if p.jobs == nil {
+		return
+	}
+	p.conn.SetWriteDeadline(time.Now().Add(200 * time.Millisecond))
+	p.updMu.Lock()
+	if p.pending {
+		<-p.done
+		p.pending = false
+	}
+	p.stopped = true
+	close(p.jobs)
+	p.updMu.Unlock()
 }
 
 // Redial re-establishes the outgoing connection to peer id (e.g. after
@@ -712,9 +865,10 @@ func (n *Node) Redial(id int, addr string, timeout time.Duration) error {
 		return fmt.Errorf("transport: node closed")
 	}
 	old := n.peers[id]
-	n.peers[id] = newPeer(conn, comp)
+	n.registerPeer(id, newPeer(conn, comp))
 	n.mu.Unlock()
 	if old != nil {
+		n.stopPipeline(old)
 		old.conn.Close()
 	}
 	return nil
@@ -809,8 +963,99 @@ func (n *Node) Send(id int, m Message) error {
 func (n *Node) sendUpdate(p *peer, id int, m Message) error {
 	p.updMu.Lock()
 	defer p.updMu.Unlock()
-	p.buf = p.comp.Compress(p.buf[:0], m.Params)
-	payload := p.buf
+	if p.jobs != nil && !p.stopped {
+		// Pipelined hand-off: barrier on the previous in-flight frame
+		// (so the stream encoder's staged/committed state — and hist —
+		// is resolved before the next frame is derived from it), stage
+		// the shared entry (which snapshots the params; the caller
+		// mutates them during the overlapped compute), and hand the job
+		// off. Errors surface via OnSendError.
+		if p.pending {
+			select {
+			case <-p.done:
+			default:
+				n.pipelineStalls.Add(1)
+				<-p.done
+			}
+			p.pending = false
+		}
+		e, leader := n.stageUpdate(p, m)
+		p.jobs <- pipelineJob{e: e, leader: leader, from: m.From, iter: m.Iter}
+		p.pending = true
+		return nil
+	}
+	e, leader := n.stageUpdate(p, m)
+	return n.writeShared(p, id, e, leader, m.From, m.Iter)
+}
+
+// stageUpdate returns the shared-encode entry for m and whether this
+// peer is its leader. A peer rides an existing entry only when it is
+// for the same update and the peer's stream fingerprint equals the
+// leader's at stage time — the condition under which the leader's
+// bytes are provably this peer's bytes. The caller must hold p.updMu
+// with the pipeline barrier resolved (hist quiescent).
+func (n *Node) stageUpdate(p *peer, m Message) (*encShared, bool) {
+	n.encMu.Lock()
+	defer n.encMu.Unlock()
+	if e := n.encCur; e != nil && e.iter == m.Iter && e.from == m.From &&
+		e.hist == p.hist && paramsEqual(e.params, m.Params) {
+		e.refs.Add(1)
+		return e, false
+	}
+	e := encSharedPool.Get().(*encShared)
+	e.from, e.iter, e.hist = m.From, m.Iter, p.hist
+	e.params = append(e.params[:0], m.Params...)
+	e.payload = e.payload[:0]
+	e.ready = make(chan struct{})
+	e.refs.Store(2) // this stage + encCur's matchability reference
+	if old := n.encCur; old != nil {
+		releaseEncShared(old)
+	}
+	n.encCur = e
+	return e, true
+}
+
+// paramsEqual reports bit-exact equality (Float64bits, so NaNs only
+// match themselves and -0 ≠ +0 — the encoder is a function of the
+// bits, so only bit equality guarantees byte-equal payloads).
+func paramsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	if len(a) == 0 || &a[0] == &b[0] {
+		return true
+	}
+	for i, v := range a {
+		if math.Float64bits(v) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// writeShared realizes one staged update send: the leader encodes the
+// entry's snapshot into its payload and publishes it; a rider waits
+// for the payload and stages it into its own stream encoder verbatim
+// (compress.SharedStager). Either way the payload is then written as
+// chunked frames, committing stream-codec state — and advancing the
+// stream fingerprint — only after every chunk is on the wire. Callers
+// must hold p.updMu or be the peer's sender goroutine (which owns the
+// peer state between hand-offs).
+func (n *Node) writeShared(p *peer, id int, e *encShared, leader bool, from, iter int) error {
+	defer releaseEncShared(e)
+	if leader {
+		// Encode into the entry so riders can alias it; ready is closed
+		// before any socket write, so a wedged connection here never
+		// blocks a rider.
+		e.payload = p.comp.Compress(e.payload[:0], e.params)
+		close(e.ready)
+	} else {
+		<-e.ready
+		if s, ok := p.comp.(compress.SharedStager); ok {
+			s.StageShared(e.payload, len(e.params))
+		}
+	}
+	payload := e.payload
 	maxChunk := n.cfg.maxChunk()
 	chunks := (len(payload) + maxChunk - 1) / maxChunk
 	if chunks < 1 {
@@ -829,7 +1074,7 @@ func (n *Node) sendUpdate(p *peer, id int, m Message) error {
 		h := frameHeader{
 			kind: frameUpdate, codec: p.comp.Kind(),
 			chunkIndex: uint16(c), chunkCount: uint16(chunks),
-			from: uint32(m.From), iter: int32(m.Iter), seq: seq,
+			from: uint32(from), iter: int32(iter), seq: seq,
 		}
 		p.frame = appendFrame(p.frame[:0], h, payload[lo:hi])
 		if err := n.writeFrame(p, id, p.frame); err != nil {
@@ -837,14 +1082,17 @@ func (n *Node) sendUpdate(p *peer, id int, m Message) error {
 		}
 	}
 	// Only now has the receiver (eventually) seen the frame: advance
-	// stream-codec state. An errored send above stays uncommitted, so
-	// the encoder re-sends the same mass next time instead of
-	// desyncing from a receiver that saw nothing.
+	// stream-codec state. An errored send above stays uncommitted — and
+	// leaves hist unadvanced — so the encoder re-sends the same mass
+	// next time instead of desyncing from a receiver that saw nothing.
+	// Stateless codecs keep their seed fingerprint: their payloads are
+	// pure functions of the params, so history never gates sharing.
 	if c, ok := p.comp.(compress.StreamCommitter); ok {
 		c.Commit()
+		p.hist = histNext(p.hist, iter)
 	}
 	n.updatesSent.Add(1)
-	n.rawUpdateBytes.Add(int64(8 * len(m.Params)))
+	n.rawUpdateBytes.Add(int64(8 * len(e.params)))
 	n.wireUpdateBytes.Add(int64(len(payload)))
 	return nil
 }
@@ -900,6 +1148,10 @@ func (n *Node) Close() {
 	n.ln.Close()
 	goodbye := appendFrame(nil, frameHeader{kind: frameGoodbye, from: uint32(n.id)}, nil)
 	for _, p := range peers {
+		// Drain any pipelined in-flight update first: the goodbye must
+		// come after the last update frame, or the receiver treats a
+		// clean shutdown as a truncated stream.
+		n.stopPipeline(p)
 		// Best-effort goodbye so receivers can tell this orderly close
 		// from a crash. The write deadline also unblocks any Send stuck
 		// on a full socket, letting us take the frame lock.

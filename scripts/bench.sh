@@ -21,7 +21,7 @@ cd "$(dirname "$0")/.."
 
 OUT="${BENCH_OUT:-BENCH_gemm.json}"
 BENCHTIME="${BENCH_TIME:-200x}"
-PATTERN="${BENCH_PATTERN:-Gemm|Delta|WireCompress|WireDecode|ParallelOverhead}"
+PATTERN="${BENCH_PATTERN:-Gemm|Axpy|Delta|WireCompress|WireDecode|ParallelOverhead}"
 LIVE_OUT="${BENCH_LIVE_OUT:-BENCH_live.json}"
 LIVE_BENCHTIME="${BENCH_LIVE_TIME:-3x}"
 LIVE_PATTERN="${BENCH_LIVE_PATTERN:-LiveLoopback}"

@@ -1,0 +1,90 @@
+#!/usr/bin/env bash
+# bench_compare.sh — diff a fresh benchmark run against the committed
+# baselines (BENCH_gemm.json / BENCH_live.json at HEAD) and flag
+# regressions beyond a threshold. Advisory by design: CI runs it with
+# continue-on-error so noisy shared runners annotate rather than block.
+#
+# Higher-is-worse metric: ns_per_op. Lower-is-worse metric: the
+# extra.updates_s throughput reported by the live loopback benches.
+#
+# Knobs (see BENCH.md):
+#   BENCH_COMPARE_THRESH  regression threshold in percent   (default 25)
+#   BENCH_COMPARE_GEMM    pre-existing fresh gemm JSON; when unset a
+#                         fresh run is taken via scripts/bench.sh
+#   BENCH_COMPARE_LIVE    pre-existing fresh live JSON (ditto)
+#   BENCH_TIME / BENCH_LIVE_TIME  forwarded to bench.sh for fresh runs
+#
+# Baselines come from `git show HEAD:<file>` so the comparison is
+# against what is committed even after bench.sh has overwritten the
+# working-tree copies; if git is unavailable the on-disk files are used.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+THRESH="${BENCH_COMPARE_THRESH:-25}"
+FRESH_GEMM="${BENCH_COMPARE_GEMM:-}"
+FRESH_LIVE="${BENCH_COMPARE_LIVE:-}"
+
+TMPDIR_CMP="$(mktemp -d)"
+trap 'rm -rf "$TMPDIR_CMP"' EXIT
+
+baseline() { # baseline FILE -> path of baseline copy
+    local f="$1" out="$TMPDIR_CMP/base_$1"
+    if git show "HEAD:$f" > "$out" 2>/dev/null; then
+        echo "$out"
+    else
+        echo "$f"
+    fi
+}
+
+if [ -z "$FRESH_GEMM" ] || [ -z "$FRESH_LIVE" ]; then
+    FRESH_GEMM="$TMPDIR_CMP/fresh_gemm.json"
+    FRESH_LIVE="$TMPDIR_CMP/fresh_live.json"
+    echo "bench_compare: taking a fresh run via scripts/bench.sh" >&2
+    BENCH_OUT="$FRESH_GEMM" BENCH_LIVE_OUT="$FRESH_LIVE" scripts/bench.sh >&2
+fi
+
+BASE_GEMM="$(baseline BENCH_gemm.json)"
+BASE_LIVE="$(baseline BENCH_live.json)"
+
+python3 - "$THRESH" \
+    "$BASE_GEMM" "$FRESH_GEMM" \
+    "$BASE_LIVE" "$FRESH_LIVE" <<'EOF'
+import json, sys
+
+thresh = float(sys.argv[1]) / 100.0
+
+def load(path):
+    with open(path) as f:
+        return {r["bench"]: r for r in json.load(f)["results"]}
+
+def pct(old, new):
+    return 100.0 * (new - old) / old
+
+regressions = []
+for base_path, fresh_path in ((sys.argv[2], sys.argv[3]),
+                              (sys.argv[4], sys.argv[5])):
+    base, fresh = load(base_path), load(fresh_path)
+    for name, b in sorted(base.items()):
+        f = fresh.get(name)
+        if f is None:
+            print(f"::warning::{name}: present in baseline, missing from fresh run")
+            continue
+        # ns_per_op: higher is worse.
+        if b.get("ns_per_op") and f.get("ns_per_op", 0) > b["ns_per_op"] * (1 + thresh):
+            regressions.append(
+                f"{name}: ns_per_op {b['ns_per_op']:.0f} -> {f['ns_per_op']:.0f} "
+                f"({pct(b['ns_per_op'], f['ns_per_op']):+.1f}%)")
+        # updates/s (live loopback throughput): lower is worse.
+        bu = b.get("extra", {}).get("updates/s")
+        fu = f.get("extra", {}).get("updates/s")
+        if bu and fu is not None and fu < bu * (1 - thresh):
+            regressions.append(
+                f"{name}: updates_s {bu:.0f} -> {fu:.0f} ({pct(bu, fu):+.1f}%)")
+
+if regressions:
+    for r in regressions:
+        print(f"::warning::bench regression >{thresh*100:.0f}%: {r}")
+    sys.exit(1)
+print(f"bench_compare: no regressions beyond {thresh*100:.0f}% threshold")
+EOF
