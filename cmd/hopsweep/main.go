@@ -9,6 +9,7 @@
 //
 //	hopsweep -list                        # named built-in sweeps
 //	hopsweep -name het-comp               # run a built-in grid
+//	hopsweep -name scale-topo             # cluster size × scalable topologies
 //	hopsweep -name het-comp -emit         # print its JSON (edit & rerun)
 //	hopsweep -f mysweep.json -parallel 4 -out results/
 //	hopsweep -scenario spec.json          # run one scenario instead

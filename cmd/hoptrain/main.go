@@ -88,7 +88,7 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		g, err := spec.Topology.Build()
+		g, err := spec.Topology.BuildSeeded(spec.Seed)
 		if err != nil {
 			fail(err)
 		}

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"hop/internal/core"
@@ -262,8 +263,15 @@ func Run(opts Options) (*Result, error) {
 					delete(dead, w)
 					// Peers that died before this worker restarted are
 					// unknown to the fresh instance; tell it directly so
-					// its rejoin handshake skips them.
+					// its rejoin handshake skips them. Sorted: map
+					// iteration order would leak into the notice order
+					// and break run determinism.
+					stillDead := make([]int, 0, len(dead))
 					for d := range dead {
+						stillDead = append(stillDead, d)
+					}
+					sort.Ints(stillDead)
+					for _, d := range stillDead {
 						eng.Worker(w).DeclarePeerDead(d)
 					}
 					spawnWorker(w, true)

@@ -1,0 +1,66 @@
+package cluster
+
+// scale_test.go — the O(degree) per-step cost contract at large n.
+//
+// The membership audit behind it: under Hop, death notices and
+// WaitPeersDone-style fan-outs already walk the graph neighborhood
+// (deathNoticePeers, core gnbrs), not the cluster; Prague's all-to-all
+// group partners are inherently O(n) and out of scope here. What the
+// gate below pins is the steady-state iteration loop: per worker-step
+// allocation cost must not grow with the cluster size, only with the
+// degree — the regression this catches is a new per-step structure
+// sized by n (an O(n) scan, an eager all-workers slice) slipping into
+// protocol, gap tracking, or the netsim event queue.
+
+import (
+	"runtime"
+	"testing"
+
+	"hop/internal/graph"
+	"hop/internal/model"
+)
+
+// stepAllocCost runs the ring-of-n cluster twice — short and long runs
+// differing by exactly extraSteps worker-iterations each — and returns
+// allocations per additional worker-step, isolating the steady-state
+// loop from O(n) setup cost.
+func stepAllocCost(t *testing.T, n int) float64 {
+	t.Helper()
+	const shortIter, longIter = 2, 22
+	run := func(maxIter int) uint64 {
+		opts := baseOptions(graph.Ring(n), maxIter)
+		opts.Core.Trainers = make([]model.Trainer, n)
+		for i := 0; i < n; i++ {
+			opts.Core.Trainers[i] = model.NewQuadratic([]float64{5}, []float64{1}, 0.2, 0)
+		}
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		if _, err := Run(opts); err != nil {
+			t.Fatalf("n=%d maxIter=%d: %v", n, maxIter, err)
+		}
+		runtime.ReadMemStats(&after)
+		return after.Mallocs - before.Mallocs
+	}
+	shortRun := run(shortIter)
+	longRun := run(longIter)
+	steps := float64(n * (longIter - shortIter))
+	return float64(longRun-shortRun) / steps
+}
+
+// TestStepAllocsIndependentOfClusterSize is the AllocsPerRun-style
+// gate: per-worker-step allocations on a ring (constant degree) at
+// n=1024 must stay within 2.5x of n=64. Any O(n) bookkeeping per step
+// would show up as a ~16x ratio.
+func TestStepAllocsIndependentOfClusterSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four multi-hundred-worker simulations; skipped with -short")
+	}
+	small := stepAllocCost(t, 64)
+	big := stepAllocCost(t, 1024)
+	t.Logf("allocs per worker-step: n=64 %.1f, n=1024 %.1f", small, big)
+	if big > small*2.5 {
+		t.Fatalf("per-step allocations grew with cluster size: n=64 %.1f vs n=1024 %.1f (> 2.5x)",
+			small, big)
+	}
+}

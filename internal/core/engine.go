@@ -33,7 +33,7 @@ func NewEngine(cfg Config, host Host, mon Monitor) (*Engine, error) {
 	}
 	n := cfg.Graph.N()
 	e := &Engine{cfg: cfg, host: host, mon: mon, n: n}
-	e.gaps = NewGapTracker(mon, n)
+	e.gaps = NewGapTrackerFor(mon, cfg.Graph)
 	e.workers = make([]*Protocol, n)
 	for w := 0; w < n; w++ {
 		var tr *Trace

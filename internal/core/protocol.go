@@ -131,8 +131,10 @@ type Protocol struct {
 	tokens map[int]*TokenQueue
 
 	// iterRecv[j]: iteration of the most recent u_{j→me} ever received
-	// (staleness bookkeeping, Fig. 9); owned by the Run loop.
-	iterRecv []int
+	// (staleness bookkeeping, Fig. 9); owned by the Run loop. Keyed by
+	// sender and sized by the in-neighborhood, not the cluster — absent
+	// means nothing received yet (-1).
+	iterRecv map[int]int
 
 	// in and out are the live neighbor views the iteration loop reads.
 	// Without fault tolerance they alias the immutable graph sets gin
@@ -212,10 +214,7 @@ func NewProtocol(cfg Config, id int, t model.Trainer, mon Monitor, rt Runtime, t
 	p.gin, p.gout = p.in, p.out
 	p.gnbrs = append(append(make([]int, 0, len(p.gin)+len(p.gout)), p.gin...), p.gout...)
 	p.gnbrs = dedupInts(p.gnbrs)
-	p.iterRecv = make([]int, n)
-	for j := range p.iterRecv {
-		p.iterRecv[j] = -1
-	}
+	p.iterRecv = make(map[int]int, len(p.gin))
 	if cfg.MaxIG > 0 {
 		p.tokens = make(map[int]*TokenQueue, len(p.out))
 		for _, j := range p.out {
@@ -580,12 +579,18 @@ func (p *Protocol) newestFrom(j, minIter int) Update {
 				newest = u
 			}
 		}
-		if newest.Iter > p.iterRecv[j] {
+		if cur, ok := p.iterRecv[j]; !ok || newest.Iter > cur {
 			p.iterRecv[j] = newest.Iter
 		}
 	}
+	recv := func() int {
+		if cur, ok := p.iterRecv[j]; ok {
+			return cur
+		}
+		return -1
+	}
 	consider(p.queue.DrainFrom(j))
-	for p.iterRecv[j] < minIter {
+	for recv() < minIter {
 		ups, ok := p.queue.waitFromOr(j, p.senderGoneHook(j))
 		if !ok {
 			break

@@ -312,7 +312,7 @@ func Fig20(scale Scale) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		g, err := spec.Topology.Build()
+		g, err := spec.Topology.BuildSeeded(spec.Seed)
 		if err != nil {
 			return nil, err
 		}

@@ -101,9 +101,39 @@ func SlowLinksSweep() scenario.Sweep {
 	}
 }
 
+// ScaleTopoSweep crosses cluster size with the scalable topology
+// kinds: the sparse hierarchical ring, the HetPipe-style intra-machine
+// all-reduce under inter-group gossip, and the constant-degree
+// expander, against the flat ring baseline. It is the sweep-shaped
+// view of the BENCH_scale.json trajectory — same kinds, protocol
+// metrics instead of steps/s.
+func ScaleTopoSweep() scenario.Sweep {
+	return scenario.Sweep{
+		Name: "scale-topo",
+		Base: scenario.Spec{
+			Workload: "quadratic",
+			Topology: scenario.Topology{Kind: "ring", Workers: 64, Machines: 8},
+			MaxIter:  30,
+			Seed:     4,
+		},
+		Axes: []scenario.Axis{
+			{Name: "topology", Values: []scenario.AxisValue{
+				{Label: "ring"},
+				{Label: "hier-ring", Patch: patch(`{"topology": {"kind": "hier-ring", "workers": 64, "machines": 8}}`)},
+				{Label: "hier-allreduce", Patch: patch(`{"topology": {"kind": "hier-allreduce", "workers": 64, "machines": 8}}`)},
+				{Label: "expander", Patch: patch(`{"topology": {"kind": "expander", "workers": 64, "machines": 8}}`)},
+			}},
+			{Name: "workers", Values: []scenario.AxisValue{
+				{Label: "n64"},
+				{Label: "n128", Patch: patch(`{"topology": {"workers": 128, "machines": 16}}`)},
+			}},
+		},
+	}
+}
+
 // Sweeps lists every named built-in sweep.
 func Sweeps() []scenario.Sweep {
-	return []scenario.Sweep{HetCompSweep(), StragglerTopoSweep(), SlowLinksSweep()}
+	return []scenario.Sweep{HetCompSweep(), StragglerTopoSweep(), SlowLinksSweep(), ScaleTopoSweep()}
 }
 
 // LookupSweep finds a built-in sweep by name.

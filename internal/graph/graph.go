@@ -36,7 +36,17 @@ type Graph struct {
 	// network fabric to price intra- vs inter-machine links. nil means
 	// a uniform default placement.
 	Machine []int
+
+	// diam caches Diameter: it costs an all-pairs BFS (O(n·E)), and
+	// protocol construction consults it once per worker to size the
+	// update queue — without the cache an n-worker engine pays
+	// O(n²·E) before the first simulated event fires. diamUnknown
+	// means "not computed since the last AddEdge".
+	diam int
 }
+
+// diamUnknown marks the diameter cache invalid (any AddEdge resets it).
+const diamUnknown = -2
 
 // New returns an empty graph (no edges besides implicit self-loops)
 // over n workers.
@@ -49,6 +59,7 @@ func New(name string, n int) *Graph {
 		n:    n,
 		out:  make([][]int, n),
 		in:   make([][]int, n),
+		diam: diamUnknown,
 	}
 }
 
@@ -68,6 +79,7 @@ func (g *Graph) AddEdge(i, j int) {
 	}
 	g.out[i] = insertSorted(g.out[i], j)
 	g.in[j] = insertSorted(g.in[j], i)
+	g.diam = diamUnknown
 }
 
 // AddBiEdge inserts edges in both directions between i and j.
@@ -185,23 +197,42 @@ func (g *Graph) ShortestPaths() [][]int {
 }
 
 // Diameter returns the longest shortest-path length over all ordered
-// pairs, or -1 if the graph is not strongly connected.
+// pairs, or -1 if the graph is not strongly connected. The result is
+// cached until the next AddEdge, and the BFS sweep reuses one scratch
+// distance array instead of materializing the ShortestPaths matrix.
 func (g *Graph) Diameter() int {
-	dist := g.ShortestPaths()
+	if g.diam != diamUnknown {
+		return g.diam
+	}
+	d := make([]int, g.n)
+	queue := make([]int, 0, g.n)
 	max := 0
-	for s := range dist {
-		for t, d := range dist[s] {
-			if s == t {
-				continue
-			}
-			if d < 0 {
-				return -1
-			}
-			if d > max {
-				max = d
+	for s := 0; s < g.n; s++ {
+		for i := range d {
+			d[i] = -1
+		}
+		d[s] = 0
+		queue = append(queue[:0], s)
+		reached := 1
+		for head := 0; head < len(queue); head++ {
+			v := queue[head]
+			for _, w := range g.out[v] {
+				if d[w] == -1 {
+					d[w] = d[v] + 1
+					reached++
+					if d[w] > max {
+						max = d[w]
+					}
+					queue = append(queue, w)
+				}
 			}
 		}
+		if reached < g.n {
+			g.diam = -1
+			return -1
+		}
 	}
+	g.diam = max
 	return max
 }
 

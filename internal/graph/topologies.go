@@ -1,6 +1,9 @@
 package graph
 
-import "fmt"
+import (
+	"fmt"
+	"math/rand"
+)
 
 // Ring returns the bidirectional ring of Figure 11(a): worker i is
 // connected to i±1 (mod n).
@@ -155,4 +158,128 @@ func EvenPlacement(g *Graph, m int) {
 	for i := 0; i < n; i++ {
 		g.Machine[i] = i * m / n
 	}
+}
+
+// groupStart returns the first worker of group k under EvenPlacement's
+// contiguous-block formula (worker i → machine i*m/n): group k is
+// [ceil(k*n/m), ceil((k+1)*n/m)).
+func groupStart(n, m, k int) int { return (k*n + m - 1) / m }
+
+// hierGroups builds the machine-aligned group structure the
+// hierarchical topologies share: n workers in m contiguous groups, one
+// group per machine, placement matching EvenPlacement exactly so the
+// fabric prices intra-group edges as in-machine links.
+func hierGroups(name string, n, m int) *Graph {
+	if m < 1 || m > n {
+		panic(fmt.Sprintf("graph: %s needs 1 <= machines <= workers, got %d machines for %d workers", name, m, n))
+	}
+	g := New(fmt.Sprintf("%s-%d-g%d", name, n, m), n)
+	EvenPlacement(g, m)
+	return g
+}
+
+// interGroupRing closes a ring over the m groups with one bidirectional
+// edge per consecutive pair, rotating the representative inside each
+// group deterministically (pair index mod group size) so the inter-group
+// load does not concentrate on one worker per group — the HetPipe-style
+// composition: whatever the intra-group graph is, the groups gossip
+// through a sparse decentralized ring.
+func interGroupRing(g *Graph, m int) {
+	if m < 2 {
+		return
+	}
+	n := g.N()
+	for k := 0; k < m; k++ {
+		next := (k + 1) % m
+		aStart, aEnd := groupStart(n, m, k), groupStart(n, m, k+1)
+		bStart, bEnd := groupStart(n, m, next), groupStart(n, m, next+1)
+		a := aStart + k%(aEnd-aStart)
+		b := bStart + k%(bEnd-bStart)
+		if a != b {
+			g.AddBiEdge(a, b)
+		}
+	}
+}
+
+// ringWithin connects the workers [start, end) in a bidirectional ring
+// (a single edge for two workers, nothing for fewer).
+func ringWithin(g *Graph, start, end int) {
+	size := end - start
+	if size < 2 {
+		return
+	}
+	if size == 2 {
+		g.AddBiEdge(start, start+1)
+		return
+	}
+	for i := 0; i < size; i++ {
+		g.AddBiEdge(start+i, start+(i+1)%size)
+	}
+}
+
+// HierRing is the sparse hierarchical topology: workers grouped one
+// group per machine (EvenPlacement blocks), a bidirectional ring within
+// each group, and a ring over the groups through rotating
+// representatives. Per-worker degree is O(1) regardless of n, which
+// makes it the cheapest scalable kind for large clusters.
+func HierRing(n, m int) *Graph {
+	g := hierGroups("hier-ring", n, m)
+	for k := 0; k < m; k++ {
+		ringWithin(g, groupStart(n, m, k), groupStart(n, m, k+1))
+	}
+	interGroupRing(g, m)
+	return g
+}
+
+// HierAllReduce is the HetPipe composition at scale: a full all-reduce
+// (complete) subgraph within each machine-aligned group — the fast
+// intra-machine collective — under the same inter-group ring of
+// rotating representatives, generalizing Figure 21's Setting2 from 8
+// workers on 3 machines to any (n, m). Per-worker degree is
+// O(n/m): the group size, not the cluster size.
+func HierAllReduce(n, m int) *Graph {
+	g := hierGroups("hier-allreduce", n, m)
+	for k := 0; k < m; k++ {
+		start, end := groupStart(n, m, k), groupStart(n, m, k+1)
+		for i := start; i < end; i++ {
+			for j := i + 1; j < end; j++ {
+				g.AddBiEdge(i, j)
+			}
+		}
+	}
+	interGroupRing(g, m)
+	return g
+}
+
+// Expander returns a seeded constant-degree expander-style graph: the
+// bidirectional ring (guaranteeing strong connectivity) plus
+// (degree-2)/2 layers of random chords, each a seeded permutation
+// matching i ↔ perm[i]. Degree must be even and >= 4; the undirected
+// degree of every worker is at most degree (ring contributes 2, each
+// chord layer at most 2). The construction is a pure function of
+// (n, degree, seed): repeated builds are byte-identical, which is the
+// property that lets scenario seed layering reproduce a run's graph
+// from its spec alone. Low diameter at constant degree is what makes
+// it the large-n alternative to the ring's n/2 diameter.
+func Expander(n, degree int, seed int64) *Graph {
+	if n < 4 {
+		panic(fmt.Sprintf("graph: Expander requires n >= 4, got %d", n))
+	}
+	if degree < 4 || degree%2 != 0 {
+		panic(fmt.Sprintf("graph: Expander degree must be even and >= 4, got %d", degree))
+	}
+	g := New(fmt.Sprintf("expander-%d-d%d-s%d", n, degree, seed), n)
+	for i := 0; i < n; i++ {
+		g.AddBiEdge(i, (i+1)%n)
+	}
+	layers := (degree - 2) / 2
+	for l := 0; l < layers; l++ {
+		rng := rand.New(rand.NewSource(seed + int64(l)*15485863 + 3))
+		for i, j := range rng.Perm(n) {
+			if i != j {
+				g.AddBiEdge(i, j)
+			}
+		}
+	}
+	return g
 }

@@ -137,9 +137,9 @@ func (f *Fabric) DeliverData(src, dst, bytes, iter int, fn func()) {
 		f.stats.NetReordered++
 		at += f.reorderDelay()
 	}
-	f.k.After(at-f.k.Now(), fn)
+	f.eq.enqueue(f.placement[dst], at, fn)
 	if dup {
 		f.stats.NetDuplicated++
-		f.k.After(at+f.reorderDelay()-f.k.Now(), fn)
+		f.eq.enqueue(f.placement[dst], at+f.reorderDelay(), fn)
 	}
 }

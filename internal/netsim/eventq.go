@@ -1,0 +1,251 @@
+package netsim
+
+// eventq.go — the fabric's sharded delivery queue.
+//
+// Before it existed, every in-flight message was its own timer in the
+// kernel's global heap, so the heap grew with the number of in-flight
+// messages — O(n·degree) entries for a busy n-worker cluster, paid as
+// log(n·degree) on every kernel operation. The queue shards pending
+// deliveries by destination machine instead: each shard is a small
+// min-heap keyed (arrival time, fabric-global sequence), a top-level
+// index heap tracks the earliest shard head, and the kernel carries at
+// most a handful of armed drain timers regardless of how many messages
+// are in flight.
+//
+// Sharding by destination machine is not arbitrary: the fabric's
+// per-machine ingress NIC timeline makes inter-machine arrivals to one
+// machine monotone in enqueue order, so pushes into a shard are
+// near-sorted and cheap, while intra-machine traffic (not NIC-priced)
+// provides the only out-of-order pushes.
+//
+// Determinism: deliveries fire in exactly the global (when, seq) order
+// the old one-timer-per-message scheme produced — seq is assigned at
+// enqueue, and a drain pops across all shards through the top-level
+// index, so same-instant deliveries to different machines still fire
+// in the order they were priced.
+
+import (
+	"time"
+
+	"hop/internal/sim"
+)
+
+// eqNone marks "no armed drain timer". Arrival times are nonnegative,
+// so any armed time compares above it.
+const eqNone = time.Duration(-1)
+
+// event is one pending delivery callback.
+type event struct {
+	when time.Duration
+	seq  int64
+	fn   func()
+}
+
+// before orders events by (when, seq): arrival time first, fabric
+// enqueue order as the tiebreak — the same total order the kernel's
+// own timer heap uses, which is what keeps traces byte-identical
+// across the two scheduling schemes.
+func (e event) before(o event) bool {
+	if e.when != o.when {
+		return e.when < o.when
+	}
+	return e.seq < o.seq
+}
+
+// eventQueue shards pending deliveries by destination machine.
+type eventQueue struct {
+	k      *sim.Kernel
+	seq    int64
+	shards [][]event // per destination machine, min-heap on (when, seq)
+	top    []int     // heap of nonempty shard ids, keyed by shard head
+	pos    []int     // shard id → index in top, -1 when absent
+	// armedAt is the earliest drain timer currently armed in the
+	// kernel, or eqNone. Stale timers (superseded by an earlier arm)
+	// fire as no-ops; the invariant that matters is that a nonempty
+	// queue always has a timer armed at or before its head's time.
+	armedAt time.Duration
+}
+
+func newEventQueue(k *sim.Kernel, machines int) *eventQueue {
+	if machines < 1 {
+		machines = 1
+	}
+	q := &eventQueue{
+		k:       k,
+		shards:  make([][]event, machines),
+		top:     make([]int, 0, machines),
+		pos:     make([]int, machines),
+		armedAt: eqNone,
+	}
+	for i := range q.pos {
+		q.pos[i] = -1
+	}
+	return q
+}
+
+// enqueue schedules fn to run at virtual time when on the given
+// destination-machine shard.
+func (q *eventQueue) enqueue(shard int, when time.Duration, fn func()) {
+	now := q.k.Now()
+	if when < now {
+		when = now
+	}
+	q.seq++
+	q.pushShard(shard, event{when: when, seq: q.seq, fn: fn})
+	head := q.shards[q.top[0]][0]
+	if q.armedAt == eqNone || head.when < q.armedAt {
+		q.armedAt = head.when
+		q.k.After(head.when-now, q.drain)
+	}
+}
+
+// drain is the armed kernel callback: it fires every due delivery, in
+// global (when, seq) order, then re-arms for the next head. Callbacks
+// may enqueue further deliveries (chaos duplicates do); the loop
+// re-reads the top-level head after each one, matching the kernel's
+// own same-instant semantics.
+func (q *eventQueue) drain() {
+	now := q.k.Now()
+	q.armedAt = eqNone
+	for len(q.top) > 0 {
+		s := q.top[0]
+		if q.shards[s][0].when > now {
+			break
+		}
+		e := q.popShard(s)
+		e.fn()
+	}
+	if len(q.top) > 0 {
+		head := q.shards[q.top[0]][0]
+		if q.armedAt == eqNone || head.when < q.armedAt {
+			q.armedAt = head.when
+			q.k.After(head.when-now, q.drain)
+		}
+	}
+}
+
+// pushShard adds e to shard s's heap and fixes the top-level index.
+func (q *eventQueue) pushShard(s int, e event) {
+	h := append(q.shards[s], e)
+	q.shards[s] = h
+	// Sift up within the shard.
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h[i].before(h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	if q.pos[s] == -1 {
+		q.topPush(s)
+	} else if i == 0 {
+		q.topFix(q.pos[s])
+	}
+}
+
+// popShard removes and returns shard s's head event, updating the
+// top-level index.
+func (q *eventQueue) popShard(s int) event {
+	h := q.shards[s]
+	e := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = event{} // release fn for GC
+	h = h[:last]
+	q.shards[s] = h
+	// Sift down within the shard.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && h[l].before(h[small]) {
+			small = l
+		}
+		if r < len(h) && h[r].before(h[small]) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+	if len(h) == 0 {
+		q.topRemove(q.pos[s])
+	} else {
+		q.topFix(q.pos[s])
+	}
+	return e
+}
+
+// topLess compares two top-level entries by their shards' head events.
+func (q *eventQueue) topLess(i, j int) bool {
+	return q.shards[q.top[i]][0].before(q.shards[q.top[j]][0])
+}
+
+func (q *eventQueue) topSwap(i, j int) {
+	q.top[i], q.top[j] = q.top[j], q.top[i]
+	q.pos[q.top[i]] = i
+	q.pos[q.top[j]] = j
+}
+
+func (q *eventQueue) topPush(s int) {
+	q.top = append(q.top, s)
+	q.pos[s] = len(q.top) - 1
+	q.topUp(len(q.top) - 1)
+}
+
+func (q *eventQueue) topRemove(i int) {
+	last := len(q.top) - 1
+	q.pos[q.top[i]] = -1
+	if i != last {
+		q.top[i] = q.top[last]
+		q.pos[q.top[i]] = i
+	}
+	q.top = q.top[:last]
+	if i < last {
+		q.topFix(i)
+	}
+}
+
+// topFix restores the heap property at i after the shard's head
+// changed in either direction.
+func (q *eventQueue) topFix(i int) {
+	if !q.topUp(i) {
+		q.topDown(i)
+	}
+}
+
+func (q *eventQueue) topUp(i int) bool {
+	moved := false
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.topLess(i, parent) {
+			break
+		}
+		q.topSwap(i, parent)
+		i = parent
+		moved = true
+	}
+	return moved
+}
+
+func (q *eventQueue) topDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(q.top) && q.topLess(l, small) {
+			small = l
+		}
+		if r < len(q.top) && q.topLess(r, small) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		q.topSwap(i, small)
+		i = small
+	}
+}

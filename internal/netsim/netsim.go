@@ -171,6 +171,11 @@ type Fabric struct {
 	// nil when Config.Chaos is nil.
 	chaosRNG map[[2]int]*rand.Rand
 
+	// eq shards pending delivery callbacks by destination machine so
+	// the kernel's timer heap stays small regardless of how many
+	// messages are in flight (see eventq.go).
+	eq *eventQueue
+
 	stats Stats
 }
 
@@ -213,6 +218,7 @@ func New(k *sim.Kernel, cfg Config, workers int, placement []int) *Fabric {
 		placement:   append([]int(nil), placement...),
 		egressFree:  make([]time.Duration, machines),
 		ingressFree: make([]time.Duration, machines),
+		eq:          newEventQueue(k, machines),
 	}
 	if cfg.Chaos != nil {
 		f.chaosRNG = make(map[[2]int]*rand.Rand)
@@ -295,7 +301,7 @@ func (f *Fabric) bandwidthAt(m int, t time.Duration) (bw float64, bursting bool)
 // context (a running process or an After callback).
 func (f *Fabric) Deliver(src, dst, bytes int, fn func()) {
 	at := f.arrivalTime(src, dst, bytes)
-	f.k.After(at-f.k.Now(), fn)
+	f.eq.enqueue(f.placement[dst], at, fn)
 }
 
 // arrivalTime advances the NIC timelines and returns the delivery

@@ -63,19 +63,40 @@ func (d *Duration) UnmarshalJSON(b []byte) error {
 type Topology struct {
 	// Kind names the graph family: ring | ring-based | double-ring |
 	// complete | star | chain | directed-ring build a graph over
-	// Workers nodes; setting1 | setting2 | setting3 are the fixed
-	// Figure 21 graphs (Workers and Machines are ignored for them).
+	// Workers nodes; hier-ring | hier-allreduce are the hierarchical
+	// kinds (one group of workers per machine — a ring or a full
+	// all-reduce inside each group — under an inter-group gossip
+	// ring); expander is the seeded constant-degree low-diameter kind;
+	// setting1 | setting2 | setting3 are the fixed Figure 21 graphs
+	// (Workers and Machines are ignored for them).
 	Kind string `json:"kind"`
 	// Workers is the node count for parametric kinds; 0 means the
 	// paper's 16.
 	Workers int `json:"workers,omitempty"`
 	// Machines is the number of physical machines workers are placed
-	// on in contiguous blocks; 0 means the paper's 4.
+	// on in contiguous blocks; 0 means the paper's 4. For the hier-*
+	// kinds it is also the group count.
 	Machines int `json:"machines,omitempty"`
+	// Degree is the expander kind's per-worker degree bound (even,
+	// >= 4); 0 means 4. Rejected for every other kind.
+	Degree int `json:"degree,omitempty"`
+	// Seed drives the expander kind's chord permutations; 0 derives
+	// 600+spec seed (the seed-layering contract). Rejected for every
+	// other kind.
+	Seed int64 `json:"seed,omitempty"`
 }
 
-// Build constructs the configured graph with its placement.
-func (t Topology) Build() (*graph.Graph, error) {
+// Build constructs the configured graph with its placement, deriving
+// seeded kinds from spec seed 0. Callers holding a Spec use
+// BuildSeeded so the seed-layering contract applies.
+func (t Topology) Build() (*graph.Graph, error) { return t.BuildSeeded(0) }
+
+// BuildSeeded constructs the configured graph with its placement,
+// deriving any unset topology seed from the spec seed.
+func (t Topology) BuildSeeded(specSeed int64) (*graph.Graph, error) {
+	if t.Kind != "expander" && (t.Degree != 0 || t.Seed != 0) {
+		return nil, fmt.Errorf("scenario: degree/seed are expander topology knobs, not %q knobs", t.Kind)
+	}
 	switch t.Kind {
 	case "setting1":
 		return graph.Setting1(), nil
@@ -114,6 +135,28 @@ func (t Topology) Build() (*graph.Graph, error) {
 		g = graph.Chain(n)
 	case "directed-ring":
 		g = graph.DirectedRing(n)
+	case "hier-ring":
+		// The hierarchical generators assign their own machine-aligned
+		// placement; EvenPlacement below would be a no-op re-derivation.
+		return graph.HierRing(n, m), nil
+	case "hier-allreduce":
+		return graph.HierAllReduce(n, m), nil
+	case "expander":
+		if n < 4 {
+			return nil, fmt.Errorf("scenario: expander topology needs >= 4 workers, got %d", n)
+		}
+		deg := t.Degree
+		if deg == 0 {
+			deg = 4
+		}
+		if deg < 4 || deg%2 != 0 {
+			return nil, fmt.Errorf("scenario: expander degree must be even and >= 4, got %d", deg)
+		}
+		seed := t.Seed
+		if seed == 0 {
+			seed = 600 + specSeed
+		}
+		g = graph.Expander(n, deg, seed)
 	default:
 		return nil, fmt.Errorf("scenario: unknown topology kind %q", t.Kind)
 	}
@@ -664,7 +707,7 @@ func (s Spec) resolve(buildTrainer bool) (cluster.Options, error) {
 	if err != nil {
 		return zero, err
 	}
-	g, err := s.Topology.Build()
+	g, err := s.Topology.BuildSeeded(s.Seed)
 	if err != nil {
 		return zero, err
 	}

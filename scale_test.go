@@ -1,0 +1,70 @@
+package hop_test
+
+// scale_test.go — determinism and cost contracts of the large-n
+// regime: the committed hier256 scenario must produce byte-identical
+// sweep reports at any pool width (extending the width-identity
+// contract of compute_test.go to hundreds of workers), and the
+// scenario file itself must stay parseable as committed.
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"hop"
+)
+
+// scaleSweep wraps the committed hier256 spec as a two-cell sweep —
+// the all-reduce hierarchy it names plus its sparse hier-ring sibling
+// — so pool width > 1 actually runs cells concurrently.
+func scaleSweep(t *testing.T) hop.Sweep {
+	t.Helper()
+	data, err := os.ReadFile("examples/scenarios/hier256.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := hop.ParseScenario(data)
+	if err != nil {
+		t.Fatalf("hier256.json: %v", err)
+	}
+	return hop.Sweep{
+		Name: "scale-determinism",
+		Base: spec,
+		Axes: []hop.SweepAxis{{Name: "topology", Values: []hop.SweepValue{
+			{Label: "hier-allreduce"},
+			{Label: "hier-ring", Patch: []byte(`{"topology": {"kind": "hier-ring", "workers": 256, "machines": 32}}`)},
+		}}},
+	}
+}
+
+// TestScaleDeterministic runs the 256-worker hierarchical sweep at
+// pool width 1 (compute width 1) and pool width 4 (compute width 4)
+// and requires byte-identical aggregate reports.
+func TestScaleDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four 256-worker simulations; skipped with -short")
+	}
+	sw := scaleSweep(t)
+	defer hop.SetComputeWorkers(0)
+	run := func(width int) []byte {
+		hop.SetComputeWorkers(width)
+		res, err := hop.RunSweep(sw, width)
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		agg, err := res.AggregateJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return agg
+	}
+	seq := run(1)
+	par := run(4)
+	if !bytes.Equal(seq, par) {
+		i := 0
+		for i < len(seq) && i < len(par) && seq[i] == par[i] {
+			i++
+		}
+		t.Fatalf("hier256 sweep reports diverge at byte %d of %d/%d", i, len(seq), len(par))
+	}
+}

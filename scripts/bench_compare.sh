@@ -4,15 +4,19 @@
 # regressions beyond a threshold. Advisory by design: CI runs it with
 # continue-on-error so noisy shared runners annotate rather than block.
 #
-# Higher-is-worse metric: ns_per_op. Lower-is-worse metric: the
-# extra.updates_s throughput reported by the live loopback benches.
+# Higher-is-worse metric: ns_per_op. Lower-is-worse metrics: the
+# extra.updates_s throughput reported by the live loopback benches and
+# the extra.steps_s throughput of the cluster-scaling benches.
 #
 # Knobs (see BENCH.md):
 #   BENCH_COMPARE_THRESH  regression threshold in percent   (default 25)
 #   BENCH_COMPARE_GEMM    pre-existing fresh gemm JSON; when unset a
 #                         fresh run is taken via scripts/bench.sh
 #   BENCH_COMPARE_LIVE    pre-existing fresh live JSON (ditto)
-#   BENCH_TIME / BENCH_LIVE_TIME  forwarded to bench.sh for fresh runs
+#   BENCH_COMPARE_SCALE   pre-existing fresh scale JSON; when unset a
+#                         fresh run is taken via scripts/bench_scale.sh
+#   BENCH_TIME / BENCH_LIVE_TIME / BENCH_SCALE_TIME  forwarded to the
+#                         bench scripts for fresh runs
 #
 # Baselines come from `git show HEAD:<file>` so the comparison is
 # against what is committed even after bench.sh has overwritten the
@@ -24,6 +28,7 @@ cd "$(dirname "$0")/.."
 THRESH="${BENCH_COMPARE_THRESH:-25}"
 FRESH_GEMM="${BENCH_COMPARE_GEMM:-}"
 FRESH_LIVE="${BENCH_COMPARE_LIVE:-}"
+FRESH_SCALE="${BENCH_COMPARE_SCALE:-}"
 
 TMPDIR_CMP="$(mktemp -d)"
 trap 'rm -rf "$TMPDIR_CMP"' EXIT
@@ -43,13 +48,20 @@ if [ -z "$FRESH_GEMM" ] || [ -z "$FRESH_LIVE" ]; then
     echo "bench_compare: taking a fresh run via scripts/bench.sh" >&2
     BENCH_OUT="$FRESH_GEMM" BENCH_LIVE_OUT="$FRESH_LIVE" scripts/bench.sh >&2
 fi
+if [ -z "$FRESH_SCALE" ]; then
+    FRESH_SCALE="$TMPDIR_CMP/fresh_scale.json"
+    echo "bench_compare: taking a fresh scale run via scripts/bench_scale.sh" >&2
+    BENCH_SCALE_OUT="$FRESH_SCALE" scripts/bench_scale.sh >&2
+fi
 
 BASE_GEMM="$(baseline BENCH_gemm.json)"
 BASE_LIVE="$(baseline BENCH_live.json)"
+BASE_SCALE="$(baseline BENCH_scale.json)"
 
 python3 - "$THRESH" \
     "$BASE_GEMM" "$FRESH_GEMM" \
-    "$BASE_LIVE" "$FRESH_LIVE" <<'EOF'
+    "$BASE_LIVE" "$FRESH_LIVE" \
+    "$BASE_SCALE" "$FRESH_SCALE" <<'EOF'
 import json, sys
 
 thresh = float(sys.argv[1]) / 100.0
@@ -63,7 +75,8 @@ def pct(old, new):
 
 regressions = []
 for base_path, fresh_path in ((sys.argv[2], sys.argv[3]),
-                              (sys.argv[4], sys.argv[5])):
+                              (sys.argv[4], sys.argv[5]),
+                              (sys.argv[6], sys.argv[7])):
     base, fresh = load(base_path), load(fresh_path)
     for name, b in sorted(base.items()):
         f = fresh.get(name)
@@ -75,12 +88,14 @@ for base_path, fresh_path in ((sys.argv[2], sys.argv[3]),
             regressions.append(
                 f"{name}: ns_per_op {b['ns_per_op']:.0f} -> {f['ns_per_op']:.0f} "
                 f"({pct(b['ns_per_op'], f['ns_per_op']):+.1f}%)")
-        # updates/s (live loopback throughput): lower is worse.
-        bu = b.get("extra", {}).get("updates/s")
-        fu = f.get("extra", {}).get("updates/s")
-        if bu and fu is not None and fu < bu * (1 - thresh):
-            regressions.append(
-                f"{name}: updates_s {bu:.0f} -> {fu:.0f} ({pct(bu, fu):+.1f}%)")
+        # Throughput extras (live updates/s, scale steps/s): lower is
+        # worse.
+        for metric in ("updates/s", "steps/s"):
+            bu = b.get("extra", {}).get(metric)
+            fu = f.get("extra", {}).get(metric)
+            if bu and fu is not None and fu < bu * (1 - thresh):
+                regressions.append(
+                    f"{name}: {metric} {bu:.0f} -> {fu:.0f} ({pct(bu, fu):+.1f}%)")
 
 if regressions:
     for r in regressions:

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# bench_scale.sh — run the cluster-scaling benchmark trajectory
+# (steps/s at n ∈ {8, 64, 256, 1024} workers for the flat ring vs the
+# hierarchical all-reduce topology) and write BENCH_scale.json in the
+# same hop-bench/v1 schema as BENCH_gemm.json / BENCH_live.json. See
+# BENCH.md.
+#
+# Usage:
+#   scripts/bench_scale.sh
+#   BENCH_SCALE_OUT=custom.json BENCH_SCALE_TIME=3x scripts/bench_scale.sh
+#
+# Knobs:
+#   BENCH_SCALE_OUT      output file            (default BENCH_scale.json)
+#   BENCH_SCALE_TIME     go -benchtime per point (default 2x; each op is
+#                        one full 30-iteration simulated run)
+#   BENCH_SCALE_PATTERN  bench regexp           (default BenchmarkScale)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${BENCH_SCALE_OUT:-BENCH_scale.json}"
+BENCHTIME="${BENCH_SCALE_TIME:-2x}"
+PATTERN="${BENCH_SCALE_PATTERN:-BenchmarkScale}"
+
+. scripts/bench_json.sh
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+echo "running: go test -run '^$' -bench '$PATTERN' -benchtime=$BENCHTIME ./" >&2
+go test -run '^$' -bench "$PATTERN" -benchtime="$BENCHTIME" -count=1 ./ | tee "$RAW" >&2
+bench_to_json "$RAW" "$OUT"
+echo "wrote $OUT" >&2

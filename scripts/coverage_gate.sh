@@ -19,13 +19,15 @@ cd "$(dirname "$0")/.."
 GATES=(
     "hop/internal/core/:85.0"
     "hop/internal/scenario/:87.0"
+    "hop/internal/graph/:85.0"
+    "hop/internal/netsim/:80.0"
 )
 
 profile=$(mktemp)
 trap 'rm -f "$profile"' EXIT
 
 echo "coverage gate: running suite with instrumented packages..."
-go test -count=1 -coverpkg=./internal/core,./internal/scenario \
+go test -count=1 -coverpkg=./internal/core,./internal/scenario,./internal/graph,./internal/netsim \
     -coverprofile="$profile" ./... > /dev/null
 
 fail=0
